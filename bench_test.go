@@ -1,0 +1,311 @@
+package repro
+
+// The macro-benchmarks below regenerate the evaluation suite (experiments
+// E1-E10 in DESIGN.md, tables in EXPERIMENTS.md) and surface each
+// experiment's headline numbers as benchmark metrics; cmd/benchrunner
+// prints the full tables. The micro-benchmarks cover the hot substrate
+// paths (lock table, vector clocks, versioned store, WAL, broadcast stack).
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkE1 -benchtime=1x   # one full E1 sweep
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/experiments"
+	"repro/internal/lockmgr"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// benchConfig keeps the macro-benchmarks quick enough to iterate on; run
+// cmd/benchrunner (without -quick) for the full sweeps.
+var benchConfig = experiments.Config{Quick: true}
+
+// runExperiment executes one experiment per iteration and republishes its
+// headline metrics through the benchmark reporter.
+func runExperiment(b *testing.B, f func(experiments.Config) (*experiments.Report, error), keys ...string) {
+	b.Helper()
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = f(benchConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Violations) > 0 {
+			b.Fatalf("expectation violated: %v", rep.Violations)
+		}
+	}
+	for _, k := range keys {
+		if v, ok := rep.Metrics[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+// BenchmarkE1MessagesPerTxn regenerates the message-complexity table:
+// per-commit unicast counts against the analytical model (paper §3-§5
+// message analysis).
+func BenchmarkE1MessagesPerTxn(b *testing.B) {
+	runExperiment(b, experiments.E1Messages,
+		"reliable/n=5/msgs_per_commit",
+		"causal/n=5/msgs_per_commit",
+		"atomic/n=5/msgs_per_commit",
+		"baseline/n=5/msgs_per_commit",
+	)
+}
+
+// BenchmarkE2CommitLatency regenerates the commit-latency comparison.
+func BenchmarkE2CommitLatency(b *testing.B) {
+	runExperiment(b, experiments.E2CommitLatency,
+		"reliable/n=5/mean_latency_us",
+		"causal/n=5/mean_latency_us",
+		"atomic/n=5/mean_latency_us",
+		"baseline/n=5/mean_latency_us",
+	)
+}
+
+// BenchmarkE3AbortRate regenerates the contention sweep.
+func BenchmarkE3AbortRate(b *testing.B) {
+	runExperiment(b, experiments.E3AbortContention,
+		"reliable/hot=0.6/abort_rate",
+		"causal/hot=0.6/abort_rate",
+		"atomic/hot=0.6/abort_rate",
+		"baseline/hot=0.6/abort_rate",
+	)
+}
+
+// BenchmarkE4ThroughputSites regenerates the cluster-size scaling table.
+func BenchmarkE4ThroughputSites(b *testing.B) {
+	runExperiment(b, experiments.E4ThroughputSites,
+		"reliable/n=7/throughput",
+		"causal/n=7/throughput",
+		"atomic/n=7/throughput",
+	)
+}
+
+// BenchmarkE5WriteMix regenerates the read-only fraction sweep.
+func BenchmarkE5WriteMix(b *testing.B) {
+	runExperiment(b, experiments.E5WriteMix,
+		"causal/ro=0.00/abort_rate",
+		"causal/ro=0.95/abort_rate",
+	)
+}
+
+// BenchmarkE6CausalHeartbeat regenerates the implicit-ack stall study.
+func BenchmarkE6CausalHeartbeat(b *testing.B) {
+	runExperiment(b, experiments.E6CausalHeartbeat,
+		"hb=off/unfinished",
+		"hb=25ms/mean_latency_us",
+		"hb=500ms/mean_latency_us",
+	)
+}
+
+// BenchmarkE7Failover regenerates the availability-under-crash table.
+func BenchmarkE7Failover(b *testing.B) {
+	runExperiment(b, experiments.E7Availability,
+		"reliable/post_crash_commits",
+		"causal/post_crash_commits",
+		"atomic/post_crash_commits",
+	)
+}
+
+// BenchmarkE8BroadcastAblation regenerates the ordering and relay
+// ablations.
+func BenchmarkE8BroadcastAblation(b *testing.B) {
+	runExperiment(b, experiments.E8Ablation,
+		"order=sequencer/msgs_per_commit",
+		"order=isis/msgs_per_commit",
+		"relay=false/committed",
+		"relay=true/committed",
+	)
+}
+
+// --- substrate micro-benchmarks -------------------------------------------
+
+func BenchmarkLockAcquireRelease(b *testing.B) {
+	m := lockmgr.New()
+	keys := make([]message.Key, 64)
+	for i := range keys {
+		keys[i] = message.Key(fmt.Sprintf("k%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := message.TxnID{Site: 0, Seq: uint64(i + 1)}
+		for j := 0; j < 4; j++ {
+			m.Acquire(id, keys[(i*4+j)%64], lockmgr.Exclusive, false, nil)
+		}
+		m.ReleaseAll(id)
+	}
+}
+
+func BenchmarkLockContendedQueue(b *testing.B) {
+	m := lockmgr.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		holder := message.TxnID{Site: 0, Seq: uint64(2*i + 1)}
+		waiter := message.TxnID{Site: 1, Seq: uint64(2*i + 2)}
+		m.Acquire(holder, "hot", lockmgr.Exclusive, false, nil)
+		m.Acquire(waiter, "hot", lockmgr.Shared, true, func() {})
+		m.ReleaseAll(holder)
+		m.ReleaseAll(waiter)
+	}
+}
+
+func BenchmarkVClockCompare(b *testing.B) {
+	x := vclock.VC{4, 9, 2, 7, 1, 8, 3, 6}
+	y := vclock.VC{4, 9, 3, 7, 1, 8, 3, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Compare(y)
+	}
+}
+
+func BenchmarkVClockMerge(b *testing.B) {
+	x := vclock.New(8)
+	y := vclock.VC{4, 9, 3, 7, 1, 8, 3, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x.Merge(y)
+	}
+}
+
+func BenchmarkStoreApplyGet(b *testing.B) {
+	s := storage.New(nil)
+	val := message.Value("0123456789abcdef0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := message.Key(fmt.Sprintf("k%d", i%1024))
+		id := message.TxnID{Site: 0, Seq: uint64(i + 1)}
+		if err := s.Apply(id, []message.KV{{Key: key, Value: val}}, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := s.Get(key); !ok {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	w := storage.NewWAL(discard{})
+	rec := storage.Record{
+		Index: 1,
+		Txn:   message.TxnID{Site: 1, Seq: 2},
+		Writes: []message.KV{
+			{Key: "account:12345", Value: message.Value("0123456789abcdef0123456789abcdef")},
+			{Key: "account:67890", Value: message.Value("0123456789abcdef0123456789abcdef")},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Index = uint64(i + 1)
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(44 + 2*(8+13+32)))
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := metrics.NewHistogram(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+// BenchmarkBroadcastStack measures the full simulated broadcast pipeline:
+// one causal broadcast fanned to 4 peers, delivered everywhere.
+func BenchmarkBroadcastStack(b *testing.B) {
+	for _, class := range []message.Class{message.ClassReliable, message.ClassCausal, message.ClassAtomic} {
+		b.Run(class.String(), func(b *testing.B) {
+			const n = 5
+			c := sim.NewCluster(n, netsim.Fixed{Delay: time.Microsecond}, 1)
+			type node struct {
+				st    *broadcast.Stack
+				count int
+			}
+			nodes := make([]*node, n)
+			for i := 0; i < n; i++ {
+				nd := &node{}
+				nd.st = broadcast.New(c.Runtime(message.SiteID(i)), broadcast.Config{
+					Deliver: func(broadcast.Delivery) { nd.count++ },
+				})
+				nodes[i] = nd
+				c.Bind(message.SiteID(i), nodeAdapter{nd.st})
+			}
+			c.Start()
+			payload := &message.CausalNull{From: 0}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Schedule(0, func() { nodes[0].st.Broadcast(class, payload) })
+				if _, err := c.RunUntilIdle(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if nodes[1].count < b.N {
+				b.Fatalf("deliveries %d < %d", nodes[1].count, b.N)
+			}
+		})
+	}
+}
+
+type nodeAdapter struct{ st *broadcast.Stack }
+
+func (a nodeAdapter) Start() {}
+func (a nodeAdapter) Receive(from message.SiteID, m message.Message) {
+	a.st.Handle(from, m)
+}
+
+// BenchmarkE9Batching regenerates the deferred-write batching ablation.
+func BenchmarkE9Batching(b *testing.B) {
+	runExperiment(b, experiments.E9Batching,
+		"reliable/stream/msgs_per_commit",
+		"reliable/batch/msgs_per_commit",
+		"causal/stream/msgs_per_commit",
+		"causal/batch/msgs_per_commit",
+	)
+}
+
+// BenchmarkE10Quorum regenerates the quorum-vs-broadcast comparison.
+func BenchmarkE10Quorum(b *testing.B) {
+	runExperiment(b, experiments.E10Quorum,
+		"quorum/msgs_per_commit",
+		"causal/msgs_per_commit",
+		"quorum/ro_latency_us",
+		"quorum/detectorless_post_crash",
+		"reliable/detectorless_unfinished",
+	)
+}
+
+// BenchmarkE11SlowSite regenerates the straggler-gating comparison.
+func BenchmarkE11SlowSite(b *testing.B) {
+	runExperiment(b, experiments.E11SlowSite,
+		"reliable/slow_site_latency_ratio",
+		"causal/slow_site_latency_ratio",
+		"atomic/slow_site_latency_ratio",
+	)
+}
+
+// BenchmarkE12SnapshotReads regenerates the read-only read-path ablation.
+func BenchmarkE12SnapshotReads(b *testing.B) {
+	runExperiment(b, experiments.E12SnapshotReads,
+		"reliable/locking/ro_p99_us",
+		"reliable/snapshot/ro_p99_us",
+		"causal/locking/ro_p99_us",
+		"causal/snapshot/ro_p99_us",
+	)
+}

@@ -1,0 +1,137 @@
+// Command loadgen drives a running replicadb cluster (the real TCP
+// deployment) with concurrent clients over the line protocol and reports
+// wall-clock throughput and latency percentiles — the live-network
+// counterpart of the simulator-based benchrunner.
+//
+//	loadgen -addrs :8000,:8001,:8002 -clients 8 -duration 10s -write-pct 50
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type sample struct {
+	latency time.Duration
+	ok      bool
+	aborted bool
+	write   bool
+}
+
+func run() error {
+	addrsFlag := flag.String("addrs", "127.0.0.1:8000", "comma-separated replicadb client addresses")
+	clients := flag.Int("clients", 4, "concurrent clients per address")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	writePct := flag.Int("write-pct", 50, "percentage of requests that are writes")
+	keys := flag.Int("keys", 64, "key-space size")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	addrs := strings.Split(*addrsFlag, ",")
+	var wg sync.WaitGroup
+	results := make(chan sample, 4096)
+	stop := time.Now().Add(*duration)
+
+	for ai, addr := range addrs {
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(addr string, id int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(*seed + int64(id)))
+				conn, err := net.Dial("tcp", strings.TrimSpace(addr))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "client %d: dial %s: %v\n", id, addr, err)
+					return
+				}
+				defer conn.Close()
+				rd := bufio.NewReader(conn)
+				for time.Now().Before(stop) {
+					key := fmt.Sprintf("k%d", r.Intn(*keys))
+					var req string
+					isWrite := r.Intn(100) < *writePct
+					if isWrite {
+						req = fmt.Sprintf("SET %s=v%d", key, r.Int())
+					} else {
+						req = "GET " + key
+					}
+					start := time.Now()
+					if _, err := fmt.Fprintln(conn, req); err != nil {
+						return
+					}
+					line, err := rd.ReadString('\n')
+					if err != nil {
+						return
+					}
+					results <- sample{
+						latency: time.Since(start),
+						ok:      strings.HasPrefix(line, "OK"),
+						aborted: strings.HasPrefix(line, "ABORTED"),
+						write:   isWrite,
+					}
+				}
+			}(addr, ai*(*clients)+c)
+		}
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var all []sample
+	for s := range results {
+		all = append(all, s)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no requests completed — is the cluster up?")
+	}
+	report(all, *duration)
+	return nil
+}
+
+func report(all []sample, dur time.Duration) {
+	var reads, writes, oks, aborts int
+	var readLat, writeLat []time.Duration
+	for _, s := range all {
+		if s.ok {
+			oks++
+		}
+		if s.aborted {
+			aborts++
+		}
+		if s.write {
+			writes++
+			writeLat = append(writeLat, s.latency)
+		} else {
+			reads++
+			readLat = append(readLat, s.latency)
+		}
+	}
+	fmt.Printf("requests: %d (%d reads, %d writes) in %v\n", len(all), reads, writes, dur)
+	fmt.Printf("throughput: %.1f req/s | ok: %d | aborted: %d\n",
+		float64(len(all))/dur.Seconds(), oks, aborts)
+	for name, lats := range map[string][]time.Duration{"read": readLat, "write": writeLat} {
+		if len(lats) == 0 {
+			continue
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+		fmt.Printf("%-5s latency: p50=%v p95=%v p99=%v max=%v\n",
+			name, q(0.50).Round(10*time.Microsecond), q(0.95).Round(10*time.Microsecond),
+			q(0.99).Round(10*time.Microsecond), lats[len(lats)-1].Round(10*time.Microsecond))
+	}
+}

@@ -1,0 +1,53 @@
+// Command replicacli sends one command to a replicadb client port and
+// prints the response.
+//
+//	replicacli -addr :8000 SET user:1=ada balance=100
+//	replicacli -addr :8002 GET user:1 balance
+//	replicacli -addr :8000 STATS
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replicacli:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8000", "replicadb client address")
+	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("usage: replicacli -addr host:port COMMAND [args...]")
+	}
+	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(*timeout)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(conn, strings.Join(flag.Args(), " ")); err != nil {
+		return err
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return err
+	}
+	fmt.Print(line)
+	if strings.HasPrefix(line, "ERR") || strings.HasPrefix(line, "ABORTED") {
+		os.Exit(2)
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+// Command replicadb runs one replica of the broadcast-based replicated
+// database as a networked process: the chosen replication engine on top of
+// the TCP runtime, an optional write-ahead log, and a line-oriented client
+// port.
+//
+// A three-site cluster on one machine:
+//
+//	replicadb -id 0 -peers 0=:7000,1=:7001,2=:7002 -client :8000 -proto causal &
+//	replicadb -id 1 -peers 0=:7000,1=:7001,2=:7002 -client :8001 -proto causal &
+//	replicadb -id 2 -peers 0=:7000,1=:7001,2=:7002 -client :8002 -proto causal &
+//	replicacli -addr :8000 SET user:1=ada
+//	replicacli -addr :8002 GET user:1
+//
+// Client protocol (one request per line, one response line):
+//
+//	GET k1 [k2 ...]          read-only transaction
+//	SET k1=v1 [k2=v2 ...]    update transaction
+//	STATS                    engine counters
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/livenet"
+	"repro/internal/message"
+	"repro/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replicadb:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id        = flag.Int("id", 0, "site id")
+		peers     = flag.String("peers", "", "comma-separated id=host:port for every site")
+		proto     = flag.String("proto", "causal", "replication protocol: reliable|causal|atomic|baseline|quorum")
+		client    = flag.String("client", "", "client listen address (host:port)")
+		walPath   = flag.String("wal", "", "write-ahead log file (optional)")
+		heartbeat = flag.Duration("heartbeat", 25*time.Millisecond, "protocol C null-broadcast interval")
+		member    = flag.Bool("membership", false, "enable failure detection and majority views")
+		verbose   = flag.Bool("v", false, "log runtime diagnostics")
+	)
+	flag.Parse()
+
+	addrs, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	if _, ok := addrs[message.SiteID(*id)]; !ok {
+		return fmt.Errorf("own id %d missing from -peers", *id)
+	}
+
+	var logger *log.Logger
+	if *verbose {
+		logger = log.New(os.Stderr, "", log.Lmicroseconds)
+	}
+	host, err := livenet.New(livenet.Config{
+		ID:     message.SiteID(*id),
+		Addrs:  addrs,
+		Logger: logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ecfg := core.Config{Membership: *member}
+	if *walPath != "" {
+		f, ferr := os.OpenFile(*walPath, os.O_CREATE|os.O_RDWR, 0o644)
+		if ferr != nil {
+			return fmt.Errorf("open wal: %w", ferr)
+		}
+		defer f.Close()
+		w := storage.NewWAL(f)
+		w.Sync = f.Sync
+		// Replay any existing log so a restarted replica resumes from its
+		// durable state; appends continue on the same handle.
+		st, rerr := storage.Recover(f, w)
+		if rerr != nil {
+			return fmt.Errorf("recover wal: %w", rerr)
+		}
+		if st.Applied() > 0 {
+			log.Printf("site %d recovered %d keys up to commit index %d from %s",
+				*id, st.Len(), st.Applied(), *walPath)
+		}
+		ecfg.WAL = w
+		ecfg.InitialStore = st
+	}
+	var engine core.Engine
+	switch *proto {
+	case "reliable":
+		engine = core.NewReliable(host, ecfg)
+	case "causal":
+		ecfg.CausalHeartbeat = *heartbeat
+		engine = core.NewCausal(host, ecfg)
+	case "atomic":
+		engine = core.NewAtomic(host, ecfg)
+	case "baseline":
+		engine = core.NewBaseline(host, ecfg)
+	case "quorum":
+		engine = core.NewQuorum(host, ecfg)
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+	host.Bind(engine)
+	if err := host.Start(); err != nil {
+		return err
+	}
+	defer host.Close()
+	log.Printf("site %d serving %s replication on %s", *id, *proto, host.Addr())
+
+	if *client != "" {
+		ln, lerr := net.Listen("tcp", *client)
+		if lerr != nil {
+			return fmt.Errorf("client listen: %w", lerr)
+		}
+		defer ln.Close()
+		log.Printf("site %d client port on %s", *id, ln.Addr())
+		go serveClients(ln, host, engine)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("site %d shutting down", *id)
+	return nil
+}
+
+func parsePeers(s string) (map[message.SiteID]string, error) {
+	out := make(map[message.SiteID]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %w", id, err)
+		}
+		out[message.SiteID(n)] = addr
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-peers is required")
+	}
+	return out, nil
+}
+
+func serveClients(ln net.Listener, host *livenet.Host, engine core.Engine) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go handleClient(conn, host, engine)
+	}
+}
+
+func handleClient(conn net.Conn, host *livenet.Host, engine core.Engine) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		resp := execute(host, engine, sc.Text())
+		if _, err := fmt.Fprintln(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// execute runs one client command line against the engine.
+func execute(host *livenet.Host, engine core.Engine, line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty command"
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "GET":
+		if len(fields) < 2 {
+			return "ERR GET needs at least one key"
+		}
+		spec := livenet.TxnSpec{ReadOnly: true}
+		for _, k := range fields[1:] {
+			spec.Reads = append(spec.Reads, message.Key(k))
+		}
+		res, err := livenet.ExecuteTxn(host, engine, spec, 10*time.Second)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		if !res.Committed {
+			return "ABORTED " + res.Reason
+		}
+		parts := make([]string, 0, len(spec.Reads))
+		for _, k := range spec.Reads {
+			v := res.Values[k]
+			if v == nil {
+				parts = append(parts, string(k)+"=<nil>")
+				continue
+			}
+			parts = append(parts, fmt.Sprintf("%s=%s", k, v))
+		}
+		return "OK " + strings.Join(parts, " ")
+	case "SET":
+		if len(fields) < 2 {
+			return "ERR SET needs at least one k=v"
+		}
+		spec := livenet.TxnSpec{}
+		for _, kv := range fields[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Sprintf("ERR bad pair %q", kv)
+			}
+			spec.Writes = append(spec.Writes, message.KV{Key: message.Key(k), Value: message.Value(v)})
+		}
+		res, err := livenet.ExecuteTxn(host, engine, spec, 10*time.Second)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		if !res.Committed {
+			return "ABORTED " + res.Reason
+		}
+		return "OK committed"
+	case "STATS":
+		var s *core.Stats
+		var keys int
+		host.Do(func() {
+			s = engine.Stats()
+			keys = engine.Store().Len()
+		})
+		sent, recv, dropped := host.Counters()
+		return fmt.Sprintf("OK begun=%d committed=%d ro=%d aborted=%d keys=%d sent=%d recv=%d dropped=%d",
+			s.Begun, s.Committed, s.ReadOnlyCommitted, s.Aborted, keys, sent, recv, dropped)
+	default:
+		return fmt.Sprintf("ERR unknown command %q", fields[0])
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/livenet"
+	"repro/internal/message"
+)
+
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("0=127.0.0.1:7000, 2=host:7002,5=:7005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[message.SiteID]string{0: "127.0.0.1:7000", 2: "host:7002", 5: ":7005"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for id, addr := range want {
+		if got[id] != addr {
+			t.Fatalf("peer %v = %q, want %q", id, got[id], addr)
+		}
+	}
+	for _, bad := range []string{"", "0:missing-eq", "x=addr"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Fatalf("parsePeers(%q) should fail", bad)
+		}
+	}
+}
+
+// newTestReplica boots an in-process single-host cluster backing the client
+// protocol handler.
+func newTestReplica(t *testing.T, n int) ([]*livenet.Host, []core.Engine) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make(map[message.SiteID]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[message.SiteID(i)] = ln.Addr().String()
+	}
+	hosts := make([]*livenet.Host, n)
+	engines := make([]core.Engine, n)
+	for i := 0; i < n; i++ {
+		h, err := livenet.New(livenet.Config{ID: message.SiteID(i), Addrs: addrs, Listener: listeners[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := core.NewCausal(h, core.Config{CausalHeartbeat: 20 * time.Millisecond})
+		h.Bind(e)
+		hosts[i] = h
+		engines[i] = e
+	}
+	for _, h := range hosts {
+		if err := h.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, h := range hosts {
+			h.Close()
+		}
+	})
+	return hosts, engines
+}
+
+func TestClientProtocolExecute(t *testing.T) {
+	hosts, engines := newTestReplica(t, 3)
+
+	if resp := execute(hosts[0], engines[0], "SET a=1 b=2"); resp != "OK committed" {
+		t.Fatalf("SET: %q", resp)
+	}
+	if resp := execute(hosts[0], engines[0], "GET a b missing"); resp != "OK a=1 b=2 missing=<nil>" {
+		t.Fatalf("GET: %q", resp)
+	}
+	if resp := execute(hosts[0], engines[0], "STATS"); !strings.HasPrefix(resp, "OK begun=") {
+		t.Fatalf("STATS: %q", resp)
+	}
+	// Replication: the value becomes readable at another site.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := execute(hosts[2], engines[2], "GET a")
+		if resp == "OK a=1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("remote GET never converged: %q", resp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Error paths.
+	for _, bad := range []string{"", "GET", "SET", "SET noequals", "NOPE x"} {
+		if resp := execute(hosts[0], engines[0], bad); !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("execute(%q) = %q, want ERR", bad, resp)
+		}
+	}
+}

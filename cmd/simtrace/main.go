@@ -1,0 +1,169 @@
+// Command simtrace runs a small simulated workload with per-site event
+// logging enabled and dumps the trace — the fastest way to watch the
+// protocols exchange messages, or to debug a change to one of them.
+//
+//	simtrace -proto causal -sites 3 -txns 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/message"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	proto := flag.String("proto", "causal", "protocol: reliable|causal|atomic|baseline|quorum")
+	sites := flag.Int("sites", 3, "cluster size")
+	txns := flag.Int("txns", 4, "transactions to run")
+	seed := flag.Int64("seed", 1, "seed")
+	mermaid := flag.Bool("mermaid", false, "emit a Mermaid sequence diagram instead of a text trace")
+	maxMsgs := flag.Int("max-msgs", 120, "cap on diagram messages")
+	flag.Parse()
+
+	cluster := sim.NewCluster(*sites, netsim.Fixed{Delay: time.Millisecond}, *seed)
+	var diagram []string
+	if *mermaid {
+		cluster.OnDeliver = func(from, to message.SiteID, m message.Message, at time.Duration) {
+			if len(diagram) >= *maxMsgs {
+				return
+			}
+			diagram = append(diagram, fmt.Sprintf("    s%d->>s%d: %s", from, to, describe(m)))
+		}
+	} else {
+		cluster.LogWriter = os.Stdout
+	}
+
+	cfg := core.Config{}
+	if *proto == harness.ProtoCausal {
+		cfg.CausalHeartbeat = 50 * time.Millisecond
+	}
+	engines := make([]core.Engine, *sites)
+	for i := 0; i < *sites; i++ {
+		rt := cluster.Runtime(message.SiteID(i))
+		var e core.Engine
+		switch *proto {
+		case harness.ProtoReliable:
+			e = core.NewReliable(rt, cfg)
+		case harness.ProtoCausal:
+			e = core.NewCausal(rt, cfg)
+		case harness.ProtoAtomic:
+			e = core.NewAtomic(rt, cfg)
+		case harness.ProtoBaseline:
+			e = core.NewBaseline(rt, cfg)
+		case "quorum":
+			e = core.NewQuorum(rt, cfg)
+		default:
+			return fmt.Errorf("unknown protocol %q", *proto)
+		}
+		engines[i] = e
+		cluster.Bind(message.SiteID(i), e)
+	}
+	cluster.Start()
+
+	txs, err := workload.Generate(workload.Spec{
+		Sites: *sites, Count: *txns, Window: time.Duration(*txns) * 100 * time.Millisecond,
+		Keys: 8, ReadsPerTxn: 1, WritesPerTxn: 1, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	narrate := func(format string, args ...any) {
+		if !*mermaid {
+			fmt.Printf(format, args...)
+		}
+	}
+	for i, wt := range txs {
+		i, wt := i, wt
+		cluster.Schedule(wt.At, func() {
+			e := engines[wt.Site]
+			tx := e.Begin(false)
+			narrate("%10v %v | client: begin txn %d (%v)\n", cluster.Now(), wt.Site, i, tx.ID)
+			if *mermaid {
+				diagram = append(diagram, fmt.Sprintf("    Note over s%d: begin %v", wt.Site, tx.ID))
+			}
+			for _, w := range wt.Writes {
+				if err := e.Write(tx, w.Key, w.Value); err != nil {
+					narrate("%10v %v | client: txn %d write error: %v\n", cluster.Now(), wt.Site, i, err)
+					return
+				}
+				narrate("%10v %v | client: txn %d write %s\n", cluster.Now(), wt.Site, i, w.Key)
+			}
+			e.Commit(tx, func(o core.Outcome, r core.AbortReason) {
+				narrate("%10v %v | client: txn %d %v (%v)\n", cluster.Now(), wt.Site, i, o, r)
+				if *mermaid && len(diagram) < *maxMsgs+8 {
+					diagram = append(diagram, fmt.Sprintf("    Note over s%d: %v %v", wt.Site, tx.ID, o))
+				}
+			})
+		})
+	}
+	if _, err := cluster.Run(30 * time.Second); err != nil {
+		return err
+	}
+	if *mermaid {
+		fmt.Println("sequenceDiagram")
+		for i := 0; i < *sites; i++ {
+			fmt.Printf("    participant s%d\n", i)
+		}
+		for _, line := range diagram {
+			fmt.Println(line)
+		}
+		return nil
+	}
+	st := cluster.Stats()
+	fmt.Printf("\ntotal: %d messages, %d bytes\n", st.Messages, st.Bytes)
+	for kind, n := range st.ByKind {
+		fmt.Printf("  %-14v %d\n", kind, n)
+	}
+	return nil
+}
+
+// describe renders a message for the sequence diagram, unwrapping
+// broadcast envelopes.
+func describe(m message.Message) string {
+	if b, ok := m.(*message.Bcast); ok {
+		tag := ""
+		if b.Relayed {
+			tag = " (relay)"
+		}
+		return fmt.Sprintf("%s[%v %d]%s: %s", b.Class, b.Origin, b.Seq, tag, describe(b.Payload))
+	}
+	switch t := m.(type) {
+	case *message.WriteReq:
+		return fmt.Sprintf("WriteReq %v %s", t.Txn, t.Key)
+	case *message.WriteAck:
+		if t.OK {
+			return fmt.Sprintf("WriteAck %v ok", t.Txn)
+		}
+		return fmt.Sprintf("WriteAck %v NACK", t.Txn)
+	case *message.Vote:
+		return fmt.Sprintf("Vote %v %v", t.Txn, t.Yes)
+	case *message.VoteReq:
+		return fmt.Sprintf("VoteReq %v", t.Txn)
+	case *message.Decision:
+		if t.Commit {
+			return fmt.Sprintf("Decision %v commit", t.Txn)
+		}
+		return fmt.Sprintf("Decision %v abort", t.Txn)
+	case *message.CommitReq:
+		return fmt.Sprintf("CommitReq %v", t.Txn)
+	case *message.SeqOrder:
+		return fmt.Sprintf("SeqOrder %d entries", len(t.Entries))
+	default:
+		return t.Kind().String()
+	}
+}

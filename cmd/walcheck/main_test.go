@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/storage"
+)
+
+// writeWAL materializes a log of the given records.
+func writeWAL(t *testing.T, path string, recs []storage.Record) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := storage.NewWAL(f)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func txn(site, seq int) message.TxnID {
+	return message.TxnID{Site: message.SiteID(site), Seq: uint64(seq)}
+}
+
+func rec(idx uint64, id message.TxnID, kvs ...string) storage.Record {
+	r := storage.Record{Index: idx, Txn: id}
+	for i := 0; i+1 < len(kvs); i += 2 {
+		r.Writes = append(r.Writes, message.KV{Key: message.Key(kvs[i]), Value: message.Value(kvs[i+1])})
+	}
+	return r
+}
+
+// buildWalcheck compiles the tool once per test run.
+func buildWalcheck(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "walcheck")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestWalcheckConsistentAndDivergent(t *testing.T) {
+	bin := buildWalcheck(t)
+	dir := t.TempDir()
+
+	// Consistent pair: site 1 lags (prefix).
+	a := filepath.Join(dir, "a.wal")
+	b := filepath.Join(dir, "b.wal")
+	writeWAL(t, a, []storage.Record{
+		rec(1, txn(0, 1), "x", "1"),
+		rec(2, txn(1, 1), "x", "2", "y", "1"),
+	})
+	writeWAL(t, b, []storage.Record{
+		rec(1, txn(0, 1), "x", "1"),
+	})
+	out, err := exec.Command(bin, "-v", a, b).CombinedOutput()
+	if err != nil {
+		t.Fatalf("consistent logs rejected: %v\n%s", err, out)
+	}
+
+	// Divergent pair: opposite apply orders for x.
+	c := filepath.Join(dir, "c.wal")
+	d := filepath.Join(dir, "d.wal")
+	writeWAL(t, c, []storage.Record{
+		rec(1, txn(0, 1), "x", "1"),
+		rec(2, txn(1, 1), "x", "2"),
+	})
+	writeWAL(t, d, []storage.Record{
+		rec(1, txn(1, 1), "x", "2"),
+		rec(2, txn(0, 1), "x", "1"),
+	})
+	out, err = exec.Command(bin, c, d).CombinedOutput()
+	if err == nil {
+		t.Fatalf("divergent logs accepted:\n%s", out)
+	}
+
+	// Unreadable path.
+	if _, err := exec.Command(bin, filepath.Join(dir, "missing.wal")).CombinedOutput(); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

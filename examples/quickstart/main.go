@@ -1,0 +1,64 @@
+// Command quickstart is the smallest end-to-end tour of the library: build
+// a simulated 3-site replicated database, commit an update transaction at
+// one site, read it back at another, and inspect the traffic the protocol
+// generated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 3-site cluster replicating with the paper's causal-broadcast
+	// protocol (implicit acknowledgements). Try Protocol: repro.Reliable,
+	// repro.Atomic, or repro.Baseline to compare.
+	cluster, err := repro.New(repro.Options{
+		Sites:    3,
+		Protocol: repro.Causal,
+		Verify:   true,
+	})
+	if err != nil {
+		return err
+	}
+
+	// An update transaction at site 0: reads execute first (the paper's
+	// execution model), then writes, then the commit protocol runs.
+	res, err := cluster.Submit(0, repro.NewTxn().
+		Write("user:42:name", []byte("Ada Lovelace")).
+		Write("user:42:role", []byte("analyst")))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("update at site 0: committed=%v latency=%v\n", res.Committed, res.Latency)
+
+	// A read-only transaction at site 2 sees the replicated state.
+	// Read-only transactions never broadcast and are never aborted.
+	read, err := cluster.Submit(2, repro.ReadOnlyTxn().
+		Read("user:42:name").
+		Read("user:42:role"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read at site 2:  name=%q role=%q latency=%v\n",
+		read.Values["user:42:name"], read.Values["user:42:role"], read.Latency)
+
+	// The execution checker proves the run was one-copy serializable and
+	// all replicas applied writes in the same order.
+	if err := cluster.Check(); err != nil {
+		return fmt.Errorf("consistency check: %w", err)
+	}
+	fmt.Println("execution verified: one-copy serializable, replicas consistent")
+
+	net := cluster.Network()
+	fmt.Printf("network traffic: %d messages, %d bytes\n", net.Messages, net.Bytes)
+	return nil
+}

@@ -1,0 +1,220 @@
+package broadcast
+
+import (
+	"sort"
+
+	"repro/internal/message"
+	"repro/internal/vclock"
+)
+
+// isisState implements the ISIS-style agreed-timestamp total-order
+// broadcast: every receiver proposes a Lamport timestamp for the message,
+// the origin fixes the maximum proposal as the final timestamp, and sites
+// deliver messages in final-timestamp order once no undecided message can
+// precede them.
+type isisState struct {
+	s     *Stack
+	clock vclock.Lamport
+	pend  map[pair]*isisMsg
+}
+
+type isisMsg struct {
+	b         *message.Bcast
+	myProp    uint64 // this site's proposal (lower bound on the final ts)
+	final     bool
+	ts        uint64
+	proposals map[message.SiteID]uint64 // collected by the origin only
+}
+
+func newIsisState(s *Stack) *isisState {
+	return &isisState{s: s, pend: make(map[pair]*isisMsg)}
+}
+
+// accept runs when the payload of an atomic broadcast arrives (including
+// the origin's own). The site proposes a timestamp and reports it to the
+// origin.
+func (is *isisState) accept(b *message.Bcast) {
+	p := pair{b.Origin, b.Seq}
+	m := is.pend[p]
+	if m == nil {
+		m = &isisMsg{}
+		is.pend[p] = m
+	}
+	if m.b != nil {
+		return // duplicate payload
+	}
+	m.b = b
+	if m.final {
+		// The final timestamp outran the payload; now deliverable.
+		is.drain()
+		return
+	}
+	prop := is.clock.Tick()
+	m.myProp = prop
+	pm := &message.IsisPropose{Origin: b.Origin, Seq: b.Seq, Proposer: is.s.rt.ID(), TS: prop}
+	if b.Origin == is.s.rt.ID() {
+		is.handlePropose(pm)
+	} else {
+		is.s.rt.Send(b.Origin, pm)
+	}
+}
+
+// handlePropose runs at the origin, collecting proposals until every
+// current view member has answered.
+func (is *isisState) handlePropose(pm *message.IsisPropose) {
+	p := pair{pm.Origin, pm.Seq}
+	m := is.pend[p]
+	if m == nil || m.b == nil || m.final {
+		// Either not the origin's pending message anymore or already
+		// finalized; late proposals are harmless.
+		if m == nil {
+			m = &isisMsg{proposals: map[message.SiteID]uint64{}}
+			is.pend[p] = m
+		}
+	}
+	if m.proposals == nil {
+		m.proposals = make(map[message.SiteID]uint64)
+	}
+	m.proposals[pm.Proposer] = pm.TS
+	is.maybeFinalize(p, m)
+}
+
+// Recheck re-evaluates proposal completeness after a view change shrank the
+// member set, so in-flight orderings by this origin can finalize without
+// the departed sites.
+func (is *isisState) Recheck() {
+	for p, m := range is.pend {
+		if m.b != nil && m.b.Origin == is.s.rt.ID() && !m.final {
+			is.maybeFinalize(p, m)
+		}
+	}
+}
+
+func (is *isisState) maybeFinalize(p pair, m *isisMsg) {
+	if m.final || m.b == nil || m.b.Origin != is.s.rt.ID() {
+		return
+	}
+	var ts uint64
+	var tie message.SiteID
+	for _, member := range is.s.cfg.Members() {
+		prop, ok := m.proposals[member]
+		if !ok {
+			return // still waiting
+		}
+		if prop > ts || (prop == ts && member > tie) {
+			ts, tie = prop, member
+		}
+	}
+	fm := &message.IsisFinal{Origin: p.origin, Seq: p.seq, TS: ts, Tie: tie}
+	for _, peer := range is.s.rt.Peers() {
+		if peer == is.s.rt.ID() {
+			continue
+		}
+		is.s.rt.Send(peer, fm)
+	}
+	is.handleFinal(fm)
+}
+
+// handleFinal fixes a message's agreed timestamp at a receiver.
+func (is *isisState) handleFinal(fm *message.IsisFinal) {
+	p := pair{fm.Origin, fm.Seq}
+	m := is.pend[p]
+	if m == nil {
+		m = &isisMsg{}
+		is.pend[p] = m
+	}
+	if m.final {
+		return
+	}
+	m.final = true
+	m.ts = fm.TS
+	is.clock.Observe(fm.TS)
+	is.drain()
+}
+
+// isisKey orders delivered messages: final timestamp, then origin, then
+// sequence. Identical at all sites.
+type isisKey struct {
+	ts     uint64
+	origin message.SiteID
+	seq    uint64
+}
+
+func keyLess(a, b isisKey) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
+	}
+	return a.seq < b.seq
+}
+
+// drain delivers every final message that no undecided message can precede.
+func (is *isisState) drain() {
+	for {
+		// Find the minimal deliverable final message and the minimal lower
+		// bound among undecided messages.
+		var best pair
+		var bestKey isisKey
+		haveBest := false
+		blocked := false
+		var blockKey isisKey
+		for p, m := range is.pend {
+			if m.final && m.b != nil {
+				k := isisKey{m.ts, p.origin, p.seq}
+				if !haveBest || keyLess(k, bestKey) {
+					best, bestKey, haveBest = p, k, true
+				}
+				continue
+			}
+			// Undecided: its eventual key is at least (myProp, origin, seq);
+			// a message whose payload or proposal we lack blocks everything
+			// ordered after timestamp 0, i.e. we can only deliver messages
+			// with strictly smaller keys.
+			lower := isisKey{m.myProp, p.origin, p.seq}
+			if m.b == nil {
+				lower = isisKey{m.ts, p.origin, p.seq} // final known, payload missing
+			}
+			if !blocked || keyLess(lower, blockKey) {
+				blocked, blockKey = true, lower
+			}
+		}
+		if !haveBest {
+			return
+		}
+		if blocked && !keyLess(bestKey, blockKey) {
+			return
+		}
+		m := is.pend[best]
+		delete(is.pend, best)
+		// Also clear the shared atomic buffers so AtomicPending stays
+		// accurate.
+		delete(is.s.apayload, best)
+		idx := is.s.anext
+		is.s.anext++
+		is.s.deliver(Delivery{
+			Class:   message.ClassAtomic,
+			Origin:  best.origin,
+			Seq:     best.seq,
+			Index:   idx,
+			Payload: m.b.Payload,
+		})
+	}
+}
+
+// pendingKeys returns the undelivered message identifiers in a stable
+// order, for diagnostics.
+func (is *isisState) pendingKeys() []pair {
+	out := make([]pair, 0, len(is.pend))
+	for p := range is.pend {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].origin != out[j].origin {
+			return out[i].origin < out[j].origin
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}

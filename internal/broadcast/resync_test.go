@@ -1,0 +1,159 @@
+package broadcast
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/netsim"
+)
+
+// TestSkipToFastForwards checks that a state-transferred site resumes the
+// atomic stream past the snapshot index.
+func TestSkipToFastForwards(t *testing.T) {
+	c, nodes := makeCluster(t, 3, netsim.Fixed{Delay: time.Millisecond}, AtomicSequencer, false, 41)
+	// Deliver 5 ordered messages everywhere.
+	for i := 1; i <= 5; i++ {
+		i := i
+		c.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+			nodes[1].st.Broadcast(message.ClassAtomic, payload(1, i))
+		})
+	}
+	runIdle(t, c)
+	if got := nodes[2].st.NextAtomicIndex(); got != 6 {
+		t.Fatalf("next index = %d", got)
+	}
+	// A hypothetical rejoiner skips to 4: indices 4,5 remain deliverable
+	// via retransmission, 1-3 are covered by the snapshot.
+	fresh, freshNodes := makeCluster(t, 3, netsim.Fixed{Delay: time.Millisecond}, AtomicSequencer, false, 42)
+	freshNodes[2].st.SkipTo(4)
+	if got := freshNodes[2].st.NextAtomicIndex(); got != 4 {
+		t.Fatalf("skip-to next = %d", got)
+	}
+	// Retransmit indices 4..5 from a caught-up site into the skipped one.
+	for i := 1; i <= 5; i++ {
+		i := i
+		fresh.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+			freshNodes[1].st.Broadcast(message.ClassAtomic, payload(1, i))
+		})
+	}
+	runIdle(t, fresh)
+	// freshNodes[2] received everything live; it delivered only 4,5.
+	if len(freshNodes[2].got) != 2 {
+		t.Fatalf("skipped site delivered %d, want 2", len(freshNodes[2].got))
+	}
+	for i, d := range freshNodes[2].got {
+		if d.Index != uint64(4+i) {
+			t.Fatalf("delivery %d has index %d", i, d.Index)
+		}
+	}
+}
+
+// TestGapDetectionAndRetransmit drops the ordering messages to one site and
+// verifies Gap reports the hole and Retransmit repairs it.
+func TestGapDetectionAndRetransmit(t *testing.T) {
+	const n = 3
+	c, nodes := makeCluster(t, n, netsim.Fixed{Delay: time.Millisecond}, AtomicSequencer, false, 43)
+	// Cut site 2 off while two messages are ordered.
+	c.Schedule(0, func() { c.Partition([]message.SiteID{0, 1}, []message.SiteID{2}) })
+	c.Schedule(10*time.Millisecond, func() { nodes[1].st.Broadcast(message.ClassAtomic, payload(1, 1)) })
+	c.Schedule(20*time.Millisecond, func() { nodes[1].st.Broadcast(message.ClassAtomic, payload(1, 2)) })
+	c.Schedule(40*time.Millisecond, func() { c.Heal() })
+	// After healing, a third message reaches site 2 — but it cannot be
+	// delivered over the hole left by the first two.
+	c.Schedule(50*time.Millisecond, func() { nodes[1].st.Broadcast(message.ClassAtomic, payload(1, 3)) })
+	runIdle(t, c)
+	if len(nodes[2].got) != 0 {
+		t.Fatalf("site 2 delivered %d before repair", len(nodes[2].got))
+	}
+	gapAt, ok := nodes[2].st.Gap()
+	if !ok || gapAt != 1 {
+		t.Fatalf("gap = (%d,%v), want (1,true)", gapAt, ok)
+	}
+	// Any caught-up site can serve the retransmission from its history.
+	c.Schedule(0, func() {
+		if sent := nodes[0].st.Retransmit(2, gapAt); sent != 3 {
+			t.Errorf("retransmit sent %d, want 3", sent)
+		}
+	})
+	runIdle(t, c)
+	if len(nodes[2].got) != 3 {
+		t.Fatalf("site 2 delivered %d after repair, want 3", len(nodes[2].got))
+	}
+	if _, still := nodes[2].st.Gap(); still {
+		t.Fatal("gap persists after repair")
+	}
+}
+
+// TestRetransmitBelowRetention reports zero when the request predates the
+// retained history, signalling the caller to fall back to a snapshot.
+func TestRetransmitBelowRetention(t *testing.T) {
+	c, nodes := makeCluster(t, 2, netsim.Fixed{Delay: time.Millisecond}, AtomicSequencer, false, 44)
+	nodes[0].st.HistoryRetention = 4
+	for i := 1; i <= 10; i++ {
+		i := i
+		c.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+			nodes[0].st.Broadcast(message.ClassAtomic, payload(0, i))
+		})
+	}
+	runIdle(t, c)
+	c.Schedule(0, func() {
+		if sent := nodes[0].st.Retransmit(1, 1); sent != 0 {
+			t.Errorf("retransmit below retention sent %d, want 0", sent)
+		}
+		if sent := nodes[0].st.Retransmit(1, 8); sent != 3 {
+			t.Errorf("retransmit within retention sent %d, want 3", sent)
+		}
+	})
+	runIdle(t, c)
+}
+
+// TestHistoryBounded ensures retention trimming holds under load.
+func TestHistoryBounded(t *testing.T) {
+	c, nodes := makeCluster(t, 2, netsim.Fixed{Delay: time.Millisecond}, AtomicSequencer, false, 45)
+	for _, nd := range nodes {
+		nd.st.HistoryRetention = 16
+	}
+	for i := 1; i <= 200; i++ {
+		i := i
+		c.Schedule(time.Duration(i)*time.Millisecond, func() {
+			nodes[0].st.Broadcast(message.ClassAtomic, payload(0, i))
+		})
+	}
+	runIdle(t, c)
+	if got := len(nodes[1].st.history); got > 16 {
+		t.Fatalf("history grew to %d", got)
+	}
+	if fmt.Sprint(nodes[1].st) == "" {
+		t.Fatal("stringer empty")
+	}
+}
+
+// TestIsisViewShrinkUnblocksFinalization: an ISIS origin waiting on a dead
+// member's proposal finalizes after the member set shrinks and Recheck
+// runs.
+func TestIsisViewShrinkUnblocksFinalization(t *testing.T) {
+	c, nodes := makeCluster(t, 3, netsim.Fixed{Delay: time.Millisecond}, AtomicIsis, false, 47)
+	members := []message.SiteID{0, 1, 2}
+	for _, nd := range nodes {
+		nd.st.cfg.Members = func() []message.SiteID { return members }
+	}
+	c.Schedule(0, func() { c.Crash(2) })
+	c.Schedule(time.Millisecond, func() {
+		nodes[0].st.Broadcast(message.ClassAtomic, payload(0, 1))
+	})
+	runIdle(t, c)
+	if len(nodes[0].got) != 0 {
+		t.Fatal("delivered before the dead member's proposal could be excluded")
+	}
+	c.Schedule(0, func() {
+		members = []message.SiteID{0, 1}
+		nodes[0].st.OnViewChange()
+		nodes[1].st.OnViewChange()
+	})
+	runIdle(t, c)
+	if len(nodes[0].got) != 1 || len(nodes[1].got) != 1 {
+		t.Fatalf("survivors delivered %d/%d, want 1/1", len(nodes[0].got), len(nodes[1].got))
+	}
+}

@@ -1,0 +1,578 @@
+// Package broadcast implements the four broadcast primitives the paper's
+// replication protocols are built on:
+//
+//   - reliable broadcast — validity, agreement, integrity; no ordering
+//     across senders (optionally with eager relay to mask sender failure
+//     and message loss),
+//   - FIFO broadcast — per-sender delivery order,
+//   - causal broadcast — delivery respects potential causality, and the
+//     vector clocks are exposed to the application (the causal replication
+//     protocol mines them for implicit acknowledgements),
+//   - atomic (total-order) broadcast — all sites deliver in one global
+//     order; two interchangeable implementations are provided, a
+//     fixed-sequencer protocol and an ISIS-style agreed-timestamp protocol.
+//
+// The stack is a deterministic state machine: it never blocks, never spawns
+// goroutines, and produces deliveries through a callback.
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/env"
+	"repro/internal/message"
+	"repro/internal/vclock"
+)
+
+// Delivery is one message handed up to the application in class order.
+type Delivery struct {
+	Class   message.Class
+	Origin  message.SiteID
+	Seq     uint64 // per-origin sequence number within the class
+	VC      vclock.VC
+	Index   uint64 // total-order index; atomic class only
+	Payload message.Message
+}
+
+// AtomicMode selects the total-order broadcast implementation.
+type AtomicMode int
+
+// The available atomic broadcast implementations.
+const (
+	// AtomicSequencer routes ordering through a fixed sequencer (the lowest
+	// site in the current view): one extra message hop per broadcast.
+	AtomicSequencer AtomicMode = iota + 1
+	// AtomicIsis uses the ISIS agreed-timestamp protocol: every receiver
+	// proposes a Lamport timestamp, the origin fixes the maximum.
+	AtomicIsis
+)
+
+// Config parameterizes a Stack.
+type Config struct {
+	// Deliver receives messages in delivery order. Required.
+	Deliver func(Delivery)
+	// Relay enables eager relaying: the first time a site receives a
+	// broadcast it forwards a copy to all other sites, masking origin
+	// failure mid-broadcast and independent message loss.
+	Relay bool
+	// Atomic selects the total-order implementation. Defaults to
+	// AtomicSequencer.
+	Atomic AtomicMode
+	// Members returns the current view membership. The sequencer identity
+	// and the ISIS proposal quorum follow it. Defaults to all peers.
+	Members func() []message.SiteID
+}
+
+// Stack is one site's broadcast endpoint.
+type Stack struct {
+	rt  env.Runtime
+	cfg Config
+
+	sendSeq map[message.Class]uint64
+	seen    map[dedupKey]bool
+
+	// FIFO: next expected per-origin sequence and held-back messages.
+	fifoNext map[message.SiteID]uint64
+	fifoHold map[message.SiteID]map[uint64]*message.Bcast
+
+	// Causal: delivered-count vector and pending queue.
+	cvc   vclock.VC
+	cpend []*message.Bcast
+
+	// Atomic, shared: buffered payloads and the assigned global order.
+	apayload  map[pair]*message.Bcast
+	aorder    map[uint64]pair // index -> message
+	aindexed  map[pair]uint64 // message -> index (sequencer mode)
+	anext     uint64          // next index to deliver
+	ahighSeen uint64          // highest index heard of (for sequencer failover)
+
+	// Atomic, sequencer mode: indices this site has assigned when acting as
+	// the sequencer.
+	seqNextIndex uint64
+	// history retains recently delivered atomic broadcasts by index so any
+	// site can serve retransmissions to a resynchronizing peer.
+	history     map[uint64]*message.Bcast
+	historyLow  uint64 // lowest retained index
+	historyHigh uint64 // highest delivered index
+
+	// Atomic, ISIS mode.
+	isis *isisState
+
+	// Deliveries counts per-class deliveries, a cheap local metric.
+	Deliveries map[message.Class]int64
+
+	// HistoryRetention caps how many delivered atomic broadcasts are kept
+	// for retransmission (default 8192; 0 disables retention).
+	HistoryRetention int
+}
+
+type dedupKey struct {
+	class  message.Class
+	origin message.SiteID
+	seq    uint64
+}
+
+type pair struct {
+	origin message.SiteID
+	seq    uint64
+}
+
+// New creates a broadcast stack on rt.
+func New(rt env.Runtime, cfg Config) *Stack {
+	if cfg.Deliver == nil {
+		panic("broadcast: Config.Deliver is required")
+	}
+	if cfg.Atomic == 0 {
+		cfg.Atomic = AtomicSequencer
+	}
+	if cfg.Members == nil {
+		cfg.Members = rt.Peers
+	}
+	n := len(rt.Peers())
+	s := &Stack{
+		rt:         rt,
+		cfg:        cfg,
+		sendSeq:    make(map[message.Class]uint64),
+		seen:       make(map[dedupKey]bool),
+		fifoNext:   make(map[message.SiteID]uint64),
+		fifoHold:   make(map[message.SiteID]map[uint64]*message.Bcast),
+		cvc:        vclock.New(n),
+		apayload:   make(map[pair]*message.Bcast),
+		aorder:     make(map[uint64]pair),
+		aindexed:   make(map[pair]uint64),
+		anext:      1,
+		history:    make(map[uint64]*message.Bcast),
+		historyLow: 1,
+		Deliveries: make(map[message.Class]int64),
+
+		HistoryRetention: 8192,
+	}
+	s.isis = newIsisState(s)
+	return s
+}
+
+// Sequencer returns the site currently responsible for assigning the total
+// order: the lowest member of the current view.
+func (s *Stack) Sequencer() message.SiteID {
+	members := s.cfg.Members()
+	if len(members) == 0 {
+		return s.rt.ID()
+	}
+	low := members[0]
+	for _, m := range members[1:] {
+		if m < low {
+			low = m
+		}
+	}
+	return low
+}
+
+// Broadcast sends payload to every site (including this one) with the
+// delivery guarantees of class. It returns the per-origin sequence number
+// assigned to the message, which the causal replication protocol uses to
+// match implicit acknowledgements.
+func (s *Stack) Broadcast(class message.Class, payload message.Message) uint64 {
+	s.sendSeq[class]++
+	seq := s.sendSeq[class]
+	b := &message.Bcast{Class: class, Origin: s.rt.ID(), Seq: seq, Payload: payload}
+	if class == message.ClassCausal {
+		// Stamp with the sender's causal history: entries for peers reflect
+		// deliveries, the own entry is the send sequence number.
+		vc := s.cvc.Clone()
+		vc = vc.Set(int(s.rt.ID()), seq)
+		b.VC = vc
+	}
+	s.seen[dedupKey{class, b.Origin, seq}] = true
+	for _, p := range s.rt.Peers() {
+		if p == s.rt.ID() {
+			continue
+		}
+		s.rt.Send(p, b)
+	}
+	switch class {
+	case message.ClassAtomic:
+		s.acceptAtomic(b)
+	default:
+		// Local delivery is immediate: the origin's own message trivially
+		// satisfies reliable, FIFO, and causal delivery conditions.
+		s.deliverLocal(b)
+	}
+	return seq
+}
+
+// Handle processes one broadcast-layer message from the network. The node's
+// router calls it for Bcast, SeqOrder, IsisPropose, and IsisFinal messages.
+func (s *Stack) Handle(from message.SiteID, m message.Message) {
+	switch t := m.(type) {
+	case *message.Bcast:
+		s.handleBcast(from, t)
+	case *message.SeqOrder:
+		s.handleSeqOrder(t)
+	case *message.IsisPropose:
+		s.isis.handlePropose(t)
+	case *message.IsisFinal:
+		s.isis.handleFinal(t)
+	default:
+		s.rt.Logf("broadcast: unexpected message %v from %v", m.Kind(), from)
+	}
+}
+
+// Handles reports whether the stack is responsible for m.
+func Handles(m message.Message) bool {
+	switch m.Kind() {
+	case message.KindBcast, message.KindSeqOrder, message.KindIsisPropose, message.KindIsisFinal:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Stack) handleBcast(from message.SiteID, b *message.Bcast) {
+	k := dedupKey{b.Class, b.Origin, b.Seq}
+	if s.seen[k] {
+		return
+	}
+	s.seen[k] = true
+	if s.cfg.Relay && !b.Relayed {
+		relay := *b
+		relay.Relayed = true
+		for _, p := range s.rt.Peers() {
+			if p == s.rt.ID() || p == b.Origin || p == from {
+				continue
+			}
+			s.rt.Send(p, &relay)
+		}
+	}
+	switch b.Class {
+	case message.ClassReliable:
+		s.deliver(Delivery{Class: b.Class, Origin: b.Origin, Seq: b.Seq, Payload: b.Payload})
+	case message.ClassFIFO:
+		s.acceptFIFO(b)
+	case message.ClassCausal:
+		s.acceptCausal(b)
+	case message.ClassAtomic:
+		s.acceptAtomic(b)
+	default:
+		s.rt.Logf("broadcast: unknown class %v", b.Class)
+	}
+}
+
+// deliverLocal delivers the origin's own broadcast immediately.
+func (s *Stack) deliverLocal(b *message.Bcast) {
+	switch b.Class {
+	case message.ClassReliable:
+		s.deliver(Delivery{Class: b.Class, Origin: b.Origin, Seq: b.Seq, Payload: b.Payload})
+	case message.ClassFIFO:
+		s.acceptFIFO(b)
+	case message.ClassCausal:
+		s.acceptCausal(b)
+	}
+}
+
+func (s *Stack) deliver(d Delivery) {
+	s.Deliveries[d.Class]++
+	s.cfg.Deliver(d)
+}
+
+// --- FIFO ----------------------------------------------------------------
+
+func (s *Stack) acceptFIFO(b *message.Bcast) {
+	next, ok := s.fifoNext[b.Origin]
+	if !ok {
+		next = 1
+	}
+	if b.Seq < next {
+		return // duplicate
+	}
+	if b.Seq > next {
+		hold := s.fifoHold[b.Origin]
+		if hold == nil {
+			hold = make(map[uint64]*message.Bcast)
+			s.fifoHold[b.Origin] = hold
+		}
+		hold[b.Seq] = b
+		return
+	}
+	cur := b
+	for {
+		s.deliver(Delivery{Class: message.ClassFIFO, Origin: cur.Origin, Seq: cur.Seq, Payload: cur.Payload})
+		next = cur.Seq + 1
+		s.fifoNext[cur.Origin] = next
+		hold := s.fifoHold[cur.Origin]
+		nb, ok := hold[next]
+		if !ok {
+			return
+		}
+		delete(hold, next)
+		cur = nb
+	}
+}
+
+// --- Causal ---------------------------------------------------------------
+
+// causally deliverable: the message is the next from its origin and every
+// other entry of its clock has already been delivered here.
+func (s *Stack) causallyReady(b *message.Bcast) bool {
+	o := int(b.Origin)
+	if b.VC.Get(o) != s.cvc.Get(o)+1 {
+		return false
+	}
+	for i := range b.VC {
+		if i == o {
+			continue
+		}
+		if b.VC[i] > s.cvc.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Stack) acceptCausal(b *message.Bcast) {
+	if b.VC.Get(int(b.Origin)) <= s.cvc.Get(int(b.Origin)) {
+		return // duplicate
+	}
+	s.cpend = append(s.cpend, b)
+	s.drainCausal()
+}
+
+func (s *Stack) drainCausal() {
+	for {
+		progressed := false
+		for i := 0; i < len(s.cpend); i++ {
+			b := s.cpend[i]
+			if !s.causallyReady(b) {
+				continue
+			}
+			s.cpend = append(s.cpend[:i], s.cpend[i+1:]...)
+			s.cvc = s.cvc.Set(int(b.Origin), b.VC.Get(int(b.Origin)))
+			s.deliver(Delivery{Class: message.ClassCausal, Origin: b.Origin, Seq: b.Seq, VC: b.VC, Payload: b.Payload})
+			progressed = true
+			break
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// CausalPending returns the number of causal messages held back waiting for
+// their causal predecessors, a health metric.
+func (s *Stack) CausalPending() int { return len(s.cpend) }
+
+// CausalClock returns a copy of the delivered-message vector clock.
+func (s *Stack) CausalClock() vclock.VC { return s.cvc.Clone() }
+
+// --- Atomic: shared plumbing ----------------------------------------------
+
+func (s *Stack) acceptAtomic(b *message.Bcast) {
+	p := pair{b.Origin, b.Seq}
+	if _, dup := s.apayload[p]; dup {
+		return
+	}
+	s.apayload[p] = b
+	switch s.cfg.Atomic {
+	case AtomicIsis:
+		s.isis.accept(b)
+	default:
+		if s.Sequencer() == s.rt.ID() {
+			s.assignIndex(p)
+		}
+		s.drainAtomic()
+	}
+}
+
+func (s *Stack) assignIndex(p pair) {
+	if _, done := s.aindexed[p]; done {
+		return
+	}
+	if s.seqNextIndex <= s.ahighSeen {
+		s.seqNextIndex = s.ahighSeen + 1
+	}
+	if s.seqNextIndex < s.anext {
+		s.seqNextIndex = s.anext
+	}
+	idx := s.seqNextIndex
+	s.seqNextIndex++
+	s.recordOrder(message.OrderEntry{Origin: p.origin, Seq: p.seq, Index: idx})
+	ord := &message.SeqOrder{Sequencer: s.rt.ID(), Entries: []message.OrderEntry{{Origin: p.origin, Seq: p.seq, Index: idx}}}
+	for _, peer := range s.rt.Peers() {
+		if peer == s.rt.ID() {
+			continue
+		}
+		s.rt.Send(peer, ord)
+	}
+}
+
+func (s *Stack) handleSeqOrder(ord *message.SeqOrder) {
+	for _, e := range ord.Entries {
+		s.recordOrder(e)
+	}
+	s.drainAtomic()
+}
+
+func (s *Stack) recordOrder(e message.OrderEntry) {
+	if e.Index < s.anext {
+		return // already delivered or covered by a state transfer
+	}
+	p := pair{e.Origin, e.Seq}
+	if _, dup := s.aindexed[p]; dup {
+		return
+	}
+	if prev, taken := s.aorder[e.Index]; taken && prev != p {
+		s.rt.Logf("broadcast: conflicting order for index %d: %v vs %v", e.Index, prev, p)
+		return
+	}
+	s.aindexed[p] = e.Index
+	s.aorder[e.Index] = p
+	if e.Index > s.ahighSeen {
+		s.ahighSeen = e.Index
+	}
+}
+
+func (s *Stack) drainAtomic() {
+	for {
+		p, ok := s.aorder[s.anext]
+		if !ok {
+			return
+		}
+		b, ok := s.apayload[p]
+		if !ok {
+			return // order known, payload still in flight
+		}
+		idx := s.anext
+		s.anext++
+		delete(s.aorder, idx)
+		delete(s.apayload, p)
+		delete(s.aindexed, p)
+		s.retain(idx, b)
+		s.deliver(Delivery{Class: message.ClassAtomic, Origin: p.origin, Seq: p.seq, Index: idx, Payload: b.Payload})
+	}
+}
+
+// retain stores a delivered atomic broadcast for later retransmission,
+// trimming to the retention window.
+func (s *Stack) retain(idx uint64, b *message.Bcast) {
+	if s.HistoryRetention <= 0 {
+		return
+	}
+	s.history[idx] = b
+	if idx > s.historyHigh {
+		s.historyHigh = idx
+	}
+	for len(s.history) > s.HistoryRetention {
+		delete(s.history, s.historyLow)
+		s.historyLow++
+	}
+}
+
+// SkipTo fast-forwards the atomic delivery stream to the given index after
+// a state transfer: everything below is covered by the snapshot, and stale
+// buffered ordering state is discarded.
+func (s *Stack) SkipTo(next uint64) {
+	if next <= s.anext {
+		return
+	}
+	s.anext = next
+	for idx, p := range s.aorder {
+		if idx < next {
+			delete(s.apayload, p)
+			delete(s.aindexed, p)
+			delete(s.aorder, idx)
+		}
+	}
+	s.drainAtomic()
+}
+
+// Gap reports the next undeliverable index when later indices are already
+// known — evidence that ordering or payload messages were lost and need
+// retransmission.
+func (s *Stack) Gap() (uint64, bool) {
+	if s.ahighSeen < s.anext {
+		return 0, false
+	}
+	if p, ok := s.aorder[s.anext]; ok {
+		if _, havePayload := s.apayload[p]; havePayload {
+			return 0, false // deliverable; drain will handle it
+		}
+	}
+	return s.anext, true
+}
+
+// Retransmit resends the retained atomic broadcasts with indices in
+// [from, latest] to one peer, re-announcing their order. It returns how
+// many were resent; a zero return with from below the retention window
+// means the peer needs a fresh state transfer instead.
+func (s *Stack) Retransmit(to message.SiteID, from uint64) int {
+	if from < s.historyLow {
+		return 0
+	}
+	n := 0
+	for idx := from; idx <= s.historyHigh; idx++ {
+		b, ok := s.history[idx]
+		if !ok {
+			continue
+		}
+		relay := *b
+		relay.Relayed = true
+		s.rt.Send(to, &relay)
+		s.rt.Send(to, &message.SeqOrder{
+			Sequencer: s.rt.ID(),
+			Entries:   []message.OrderEntry{{Origin: b.Origin, Seq: b.Seq, Index: idx}},
+		})
+		n++
+	}
+	return n
+}
+
+// ReassignUnordered makes this site, as a newly elected sequencer, assign
+// indices to every buffered-but-unordered atomic message. The membership
+// layer calls it after a view change removes the previous sequencer.
+func (s *Stack) ReassignUnordered() {
+	if s.cfg.Atomic != AtomicSequencer || s.Sequencer() != s.rt.ID() {
+		return
+	}
+	pending := make([]pair, 0, len(s.apayload))
+	for p := range s.apayload {
+		if _, done := s.aindexed[p]; !done {
+			pending = append(pending, p)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].origin != pending[j].origin {
+			return pending[i].origin < pending[j].origin
+		}
+		return pending[i].seq < pending[j].seq
+	})
+	for _, p := range pending {
+		s.assignIndex(p)
+	}
+	s.drainAtomic()
+}
+
+// OnViewChange re-drives ordering after a membership change: in sequencer
+// mode a newly elected sequencer assigns the orphaned messages, in ISIS
+// mode in-flight finalizations are re-checked against the shrunken member
+// set.
+func (s *Stack) OnViewChange() {
+	switch s.cfg.Atomic {
+	case AtomicIsis:
+		s.isis.Recheck()
+	default:
+		s.ReassignUnordered()
+	}
+}
+
+// AtomicPending returns how many atomic messages are buffered awaiting
+// order or payload.
+func (s *Stack) AtomicPending() int { return len(s.apayload) }
+
+// NextAtomicIndex returns the next total-order index this site will
+// deliver.
+func (s *Stack) NextAtomicIndex() uint64 { return s.anext }
+
+// String implements fmt.Stringer.
+func (s *Stack) String() string {
+	return fmt.Sprintf("stack(%v next=%d cpend=%d apend=%d)", s.rt.ID(), s.anext, len(s.cpend), len(s.apayload))
+}

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/env"
+	"repro/internal/membership"
+	"repro/internal/message"
+	"repro/internal/sgraph"
+	"repro/internal/storage"
+)
+
+// AtomicEngine implements protocol A: write operations are disseminated by
+// causal broadcast (or piggybacked on the commit request), and the commit
+// request itself is delivered by atomic broadcast. Because every site
+// processes the identical total order of commit requests with the identical
+// deterministic certification rule, no acknowledgements of any kind are
+// exchanged during commitment — the paper's headline property.
+//
+// The deterministic decision rule is version certification: the commit
+// request carries the transaction's read and write sets with the base
+// versions (total-order commit indices) it observed at its home site; a
+// site processing the request at total-order index i aborts the transaction
+// iff some key's last committed version exceeds the base version, and
+// otherwise installs the writes at version i. Reads run against a local
+// committed snapshot, so read-only transactions never broadcast, never
+// block, and never abort.
+type AtomicEngine struct {
+	*base
+	stack *broadcast.Stack
+
+	pendingWrites map[message.TxnID][]message.KV
+	lastCommit    map[message.Key]uint64
+	certIndex     uint64 // total-order index of the last processed request
+	queue         []certItem
+
+	// Resynchronization state: a site that fell out of the primary
+	// partition stops serving (stale) and, on rejoining, performs a state
+	// transfer followed by gap repair of the ordered stream.
+	stale       bool
+	syncPending bool
+	lastGap     uint64
+}
+
+type certItem struct {
+	idx uint64
+	req *message.CommitReq
+}
+
+var _ Engine = (*AtomicEngine)(nil)
+
+// NewAtomic creates a protocol A engine on rt.
+func NewAtomic(rt env.Runtime, cfg Config) *AtomicEngine {
+	e := &AtomicEngine{
+		base:          newBase(rt, cfg, "atomic"),
+		pendingWrites: make(map[message.TxnID][]message.KV),
+		lastCommit:    make(map[message.Key]uint64),
+	}
+	e.initMembership(func(_, _ message.View) { e.onViewChange() })
+	e.stack = broadcast.New(rt, broadcast.Config{
+		Deliver: e.deliver,
+		Relay:   cfg.Relay,
+		Atomic:  cfg.AtomicMode,
+		Members: e.members,
+	})
+	if cfg.InitialStore != nil {
+		// Resume certification from the recovered state: the total-order
+		// stream continues past the recovered index (enable Membership so
+		// gap repair can fetch anything missed while down).
+		e.certIndex = e.store.Applied()
+		for _, entry := range e.store.Snapshot() {
+			if n := len(entry.Versions); n > 0 {
+				e.lastCommit[entry.Key] = entry.Versions[n-1].Index
+			}
+		}
+		e.stack.SkipTo(e.certIndex + 1)
+	}
+	return e
+}
+
+// Start implements env.Node.
+func (e *AtomicEngine) Start() {
+	e.startMembership()
+	if e.cfg.Membership {
+		e.rt.SetTimer(gapProbeInterval, e.gapProbe)
+	}
+}
+
+// gapProbeInterval paces the ordered-stream gap detector.
+const gapProbeInterval = 200 * time.Millisecond
+
+// gapProbe requests retransmission when the same total-order gap persists
+// across two probes (a young gap is usually just in-flight traffic).
+func (e *AtomicEngine) gapProbe() {
+	defer e.rt.SetTimer(gapProbeInterval, e.gapProbe)
+	if e.stale {
+		return
+	}
+	idx, ok := e.stack.Gap()
+	if !ok {
+		e.lastGap = 0
+		return
+	}
+	if idx != e.lastGap {
+		e.lastGap = idx
+		return
+	}
+	donor := e.donor()
+	if donor == e.rt.ID() {
+		return
+	}
+	e.rt.Send(donor, &message.RetransmitReq{From: e.rt.ID(), FromIndex: idx})
+}
+
+// donor picks the peer to resynchronize from: the lowest other member of
+// the current view.
+func (e *AtomicEngine) donor() message.SiteID {
+	for _, m := range e.members() {
+		if m != e.rt.ID() {
+			return m
+		}
+	}
+	return e.rt.ID()
+}
+
+// Receive implements env.Node.
+func (e *AtomicEngine) Receive(from message.SiteID, m message.Message) {
+	e.observe(from)
+	switch {
+	case broadcast.Handles(m):
+		e.stack.Handle(from, m)
+	case membership.Handles(m):
+		if e.mem != nil {
+			e.mem.Handle(from, m)
+		}
+	default:
+		switch t := m.(type) {
+		case *message.Heartbeat:
+			// Liveness only.
+		case *message.StateRequest:
+			e.onStateRequest(t)
+		case *message.StateSnapshot:
+			e.onStateSnapshot(t)
+		case *message.RetransmitReq:
+			e.onRetransmitReq(t)
+		default:
+			e.rt.Logf("atomic: unexpected %v from %v", m.Kind(), from)
+		}
+	}
+}
+
+// Begin implements Engine. The transaction reads from the snapshot of all
+// certified commits processed so far at this site.
+func (e *AtomicEngine) Begin(readOnly bool) *Tx {
+	tx := e.begin(readOnly)
+	tx.snapshot = e.certIndex
+	return tx
+}
+
+// Read implements Engine: a snapshot read, no locks, never blocking.
+func (e *AtomicEngine) Read(tx *Tx, key message.Key, cb func(message.Value, error)) {
+	if e.stale {
+		cb(nil, ErrNotPrimary)
+		return
+	}
+	if err := e.readPrecheck(tx); err != nil {
+		cb(nil, err)
+		return
+	}
+	rec, ok, err := e.store.GetAt(key, tx.snapshot)
+	if err != nil {
+		// Snapshot fell below the GC horizon: surface it; the client
+		// aborts and restarts on a fresh snapshot.
+		if errors.Is(err, storage.ErrVersionGone) {
+			cb(nil, err)
+			return
+		}
+		cb(nil, err)
+		return
+	}
+	var from message.TxnID
+	var val message.Value
+	ver := uint64(0)
+	if ok {
+		from, val, ver = rec.Writer, rec.Value, rec.Index
+	}
+	tx.reads = append(tx.reads, sgraph.ReadObs{Key: key, From: from})
+	tx.readVers = append(tx.readVers, message.KeyVer{Key: key, Ver: ver})
+	cb(val, nil)
+}
+
+// Write implements Engine.
+func (e *AtomicEngine) Write(tx *Tx, key message.Key, val message.Value) error {
+	if e.stale {
+		return ErrNotPrimary
+	}
+	if err := e.bufferWrite(tx, key, val); err != nil {
+		return err
+	}
+	if !e.cfg.PiggybackWrites {
+		e.stack.Broadcast(message.ClassCausal, &message.WriteReq{
+			Txn: tx.ID, OpSeq: len(tx.writes), Key: key, Value: val,
+		})
+	}
+	return nil
+}
+
+// Commit implements Engine: one atomic broadcast, zero acknowledgements.
+// The callback fires when this site processes the request in total order.
+func (e *AtomicEngine) Commit(tx *Tx, cb func(Outcome, AbortReason)) {
+	if tx.state == txDone {
+		cb(tx.outcome, tx.reason)
+		return
+	}
+	tx.commitCB = cb
+	if tx.state == txCommitWait {
+		return
+	}
+	if !tx.wrote {
+		e.finish(tx, Committed, ReasonNone)
+		return
+	}
+	tx.state = txCommitWait
+	writes := dedupWrites(tx.writes)
+	req := &message.CommitReq{
+		Txn:     tx.ID,
+		Reads:   tx.readVers,
+		Writes:  make([]message.KeyVer, 0, len(writes)),
+		NWrites: len(tx.writes),
+	}
+	for _, w := range writes {
+		ver := uint64(0)
+		if rec, ok, err := e.store.GetAt(w.Key, tx.snapshot); err == nil && ok {
+			ver = rec.Index
+		}
+		req.Writes = append(req.Writes, message.KeyVer{Key: w.Key, Ver: ver})
+	}
+	if e.cfg.PiggybackWrites {
+		req.WriteKV = writes
+	}
+	e.stack.Broadcast(message.ClassAtomic, req)
+}
+
+// Abort implements Engine.
+func (e *AtomicEngine) Abort(tx *Tx) {
+	if tx.state != txActive {
+		return
+	}
+	if !e.cfg.PiggybackWrites && len(tx.writes) > 0 {
+		// Tell peers to drop the disseminated writes; causal FIFO delivers
+		// this after every one of them.
+		e.stack.Broadcast(message.ClassCausal, &message.Decision{Txn: tx.ID, Commit: false, NOps: len(tx.writes)})
+	}
+	e.finish(tx, Aborted, ReasonClient)
+}
+
+// deliver routes broadcast deliveries: causal carries write dissemination,
+// atomic carries commit requests.
+func (e *AtomicEngine) deliver(d broadcast.Delivery) {
+	switch p := d.Payload.(type) {
+	case *message.WriteReq:
+		e.pendingWrites[p.Txn] = append(e.pendingWrites[p.Txn], message.KV{Key: p.Key, Value: p.Value})
+		e.drain()
+	case *message.Decision:
+		if !p.Commit {
+			delete(e.pendingWrites, p.Txn)
+		}
+	case *message.CommitReq:
+		e.queue = append(e.queue, certItem{idx: d.Index, req: p})
+		e.drain()
+	default:
+		e.rt.Logf("atomic: unexpected payload %v", d.Payload.Kind())
+	}
+}
+
+// drain processes queued commit requests strictly in total order. The head
+// stalls until every disseminated write it announced has arrived — all
+// sites stall identically, so determinism is preserved; causal broadcast's
+// eventual delivery guarantees progress.
+func (e *AtomicEngine) drain() {
+	for len(e.queue) > 0 {
+		item := e.queue[0]
+		req := item.req
+		var writes []message.KV
+		if e.cfg.PiggybackWrites {
+			writes = req.WriteKV
+		} else {
+			writes = e.pendingWrites[req.Txn]
+			if len(writes) < req.NWrites {
+				return // await the causal write dissemination
+			}
+		}
+		e.queue = e.queue[1:]
+		e.process(item.idx, req, writes)
+	}
+}
+
+// process certifies one commit request; identical at every site.
+func (e *AtomicEngine) process(idx uint64, req *message.CommitReq, writes []message.KV) {
+	e.certIndex = idx
+	delete(e.pendingWrites, req.Txn)
+	ok := e.certify(req)
+	if ok {
+		writes = dedupWrites(writes)
+		if err := e.store.Apply(req.Txn, writes, idx); err != nil {
+			e.rt.Logf("atomic: apply %v at %d: %v", req.Txn, idx, err)
+		} else {
+			for _, w := range writes {
+				e.lastCommit[w.Key] = idx
+				if e.cfg.Recorder != nil {
+					e.cfg.Recorder.RecordApply(e.rt.ID(), w.Key, req.Txn)
+				}
+			}
+			e.stats.Applied++
+		}
+	}
+	if tx := e.local[req.Txn]; tx != nil {
+		if ok {
+			e.finish(tx, Committed, ReasonNone)
+		} else {
+			e.finish(tx, Aborted, ReasonCertification)
+		}
+	}
+}
+
+// certify applies the deterministic decision rule: every read and write
+// base version must still be the key's latest committed version.
+func (e *AtomicEngine) certify(req *message.CommitReq) bool {
+	for _, kv := range req.Reads {
+		if e.lastCommit[kv.Key] > kv.Ver {
+			return false
+		}
+	}
+	for _, kv := range req.Writes {
+		if e.lastCommit[kv.Key] > kv.Ver {
+			return false
+		}
+	}
+	return true
+}
+
+// onViewChange lets the broadcast stack re-drive total ordering (sequencer
+// failover), marks the site stale when it leaves the primary partition,
+// and starts resynchronization when it rejoins one.
+func (e *AtomicEngine) onViewChange() {
+	e.stack.OnViewChange()
+	if !e.inPrimary() {
+		e.stale = true
+		for _, tx := range e.localTxns() {
+			if tx.state == txActive {
+				e.finish(tx, Aborted, ReasonNotPrimary)
+			}
+		}
+		return
+	}
+	if e.stale && !e.syncPending {
+		e.requestState()
+	}
+}
+
+// requestState asks a donor for a snapshot, retrying until one arrives.
+func (e *AtomicEngine) requestState() {
+	donor := e.donor()
+	if donor == e.rt.ID() {
+		// Sole survivor of the primary view: nothing missed by definition.
+		e.stale = false
+		return
+	}
+	e.syncPending = true
+	e.rt.Send(donor, &message.StateRequest{From: e.rt.ID()})
+	e.rt.SetTimer(time.Second, func() {
+		if e.stale && e.syncPending {
+			e.syncPending = false
+			if e.inPrimary() {
+				e.requestState()
+			}
+		}
+	})
+}
+
+// onStateRequest serves a snapshot to a resynchronizing peer; a stale site
+// must not serve.
+func (e *AtomicEngine) onStateRequest(req *message.StateRequest) {
+	if e.stale {
+		return
+	}
+	e.rt.Send(req.From, &message.StateSnapshot{
+		From:    e.rt.ID(),
+		Applied: e.certIndex,
+		Entries: e.store.Snapshot(),
+	})
+}
+
+// onStateSnapshot installs a transferred state and fast-forwards the
+// ordered stream past it. The site's pre-transfer apply history is dropped
+// from the recorder: it replays from the snapshot, not the stream.
+func (e *AtomicEngine) onStateSnapshot(snap *message.StateSnapshot) {
+	// Accept when resynchronizing, or when a gap outran the donor's
+	// retransmission window and the snapshot is genuinely ahead.
+	if !e.stale && snap.Applied <= e.certIndex {
+		return
+	}
+	e.store.Restore(snap.Entries, snap.Applied)
+	e.lastCommit = make(map[message.Key]uint64, len(snap.Entries))
+	for _, entry := range snap.Entries {
+		if n := len(entry.Versions); n > 0 {
+			e.lastCommit[entry.Key] = entry.Versions[n-1].Index
+		}
+	}
+	e.certIndex = snap.Applied
+	e.queue = nil
+	e.pendingWrites = make(map[message.TxnID][]message.KV)
+	e.stack.SkipTo(snap.Applied + 1)
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.DropSite(e.rt.ID())
+	}
+	e.stale = false
+	e.syncPending = false
+	e.rt.Logf("atomic: resynchronized at index %d (%d keys)", snap.Applied, len(snap.Entries))
+}
+
+// onRetransmitReq resends retained ordered broadcasts; if the requester is
+// below the retention window it gets a snapshot instead.
+func (e *AtomicEngine) onRetransmitReq(req *message.RetransmitReq) {
+	if e.stale {
+		return
+	}
+	if n := e.stack.Retransmit(req.From, req.FromIndex); n == 0 {
+		e.rt.Send(req.From, &message.StateSnapshot{
+			From:    e.rt.ID(),
+			Applied: e.certIndex,
+			Entries: e.store.Snapshot(),
+		})
+	}
+}
+
+func (e *AtomicEngine) localTxns() []*Tx {
+	out := make([]*Tx, 0, len(e.local))
+	for _, tx := range e.local {
+		out = append(out, tx)
+	}
+	return out
+}
+
+// CertIndex exposes the last processed total-order index (tests, tools).
+func (e *AtomicEngine) CertIndex() uint64 { return e.certIndex }
+
+// Broadcasts exposes the stack's per-class delivery counters (tests).
+func (e *AtomicEngine) Broadcasts() map[message.Class]int64 { return e.stack.Deliveries }
+
+// PendingRemote returns the number of transactions with disseminated writes
+// not yet consumed by certification plus queued commit requests (leak
+// oracle for tests).
+func (e *AtomicEngine) PendingRemote() int { return len(e.pendingWrites) + len(e.queue) }

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/env"
+	"repro/internal/membership"
+	"repro/internal/message"
+)
+
+// CausalEngine implements protocol C: writes are disseminated by causal
+// broadcast and positive acknowledgements are never sent. The home site
+// infers that site s has processed its write w (broadcast as this site's
+// k-th causal message) once it delivers any causal message from s whose
+// vector clock shows s had delivered k messages from here — the "implicit
+// acknowledgement" the paper mines from the exposed vector clocks. A
+// conflicting write triggers an explicit broadcast negative
+// acknowledgement; causal FIFO delivery guarantees the home site sees a
+// NACK from s no later than s's implicit acknowledgement, so checking for
+// NACKs at the moment all implicit acks are in is sound. One causal
+// commit-decision broadcast replaces protocol R's entire vote round.
+//
+// The paper's noted drawback — implicit acks stall when sites fall silent —
+// is mitigated by the configurable CausalHeartbeat null broadcast.
+type CausalEngine struct {
+	*base
+	stack   *broadcast.Stack
+	remote  map[message.TxnID]*rtxnC
+	ackedBy map[message.SiteID]uint64 // highest own-seq each peer is known to have delivered
+	waiting map[message.TxnID]*Tx     // local txns awaiting implicit acknowledgements
+
+	lastSend time.Duration
+}
+
+// rtxnC is a site's replica-side state for one update transaction.
+type rtxnC struct {
+	id     message.TxnID
+	staged []message.KV
+	doomed bool
+}
+
+var _ Engine = (*CausalEngine)(nil)
+
+// NewCausal creates a protocol C engine on rt.
+func NewCausal(rt env.Runtime, cfg Config) *CausalEngine {
+	e := &CausalEngine{
+		base:    newBase(rt, cfg, "causal"),
+		remote:  make(map[message.TxnID]*rtxnC),
+		ackedBy: make(map[message.SiteID]uint64),
+		waiting: make(map[message.TxnID]*Tx),
+	}
+	e.initMembership(func(_, _ message.View) { e.onViewChange() })
+	e.stack = broadcast.New(rt, broadcast.Config{
+		Deliver: e.deliver,
+		Relay:   cfg.Relay,
+		Members: e.members,
+	})
+	return e
+}
+
+// Start implements env.Node.
+func (e *CausalEngine) Start() {
+	e.startMembership()
+	if e.cfg.CausalHeartbeat > 0 {
+		e.rt.SetTimer(e.cfg.CausalHeartbeat, e.heartbeat)
+	}
+}
+
+// heartbeat broadcasts a CausalNull when this site has been silent for a
+// full interval, keeping peers' implicit acknowledgements flowing.
+func (e *CausalEngine) heartbeat() {
+	hb := e.cfg.CausalHeartbeat
+	if e.rt.Now()-e.lastSend >= hb {
+		e.cbcast(&message.CausalNull{From: e.rt.ID()})
+	}
+	e.rt.SetTimer(hb, e.heartbeat)
+}
+
+// cbcast broadcasts causally and notes the send time for the heartbeat.
+func (e *CausalEngine) cbcast(p message.Message) uint64 {
+	e.lastSend = e.rt.Now()
+	return e.stack.Broadcast(message.ClassCausal, p)
+}
+
+// Receive implements env.Node.
+func (e *CausalEngine) Receive(from message.SiteID, m message.Message) {
+	e.observe(from)
+	switch {
+	case broadcast.Handles(m):
+		e.stack.Handle(from, m)
+	case membership.Handles(m):
+		if e.mem != nil {
+			e.mem.Handle(from, m)
+		}
+	default:
+		if m.Kind() != message.KindHeartbeat {
+			e.rt.Logf("causal: unexpected %v from %v", m.Kind(), from)
+		}
+	}
+}
+
+// Begin implements Engine.
+func (e *CausalEngine) Begin(readOnly bool) *Tx { return e.begin(readOnly) }
+
+// Read implements Engine.
+func (e *CausalEngine) Read(tx *Tx, key message.Key, cb func(message.Value, error)) {
+	e.lockingRead(tx, key, cb)
+}
+
+// Write implements Engine. Unlike protocol R there is no per-operation
+// acknowledgement wait: causal FIFO delivery lets the home site pipeline
+// all its writes back to back. With Config.BatchWrites dissemination is
+// deferred entirely to commit time.
+func (e *CausalEngine) Write(tx *Tx, key message.Key, val message.Value) error {
+	if err := e.bufferWrite(tx, key, val); err != nil {
+		return err
+	}
+	if e.cfg.BatchWrites {
+		return nil
+	}
+	tx.lastCSeq = e.cbcast(&message.WriteReq{
+		Txn: tx.ID, OpSeq: len(tx.writes), Key: key, Value: val,
+	})
+	// The local self-delivery may have refused the lock and doomed the
+	// transaction synchronously; Commit will report it.
+	return nil
+}
+
+// Commit implements Engine.
+func (e *CausalEngine) Commit(tx *Tx, cb func(Outcome, AbortReason)) {
+	if tx.state == txDone {
+		cb(tx.outcome, tx.reason)
+		return
+	}
+	tx.commitCB = cb
+	if tx.state == txCommitWait {
+		return
+	}
+	if !tx.wrote {
+		e.locks.ReleaseAll(tx.ID)
+		e.finish(tx, Committed, ReasonNone)
+		return
+	}
+	if e.cfg.BatchWrites && !tx.opInFlight {
+		// opInFlight doubles as "batch disseminated" here: it must be set
+		// before the broadcast because the local self-delivery can refuse
+		// the batch and abort the transaction re-entrantly, and that abort
+		// needs to know peers now hold state.
+		tx.opInFlight = true
+		tx.lastCSeq = e.cbcast(&message.WriteBatch{Txn: tx.ID, Writes: dedupWrites(tx.writes)})
+		if tx.state == txDone {
+			return // the local all-or-nothing acquisition refused the batch
+		}
+	}
+	tx.state = txCommitWait
+	e.waiting[tx.ID] = tx
+	e.checkCommit(tx)
+}
+
+// Abort implements Engine.
+func (e *CausalEngine) Abort(tx *Tx) {
+	if tx.state != txActive {
+		return
+	}
+	e.abortLocal(tx, ReasonClient)
+}
+
+func (e *CausalEngine) abortLocal(tx *Tx, reason AbortReason) {
+	if tx.state == txDone {
+		return
+	}
+	delete(e.waiting, tx.ID)
+	disseminated := len(tx.writes) > 0
+	if e.cfg.BatchWrites {
+		disseminated = tx.opInFlight
+	}
+	if disseminated {
+		// Causal FIFO guarantees every site delivers all of the
+		// transaction's writes before this abort decision, so receivers can
+		// drop the tombstone immediately.
+		e.cbcast(&message.Decision{Txn: tx.ID, Commit: false, NOps: len(tx.writes)})
+	} else {
+		e.locks.ReleaseAll(tx.ID)
+	}
+	e.finish(tx, Aborted, reason)
+}
+
+// checkCommit tests the implicit-acknowledgement condition for one waiting
+// transaction and broadcasts the commit decision when it holds.
+func (e *CausalEngine) checkCommit(tx *Tx) {
+	if tx.state != txCommitWait {
+		return
+	}
+	if r := e.remote[tx.ID]; r != nil && r.doomed {
+		e.abortLocal(tx, ReasonWriteConflict)
+		return
+	}
+	for _, s := range e.members() {
+		if s == e.rt.ID() {
+			continue
+		}
+		if e.ackedBy[s] < tx.lastCSeq {
+			return // implicit acknowledgement still outstanding
+		}
+	}
+	// All sites have processed every write and no negative acknowledgement
+	// arrived (causal FIFO would have delivered it before the final
+	// implicit ack). Announce the commit; the self-delivery applies it here.
+	delete(e.waiting, tx.ID)
+	e.cbcast(&message.Decision{Txn: tx.ID, Commit: true, NOps: len(tx.writes)})
+}
+
+// deliver handles causal deliveries at every site. The vector clock of
+// every delivered message — whatever its payload — refreshes the implicit
+// acknowledgement state first; then the payload is dispatched; then waiting
+// commits are re-checked so a NACK in the same message is seen before the
+// acknowledgement it implies.
+func (e *CausalEngine) deliver(d broadcast.Delivery) {
+	if d.Origin != e.rt.ID() {
+		if own := d.VC.Get(int(e.rt.ID())); own > e.ackedBy[d.Origin] {
+			e.ackedBy[d.Origin] = own
+		}
+	}
+	switch p := d.Payload.(type) {
+	case *message.WriteReq:
+		e.onWriteReq(p)
+	case *message.WriteBatch:
+		e.onWriteBatch(p)
+	case *message.TxnNack:
+		e.onNack(p)
+	case *message.Decision:
+		e.onDecision(p)
+	case *message.CausalNull:
+		// Clock carrier only.
+	default:
+		e.rt.Logf("causal: unexpected payload %v", d.Payload.Kind())
+	}
+	if len(e.waiting) > 0 {
+		for _, tx := range e.waitingSnapshot() {
+			e.checkCommit(tx)
+		}
+	}
+}
+
+func (e *CausalEngine) waitingSnapshot() []*Tx {
+	out := make([]*Tx, 0, len(e.waiting))
+	for _, tx := range e.waiting {
+		out = append(out, tx)
+	}
+	return out
+}
+
+func (e *CausalEngine) rtxn(id message.TxnID) *rtxnC {
+	r := e.remote[id]
+	if r == nil {
+		r = &rtxnC{id: id}
+		e.remote[id] = r
+	}
+	return r
+}
+
+// onWriteReq stages a replicated write under the never-wait rule; a
+// conflict broadcasts the explicit negative acknowledgement.
+func (e *CausalEngine) onWriteReq(w *message.WriteReq) {
+	r := e.rtxn(w.Txn)
+	if r.doomed {
+		return
+	}
+	switch e.locks.Acquire(w.Txn, w.Key, lockExclusive, false, nil) {
+	case lockGranted:
+		r.staged = append(r.staged, message.KV{Key: w.Key, Value: w.Value})
+	default:
+		r.doomed = true
+		r.staged = nil
+		e.locks.ReleaseAll(w.Txn)
+		if w.Txn.Site == e.rt.ID() {
+			// Our own write conflicted locally: abort directly, no need to
+			// tell ourselves with a NACK broadcast.
+			if tx := e.local[w.Txn]; tx != nil {
+				e.abortLocal(tx, ReasonWriteConflict)
+			}
+			return
+		}
+		e.cbcast(&message.TxnNack{Txn: w.Txn, By: e.rt.ID(), Key: w.Key})
+	}
+}
+
+// onWriteBatch stages a deferred write set all-or-nothing under the
+// never-wait rule.
+func (e *CausalEngine) onWriteBatch(wb *message.WriteBatch) {
+	r := e.rtxn(wb.Txn)
+	if r.doomed {
+		return
+	}
+	for _, w := range wb.Writes {
+		if e.locks.Acquire(wb.Txn, w.Key, lockExclusive, false, nil) != lockGranted {
+			r.doomed = true
+			r.staged = nil
+			e.locks.ReleaseAll(wb.Txn)
+			if wb.Txn.Site == e.rt.ID() {
+				if tx := e.local[wb.Txn]; tx != nil {
+					e.abortLocal(tx, ReasonWriteConflict)
+				}
+				return
+			}
+			e.cbcast(&message.TxnNack{Txn: wb.Txn, By: e.rt.ID(), Key: w.Key})
+			return
+		}
+	}
+	r.staged = append(r.staged, wb.Writes...)
+}
+
+// onNack dooms the transaction at every site; the home site aborts it. A
+// missing record means the decision already arrived (causal order
+// guarantees the NACKed write itself preceded this message), so a NACK must
+// never recreate state.
+func (e *CausalEngine) onNack(n *message.TxnNack) {
+	r := e.remote[n.Txn]
+	if r == nil {
+		return
+	}
+	if !r.doomed {
+		r.doomed = true
+		r.staged = nil
+		e.locks.ReleaseAll(n.Txn)
+	}
+	if tx := e.local[n.Txn]; tx != nil {
+		e.abortLocal(tx, ReasonWriteConflict)
+	}
+}
+
+// onDecision applies or discards; causal FIFO ensures all of the
+// transaction's writes arrived first, so the record can be dropped either
+// way.
+func (e *CausalEngine) onDecision(d *message.Decision) {
+	r := e.remote[d.Txn]
+	if d.Commit {
+		if r == nil || r.doomed {
+			// A commit decision can only follow universal staging; a doomed
+			// record here would be a protocol violation.
+			e.rt.Logf("causal: commit decision for missing/doomed %v", d.Txn)
+			return
+		}
+		if err := e.applyCommitted(d.Txn, r.staged); err != nil {
+			e.rt.Logf("causal: %v", err)
+		}
+		e.locks.ReleaseAll(d.Txn)
+		delete(e.remote, d.Txn)
+		if tx := e.local[d.Txn]; tx != nil {
+			e.finish(tx, Committed, ReasonNone)
+		}
+		return
+	}
+	if r != nil {
+		e.locks.ReleaseAll(d.Txn)
+		delete(e.remote, d.Txn)
+	}
+}
+
+// onViewChange drops departed sites from the acknowledgement condition,
+// aborts orphaned remote transactions, and aborts everything local when the
+// site leaves the primary partition.
+func (e *CausalEngine) onViewChange() {
+	e.stack.OnViewChange()
+	if !e.inPrimary() {
+		for _, tx := range e.localTxns() {
+			e.abortLocal(tx, ReasonNotPrimary)
+		}
+		return
+	}
+	members := make(map[message.SiteID]bool)
+	for _, s := range e.members() {
+		members[s] = true
+	}
+	for id, r := range e.remote {
+		if !members[id.Site] {
+			e.locks.ReleaseAll(id)
+			_ = r
+			delete(e.remote, id)
+		}
+	}
+	for _, tx := range e.waitingSnapshot() {
+		e.checkCommit(tx)
+	}
+}
+
+func (e *CausalEngine) localTxns() []*Tx {
+	out := make([]*Tx, 0, len(e.local))
+	for _, tx := range e.local {
+		out = append(out, tx)
+	}
+	return out
+}
+
+// AckedBy exposes the implicit-acknowledgement vector (tests, tools).
+func (e *CausalEngine) AckedBy() map[message.SiteID]uint64 {
+	out := make(map[message.SiteID]uint64, len(e.ackedBy))
+	for k, v := range e.ackedBy {
+		out[k] = v
+	}
+	return out
+}
+
+// Broadcasts exposes the stack's per-class delivery counters (tests).
+func (e *CausalEngine) Broadcasts() map[message.Class]int64 { return e.stack.Deliveries }
+
+// PendingRemote returns the number of replica-side transaction records
+// still held (leak oracle for tests).
+func (e *CausalEngine) PendingRemote() int { return len(e.remote) }

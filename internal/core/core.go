@@ -1,0 +1,590 @@
+// Package core implements the paper's three broadcast-based replication
+// protocols and the classical point-to-point baseline they are measured
+// against:
+//
+//   - ReliableEngine (protocol R): reliable broadcast of write operations
+//     with explicit per-operation acknowledgements and a decentralized
+//     two-phase commit in which every site broadcasts its vote,
+//   - CausalEngine (protocol C): causal broadcast with implicit positive
+//     acknowledgements mined from exposed vector clocks and explicit
+//     broadcast negative acknowledgements, replacing the vote round with a
+//     single commit-decision broadcast,
+//   - AtomicEngine (protocol A): atomic broadcast of certification
+//     requests; all sites apply the same deterministic decision rule to the
+//     same total order, eliminating acknowledgements entirely,
+//   - BaselineEngine: read-one write-all over unicasts with per-operation
+//     acknowledgements, wound-wait deadlock avoidance, and centralized
+//     two-phase commit.
+//
+// All engines present the same asynchronous client API (Begin / Read /
+// Write / Commit with callbacks), enforce the paper's execution model
+// (strict two-phase locking locally, all reads before any write, read-one
+// write-all within the current majority view), and guarantee one-copy
+// serializable executions — verified in the test suite with a multiversion
+// serialization-graph checker.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/env"
+	"repro/internal/failure"
+	"repro/internal/lockmgr"
+	"repro/internal/membership"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/sgraph"
+	"repro/internal/storage"
+)
+
+// Outcome is a transaction's final state.
+type Outcome int
+
+// Transaction outcomes.
+const (
+	Committed Outcome = iota + 1
+	Aborted
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// AbortReason explains why a transaction aborted.
+type AbortReason int
+
+// Abort reasons across all engines.
+const (
+	ReasonNone AbortReason = iota
+	// ReasonWriteConflict: a replicated write hit a lock held by another
+	// uncommitted transaction (the never-wait rule's negative ack).
+	ReasonWriteConflict
+	// ReasonCertification: protocol A's version check failed.
+	ReasonCertification
+	// ReasonWounded: the baseline's wound-wait policy killed the
+	// transaction.
+	ReasonWounded
+	// ReasonNotPrimary: the site is not in a primary-partition view.
+	ReasonNotPrimary
+	// ReasonViewChange: a membership change invalidated the commit.
+	ReasonViewChange
+	// ReasonStorage: a snapshot read fell below the version GC horizon.
+	ReasonStorage
+	// ReasonClient: the client called Abort.
+	ReasonClient
+)
+
+// String implements fmt.Stringer.
+func (r AbortReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonWriteConflict:
+		return "write-conflict"
+	case ReasonCertification:
+		return "certification"
+	case ReasonWounded:
+		return "wounded"
+	case ReasonNotPrimary:
+		return "not-primary"
+	case ReasonViewChange:
+		return "view-change"
+	case ReasonStorage:
+		return "storage-gc"
+	case ReasonClient:
+		return "client"
+	default:
+		return fmt.Sprintf("AbortReason(%d)", int(r))
+	}
+}
+
+// Client-visible errors.
+var (
+	// ErrTxnDone is returned for operations on a finished transaction.
+	ErrTxnDone = errors.New("core: transaction already finished")
+	// ErrReadOnly is returned when a read-only transaction writes.
+	ErrReadOnly = errors.New("core: write in read-only transaction")
+	// ErrReadAfterWrite enforces the paper's execution model: a transaction
+	// performs all reads before its first write. The deadlock-prevention
+	// guarantee depends on this discipline.
+	ErrReadAfterWrite = errors.New("core: read after write violates the reads-first model")
+	// ErrCommitPending is returned for operations after Commit was called.
+	ErrCommitPending = errors.New("core: commit already requested")
+	// ErrNotPrimary is returned when the site's view lacks a majority.
+	ErrNotPrimary = errors.New("core: site is not in a primary-partition view")
+)
+
+// Config parameterizes an engine.
+type Config struct {
+	// Recorder, when set, collects commit footprints and apply orders for
+	// the 1SR checker.
+	Recorder *sgraph.Recorder
+	// WAL, when set, logs committed writes at this site.
+	WAL *storage.WAL
+	// InitialStore seeds the engine with recovered state (for example from
+	// storage.Recover after a restart) instead of an empty database. The
+	// per-site commit index resumes from the store's applied index.
+	InitialStore *storage.Store
+	// MaxVersions caps stored version chains (default 64, 0 = unbounded).
+	MaxVersions int
+	// Relay enables eager broadcast relaying.
+	Relay bool
+	// AtomicMode selects the total-order broadcast implementation
+	// (protocol A only). Defaults to the fixed sequencer.
+	AtomicMode broadcast.AtomicMode
+	// PiggybackWrites makes protocol A carry write values inside the
+	// certification request instead of disseminating them causally.
+	PiggybackWrites bool
+	// BatchWrites defers write dissemination to commit time for protocols
+	// R and C: the whole write set travels in one WriteBatch broadcast that
+	// receivers lock all-or-nothing. Fewer messages, no per-operation
+	// pipelining.
+	BatchWrites bool
+	// SnapshotReadOnly lets read-only transactions in the lock-based
+	// engines (R, C, baseline) read the latest committed versions without
+	// shared locks. Their reads then never block behind writers and — more
+	// importantly — never trigger the never-wait rule's negative
+	// acknowledgements against writers. Update transactions keep locking
+	// reads (required for one-copy serializability). Each read-only
+	// transaction still observes its site's committed prefix, which is a
+	// linear extension of the global conflict order, so 1SR is preserved —
+	// the E12 ablation measures the abort-rate effect and the test suite
+	// re-verifies serializability.
+	SnapshotReadOnly bool
+	// CausalHeartbeat is protocol C's null-broadcast interval: a site
+	// silent for this long broadcasts a CausalNull so peers' implicit
+	// acknowledgements keep flowing. Zero disables heartbeats (the paper's
+	// noted stall risk).
+	CausalHeartbeat time.Duration
+	// Membership enables the failure detector and majority-view service.
+	// When disabled the full static cluster is always the view.
+	Membership bool
+	// FailureInterval and FailureTimeout tune the detector when Membership
+	// is enabled.
+	FailureInterval time.Duration
+	FailureTimeout  time.Duration
+}
+
+// Local aliases keep the engines' lock-table calls compact.
+const (
+	lockShared    = lockmgr.Shared
+	lockExclusive = lockmgr.Exclusive
+	lockGranted   = lockmgr.Granted
+)
+
+// txState tracks a local transaction's lifecycle.
+type txState int
+
+const (
+	txActive txState = iota + 1
+	txCommitWait
+	txDone
+)
+
+// Tx is a client transaction handle. It is created by an engine's Begin and
+// must only be passed back to that engine.
+type Tx struct {
+	ID       message.TxnID
+	ReadOnly bool
+
+	state    txState
+	beganAt  time.Duration
+	wrote    bool
+	outcome  Outcome
+	reason   AbortReason
+	commitCB func(Outcome, AbortReason)
+
+	reads      []sgraph.ReadObs
+	writes     []message.KV
+	writeByKey map[message.Key]int
+
+	// readWaits holds cancellation hooks for reads queued on the local
+	// lock table, fired with ErrTxnDone if the transaction dies first (a
+	// wound, a view change) so the client's continuation always runs.
+	readWaits []func()
+
+	// Protocol R write pipeline.
+	nextOp     int                     // next unsent write (index into writes)
+	ackWait    map[message.SiteID]bool // sites whose ack for the in-flight op is pending
+	opInFlight bool
+
+	// Protocol C.
+	lastCSeq uint64 // causal seq of this txn's last write broadcast
+
+	// Protocol A.
+	snapshot uint64
+	readVers []message.KeyVer
+}
+
+// Done reports whether the transaction has finished.
+func (t *Tx) Done() bool { return t.state == txDone }
+
+// Outcome returns the final outcome (valid once Done).
+func (t *Tx) Outcome() (Outcome, AbortReason) { return t.outcome, t.reason }
+
+// Stats aggregates an engine's lifetime counters.
+type Stats struct {
+	Begun             int64
+	Committed         int64
+	ReadOnlyCommitted int64
+	Aborted           int64
+	AbortsByReason    map[AbortReason]int64
+	CommitLatency     *metrics.Histogram // update transactions only
+	Applied           int64              // remote transactions applied at this site
+}
+
+func newStats() Stats {
+	return Stats{
+		AbortsByReason: make(map[AbortReason]int64),
+		CommitLatency:  metrics.NewHistogram(0),
+	}
+}
+
+// Engine is the common interface of all four replication engines.
+type Engine interface {
+	env.Node
+	// Begin opens a transaction homed at this site.
+	Begin(readOnly bool) *Tx
+	// Read asynchronously reads key; cb receives the value (nil if the key
+	// was never written) or an error. Reads must precede writes.
+	Read(tx *Tx, key message.Key, cb func(message.Value, error))
+	// Write buffers/disseminates one write. It returns an error if the
+	// transaction cannot accept writes (finished, read-only, commit
+	// pending).
+	Write(tx *Tx, key message.Key, val message.Value) error
+	// Commit requests commitment; cb fires exactly once with the outcome.
+	Commit(tx *Tx, cb func(Outcome, AbortReason))
+	// Abort unilaterally aborts a transaction the client no longer wants.
+	Abort(tx *Tx)
+	// Stats returns a snapshot of the engine's counters.
+	Stats() *Stats
+	// Store exposes the site's local database (tests and tools).
+	Store() *storage.Store
+}
+
+// base carries the state and helpers shared by every engine.
+type base struct {
+	rt    env.Runtime
+	cfg   Config
+	name  string
+	locks *lockmgr.Manager
+	store *storage.Store
+	det   *failure.Detector
+	mem   *membership.Manager
+
+	nextSeq uint64
+	local   map[message.TxnID]*Tx
+	lsn     uint64 // per-site commit index for lock-based engines
+	stats   Stats
+}
+
+func newBase(rt env.Runtime, cfg Config, name string) *base {
+	st := cfg.InitialStore
+	if st == nil {
+		st = storage.New(cfg.WAL)
+	}
+	if cfg.MaxVersions != 0 {
+		st.MaxVersions = cfg.MaxVersions
+	}
+	b := &base{
+		rt:    rt,
+		cfg:   cfg,
+		name:  name,
+		locks: lockmgr.New(),
+		store: st,
+		local: make(map[message.TxnID]*Tx),
+		lsn:   st.Applied(),
+		stats: newStats(),
+	}
+	return b
+}
+
+// initMembership wires the failure detector and view manager when enabled.
+// onViewChange runs after each installed view, with the manager available.
+func (b *base) initMembership(onViewChange func(old, installed message.View)) {
+	if !b.cfg.Membership {
+		return
+	}
+	b.det = failure.New(b.rt, failure.Config{
+		Interval: b.cfg.FailureInterval,
+		Timeout:  b.cfg.FailureTimeout,
+		OnSuspect: func(message.SiteID) {
+			if b.mem != nil {
+				b.mem.Reconsider()
+			}
+		},
+		OnAlive: func(message.SiteID) {
+			if b.mem != nil {
+				b.mem.Reconsider()
+			}
+		},
+	})
+	b.mem = membership.New(b.rt, membership.Config{
+		Detector:     b.det,
+		OnViewChange: onViewChange,
+	})
+}
+
+func (b *base) startMembership() {
+	if b.mem != nil {
+		b.mem.Start()
+	}
+	if b.det != nil {
+		b.det.Start()
+	}
+}
+
+// members returns the current view membership (all peers when membership is
+// disabled).
+func (b *base) members() []message.SiteID {
+	if b.mem != nil {
+		return b.mem.Members()
+	}
+	return b.rt.Peers()
+}
+
+// inPrimary reports whether this site may serve transactions.
+func (b *base) inPrimary() bool {
+	if b.mem != nil {
+		return b.mem.InPrimary()
+	}
+	return true
+}
+
+// observe feeds the failure detector from the message router.
+func (b *base) observe(from message.SiteID) {
+	if b.det != nil {
+		b.det.Observe(from)
+	}
+}
+
+// begin creates a local transaction handle.
+func (b *base) begin(readOnly bool) *Tx {
+	b.nextSeq++
+	tx := &Tx{
+		ID:         message.TxnID{Site: b.rt.ID(), Seq: b.nextSeq},
+		ReadOnly:   readOnly,
+		state:      txActive,
+		beganAt:    b.rt.Now(),
+		writeByKey: make(map[message.Key]int),
+	}
+	b.local[tx.ID] = tx
+	b.stats.Begun++
+	return tx
+}
+
+// finish completes a local transaction exactly once: releases its local
+// locks, records stats, and fires the commit callback if one is pending.
+func (b *base) finish(tx *Tx, o Outcome, reason AbortReason) {
+	if tx.state == txDone {
+		return
+	}
+	tx.state = txDone
+	tx.outcome = o
+	tx.reason = reason
+	delete(b.local, tx.ID)
+	// Release any read continuations still queued on the lock table; the
+	// lock manager dropped their waiters, so they would otherwise never
+	// fire.
+	for _, cancel := range tx.readWaits {
+		cancel()
+	}
+	tx.readWaits = nil
+	switch o {
+	case Committed:
+		if tx.ReadOnly {
+			b.stats.ReadOnlyCommitted++
+		} else {
+			b.stats.Committed++
+			b.stats.CommitLatency.Observe(b.rt.Now() - tx.beganAt)
+		}
+		if b.cfg.Recorder != nil {
+			b.cfg.Recorder.RecordCommit(sgraph.TxnRec{
+				ID:       tx.ID,
+				Home:     b.rt.ID(),
+				ReadOnly: tx.ReadOnly,
+				Reads:    tx.reads,
+				Writes:   writeKeys(tx.writes),
+			})
+		}
+	case Aborted:
+		b.stats.Aborted++
+		b.stats.AbortsByReason[reason]++
+	}
+	if cb := tx.commitCB; cb != nil {
+		tx.commitCB = nil
+		cb(o, reason)
+	}
+}
+
+func writeKeys(writes []message.KV) []message.Key {
+	out := make([]message.Key, len(writes))
+	for i, w := range writes {
+		out[i] = w.Key
+	}
+	return out
+}
+
+// lockingRead implements the shared-lock read path used by the lock-based
+// engines (R, C, baseline): acquire a local S lock (waiting behind
+// exclusive holders), then read the latest committed version. With
+// Config.SnapshotReadOnly, read-only transactions skip the lock entirely.
+func (b *base) lockingRead(tx *Tx, key message.Key, cb func(message.Value, error)) {
+	if err := b.readPrecheck(tx); err != nil {
+		cb(nil, err)
+		return
+	}
+	if b.cfg.SnapshotReadOnly && tx.ReadOnly {
+		rec, ok := b.store.Get(key)
+		var from message.TxnID
+		var val message.Value
+		if ok {
+			from, val = rec.Writer, rec.Value
+		}
+		tx.reads = append(tx.reads, sgraph.ReadObs{Key: key, From: from})
+		cb(val, nil)
+		return
+	}
+	fired := false
+	fire := func(val message.Value, err error) {
+		if fired {
+			return
+		}
+		fired = true
+		cb(val, err)
+	}
+	finishRead := func() {
+		if tx.state == txDone {
+			fire(nil, ErrTxnDone)
+			return
+		}
+		rec, ok := b.store.Get(key)
+		var from message.TxnID
+		var val message.Value
+		if ok {
+			from = rec.Writer
+			val = rec.Value
+		}
+		tx.reads = append(tx.reads, sgraph.ReadObs{Key: key, From: from})
+		fire(val, nil)
+	}
+	switch b.locks.Acquire(tx.ID, key, lockmgr.Shared, true, finishRead) {
+	case lockmgr.Granted:
+		finishRead()
+	case lockmgr.Queued:
+		// finishRead fires on grant; the cancellation hook covers an abort
+		// while queued.
+		tx.readWaits = append(tx.readWaits, func() { fire(nil, ErrTxnDone) })
+	case lockmgr.Conflict:
+		// Cannot happen with wait=true; defensive.
+		fire(nil, fmt.Errorf("core: unexpected lock conflict on %q", key))
+	}
+}
+
+func (b *base) readPrecheck(tx *Tx) error {
+	switch {
+	case tx.state == txDone:
+		return ErrTxnDone
+	case tx.state == txCommitWait:
+		return ErrCommitPending
+	case tx.wrote:
+		return ErrReadAfterWrite
+	case !b.inPrimary():
+		return ErrNotPrimary
+	default:
+		return nil
+	}
+}
+
+// bufferWrite validates and appends a write to the transaction, collapsing
+// repeated writes to the same key onto the highest operation.
+func (b *base) bufferWrite(tx *Tx, key message.Key, val message.Value) error {
+	switch {
+	case tx.state == txDone:
+		return ErrTxnDone
+	case tx.state == txCommitWait:
+		return ErrCommitPending
+	case tx.ReadOnly:
+		return ErrReadOnly
+	case !b.inPrimary():
+		return ErrNotPrimary
+	}
+	tx.wrote = true
+	tx.writes = append(tx.writes, message.KV{Key: key, Value: val})
+	tx.writeByKey[key] = len(tx.writes) - 1
+	return nil
+}
+
+// dedupWrites collapses a staged op sequence so each key appears once with
+// its final value, preserving first-write order between keys.
+func dedupWrites(writes []message.KV) []message.KV {
+	if len(writes) <= 1 {
+		return writes
+	}
+	last := make(map[message.Key]int, len(writes))
+	for i, w := range writes {
+		last[w.Key] = i
+	}
+	out := writes[:0:0]
+	for i, w := range writes {
+		if last[w.Key] == i {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// applyCommitted installs a committed transaction's writes at the next
+// local commit index, records apply order, and counts it.
+func (b *base) applyCommitted(id message.TxnID, writes []message.KV) error {
+	writes = dedupWrites(writes)
+	b.lsn++
+	if err := b.store.Apply(id, writes, b.lsn); err != nil {
+		return fmt.Errorf("site %v apply %v: %w", b.rt.ID(), id, err)
+	}
+	if b.cfg.Recorder != nil {
+		for _, w := range writes {
+			b.cfg.Recorder.RecordApply(b.rt.ID(), w.Key, id)
+		}
+	}
+	b.stats.Applied++
+	return nil
+}
+
+// Stats returns the engine's counters.
+func (b *base) Stats() *Stats { return &b.stats }
+
+// Store exposes the local database.
+func (b *base) Store() *storage.Store { return b.store }
+
+// Locks exposes the local lock table (tests).
+func (b *base) Locks() *lockmgr.Manager { return b.locks }
+
+// Membership exposes the view manager (nil when disabled).
+func (b *base) Membership() *membership.Manager { return b.mem }
+
+// DebugActive renders one line per live local transaction — state, write
+// pipeline position, and outstanding acknowledgement set — for test and
+// tool diagnostics.
+func (b *base) DebugActive() []string {
+	out := make([]string, 0, len(b.local))
+	for _, tx := range b.local {
+		line := fmt.Sprintf("%v state=%d wrote=%v nextOp=%d/%d inFlight=%v", tx.ID, tx.state, tx.wrote, tx.nextOp, len(tx.writes), tx.opInFlight)
+		if len(tx.ackWait) > 0 {
+			line += fmt.Sprintf(" awaiting=%v", tx.ackWait)
+		}
+		out = append(out, line)
+	}
+	return out
+}

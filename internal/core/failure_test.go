@@ -1,0 +1,311 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/storage"
+)
+
+// failureCfg enables membership with detector timings suited to the
+// simulated latencies.
+func failureCfg(proto string) Config {
+	cfg := Config{
+		Membership:      true,
+		FailureInterval: 30 * time.Millisecond,
+		FailureTimeout:  150 * time.Millisecond,
+	}
+	if proto == "causal" {
+		cfg.CausalHeartbeat = 25 * time.Millisecond
+	}
+	return cfg
+}
+
+// survivors returns the indices of sites that are not crashed.
+func (tc *testCluster) survivors() []int {
+	var out []int
+	for i := range tc.engines {
+		if !tc.c.Crashed(message.SiteID(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TestCommitsContinueAfterCrash crashes one site mid-run; after the view
+// change excludes it, fresh update transactions at the survivors must
+// commit (the paper's majority-view availability claim).
+func TestCommitsContinueAfterCrash(t *testing.T) {
+	for _, proto := range []string{"reliable", "causal", "atomic"} {
+		t.Run(proto, func(t *testing.T) {
+			tc := newTestCluster(t, 5, proto, failureCfg(proto), 21)
+			// Warm-up transaction while everyone is alive.
+			warm := tc.runTxn(50*time.Millisecond, 0, false, nil, []message.KV{kv("w", "warm")})
+			tc.c.Schedule(time.Second, func() { tc.c.Crash(4) })
+			// Post-crash transactions, issued well after the detector and
+			// view change have had time to run.
+			var post []*txResult
+			for i := 0; i < 4; i++ {
+				post = append(post, tc.runTxn(3*time.Second+time.Duration(i*50)*time.Millisecond,
+					i, false, nil, []message.KV{kv(fmt.Sprintf("k%d", i), "post")}))
+			}
+			tc.run(10 * time.Second)
+			if !warm.done || warm.outcome != Committed {
+				t.Fatalf("warm-up txn: %+v", warm)
+			}
+			for i, res := range post {
+				if !res.done || res.outcome != Committed {
+					t.Fatalf("post-crash txn %d: done=%v outcome=%v reason=%v", i, res.done, res.outcome, res.reason)
+				}
+			}
+			// Survivors converge.
+			for _, i := range tc.survivors() {
+				if v, _ := tc.engines[i].Store().Get("k0"); string(v.Value) != "post" {
+					t.Fatalf("site %d missing post-crash write: %q", i, v.Value)
+				}
+			}
+			if err := tc.rec.Check(); err != nil {
+				t.Fatalf("serializability: %v", err)
+			}
+		})
+	}
+}
+
+// TestInFlightCommitSurvivesCrash starts a transaction whose
+// acknowledgement set includes a site that dies before answering; the view
+// change must unblock it (protocols R and C wait on the dead site; protocol
+// A never waited in the first place).
+func TestInFlightCommitSurvivesCrash(t *testing.T) {
+	for _, proto := range []string{"reliable", "causal", "atomic"} {
+		t.Run(proto, func(t *testing.T) {
+			tc := newTestCluster(t, 5, proto, failureCfg(proto), 23)
+			// Crash site 4 immediately: it never acknowledges anything.
+			tc.c.Schedule(0, func() { tc.c.Crash(4) })
+			res := tc.runTxn(20*time.Millisecond, 0, false, nil, []message.KV{kv("x", "v")})
+			tc.run(10 * time.Second)
+			if !res.done || res.outcome != Committed {
+				t.Fatalf("in-flight txn: done=%v outcome=%v reason=%v", res.done, res.outcome, res.reason)
+			}
+			if err := tc.rec.Check(); err != nil {
+				t.Fatalf("serializability: %v", err)
+			}
+		})
+	}
+}
+
+// TestAtomicCommitsBeforeViewChange shows protocol A's distinguishing
+// resilience: with no acknowledgements to collect, a non-sequencer crash
+// does not delay commitment at all — transactions finish long before the
+// failure detector even fires.
+func TestAtomicCommitsBeforeViewChange(t *testing.T) {
+	cfg := failureCfg("atomic")
+	cfg.FailureTimeout = 2 * time.Second // deliberately sluggish detector
+	tc := newTestCluster(t, 5, "atomic", cfg, 25)
+	tc.c.Schedule(0, func() { tc.c.Crash(4) })
+	res := tc.runTxn(20*time.Millisecond, 0, false, nil, []message.KV{kv("x", "v")})
+	start := tc.c.Now()
+	tc.run(time.Second) // far less than the detector timeout
+	_ = start
+	if !res.done || res.outcome != Committed {
+		t.Fatalf("atomic commit should not wait for failure detection: %+v", res)
+	}
+}
+
+// TestMinorityPartitionRefusesWork verifies the primary-partition rule end
+// to end: sites cut off from the majority must refuse new transactions
+// rather than diverge.
+func TestMinorityPartitionRefusesWork(t *testing.T) {
+	for _, proto := range []string{"reliable", "causal", "atomic"} {
+		t.Run(proto, func(t *testing.T) {
+			tc := newTestCluster(t, 5, proto, failureCfg(proto), 27)
+			tc.c.Schedule(500*time.Millisecond, func() {
+				tc.c.Partition([]message.SiteID{0, 1}, []message.SiteID{2, 3, 4})
+			})
+			// Give the views time to settle, then try to write on both
+			// sides.
+			minority := tc.runTxn(4*time.Second, 0, false, nil, []message.KV{kv("m", "minority")})
+			majority := tc.runTxn(4*time.Second, 3, false, nil, []message.KV{kv("M", "majority")})
+			tc.run(12 * time.Second)
+			if !majority.done || majority.outcome != Committed {
+				t.Fatalf("majority txn: %+v", majority)
+			}
+			if minority.done && minority.outcome == Committed {
+				t.Fatal("minority side committed an update during the partition")
+			}
+			// The minority side's write must not be visible anywhere on the
+			// majority side.
+			for _, i := range []int{2, 3, 4} {
+				if _, ok := tc.engines[i].Store().Get("m"); ok {
+					t.Fatalf("minority write leaked to majority site %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestViewChangeAbortsOrphans crashes a home site mid-transaction; the
+// survivors must eventually release the orphan's locks so later conflicting
+// transactions can proceed.
+func TestViewChangeAbortsOrphans(t *testing.T) {
+	for _, proto := range []string{"reliable", "causal"} {
+		t.Run(proto, func(t *testing.T) {
+			tc := newTestCluster(t, 4, proto, failureCfg(proto), 29)
+			// Site 3 writes x (locks spread to all sites), then dies before
+			// committing: its writes were broadcast but commitment never
+			// finishes.
+			tc.c.Schedule(10*time.Millisecond, func() {
+				e := tc.engines[3]
+				tx := e.Begin(false)
+				if err := e.Write(tx, "x", message.Value("orphan")); err != nil {
+					t.Errorf("orphan write: %v", err)
+				}
+				// No commit: the site will crash holding replicated locks.
+			})
+			tc.c.Schedule(200*time.Millisecond, func() { tc.c.Crash(3) })
+			// A later writer on the same key from a survivor must
+			// eventually commit once the view change cleans the orphan.
+			late := tc.runTxn(3*time.Second, 0, false, nil, []message.KV{kv("x", "late")})
+			tc.run(12 * time.Second)
+			if !late.done || late.outcome != Committed {
+				t.Fatalf("late writer blocked by orphan locks: %+v", late)
+			}
+			for _, i := range tc.survivors() {
+				if v, _ := tc.engines[i].Store().Get("x"); string(v.Value) != "late" {
+					t.Fatalf("site %d has %q", i, v.Value)
+				}
+			}
+		})
+	}
+}
+
+// TestWALRecoveryResume restarts an engine from its write-ahead log and
+// verifies the recovered state serves reads and accepts new commits with a
+// resumed commit index.
+func TestWALRecoveryResume(t *testing.T) {
+	for _, proto := range []string{"reliable", "causal", "baseline"} {
+		t.Run(proto, func(t *testing.T) {
+			var buf bytes.Buffer
+			wal := storage.NewWAL(&buf)
+			cfg := cfgFor(proto)
+			// Only site 0 logs; the others are throwaway peers.
+			tc := newTestClusterWith(t, 3, proto, cfg, 55, func(site int, c Config) Config {
+				if site == 0 {
+					c.WAL = wal
+				}
+				return c
+			})
+			w1 := tc.runTxn(time.Millisecond, 1, false, nil, []message.KV{kv("a", "1")})
+			w2 := tc.runTxn(100*time.Millisecond, 0, false, nil, []message.KV{kv("b", "2"), kv("a", "3")})
+			tc.run(5 * time.Second)
+			if !w1.done || !w2.done || w1.outcome != Committed || w2.outcome != Committed {
+				t.Fatalf("setup txns failed: %+v %+v", w1, w2)
+			}
+
+			// "Restart": recover a fresh store from site 0's log and boot a
+			// new single-site engine around it.
+			recovered, err := storage.Recover(bytes.NewReader(buf.Bytes()), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := recovered.Get("a"); string(got.Value) != "3" {
+				t.Fatalf("recovered a=%q", got.Value)
+			}
+			cfg2 := cfgFor(proto)
+			cfg2.InitialStore = recovered
+			tc2 := newTestClusterWith(t, 1, proto, cfg2, 56, nil)
+			res := tc2.runTxn(time.Millisecond, 0, false, keys("a"), []message.KV{kv("a", "4")})
+			tc2.run(5 * time.Second)
+			if !res.done || res.outcome != Committed {
+				t.Fatalf("post-recovery txn: %+v", res)
+			}
+			if string(res.vals["a"]) != "3" {
+				t.Fatalf("post-recovery read a=%q, want 3", res.vals["a"])
+			}
+			if got, _ := tc2.engines[0].Store().Get("a"); string(got.Value) != "4" {
+				t.Fatalf("post-recovery store a=%q", got.Value)
+			}
+		})
+	}
+}
+
+// TestAtomicPartitionHealResync runs the full rejoin path at the engine
+// level: a site is partitioned away, the majority commits on, the partition
+// heals, and the returning site resynchronizes by state transfer plus gap
+// repair until it serves reads of the post-partition state.
+func TestAtomicPartitionHealResync(t *testing.T) {
+	cfg := failureCfg("atomic")
+	cfg.PiggybackWrites = true // resync requires the ordered stream to carry the writes
+	tc := newTestCluster(t, 5, "atomic", cfg, 31)
+	pre := tc.runTxn(100*time.Millisecond, 0, false, nil, []message.KV{kv("epoch", "pre")})
+	tc.c.Schedule(500*time.Millisecond, func() {
+		tc.c.Partition([]message.SiteID{0}, []message.SiteID{1, 2, 3, 4})
+	})
+	during := tc.runTxn(3*time.Second, 2, false, nil, []message.KV{kv("epoch", "during")})
+	tc.c.Schedule(5*time.Second, func() { tc.c.Heal() })
+	// Give detector, view change, state transfer, and gap repair time.
+	post := tc.runTxn(9*time.Second, 0, false, keys("epoch"), []message.KV{kv("epoch", "post")})
+	tc.run(15 * time.Second)
+	if !pre.done || pre.outcome != Committed {
+		t.Fatalf("pre txn: %+v", pre)
+	}
+	if !during.done || during.outcome != Committed {
+		t.Fatalf("during txn: %+v", during)
+	}
+	if !post.done || post.outcome != Committed {
+		t.Fatalf("post txn at healed site: done=%v outcome=%v reason=%v readErr=%v writeErr=%v",
+			post.done, post.outcome, post.reason, post.readErr, post.writeErr)
+	}
+	if string(post.vals["epoch"]) != "during" {
+		t.Fatalf("healed site read %q before its own write, want \"during\"", post.vals["epoch"])
+	}
+	for i, e := range tc.engines {
+		if v, _ := e.Store().Get("epoch"); string(v.Value) != "post" {
+			t.Fatalf("site %d converged to %q", i, v.Value)
+		}
+	}
+	if err := tc.rec.Check(); err != nil {
+		t.Fatalf("serializability: %v", err)
+	}
+}
+
+// TestAtomicSequencerCrashFailover kills the total-order sequencer itself
+// (the lowest view member). The view change elects the next-lowest site,
+// which re-assigns any orphaned orderings; commits must resume.
+func TestAtomicSequencerCrashFailover(t *testing.T) {
+	cfg := failureCfg("atomic")
+	tc := newTestCluster(t, 5, "atomic", cfg, 33)
+	pre := tc.runTxn(100*time.Millisecond, 2, false, nil, []message.KV{kv("a", "pre")})
+	// Crash site 0 — the sequencer — and submit work right away (these may
+	// have their commit requests orphaned until the new sequencer takes
+	// over at the view change).
+	tc.c.Schedule(time.Second, func() { tc.c.Crash(0) })
+	inflight := tc.runTxn(1050*time.Millisecond, 1, false, nil, []message.KV{kv("b", "inflight")})
+	post := tc.runTxn(4*time.Second, 3, false, nil, []message.KV{kv("c", "post")})
+	tc.run(15 * time.Second)
+	if !pre.done || pre.outcome != Committed {
+		t.Fatalf("pre: %+v", pre)
+	}
+	if !inflight.done || inflight.outcome != Committed {
+		t.Fatalf("in-flight txn across sequencer crash: done=%v outcome=%v reason=%v",
+			inflight.done, inflight.outcome, inflight.reason)
+	}
+	if !post.done || post.outcome != Committed {
+		t.Fatalf("post-failover txn: %+v", post)
+	}
+	// Survivors agree on everything.
+	for _, key := range []string{"a", "b", "c"} {
+		ref, _ := tc.engines[1].Store().Get(message.Key(key))
+		for _, i := range tc.survivors() {
+			got, _ := tc.engines[i].Store().Get(message.Key(key))
+			if string(got.Value) != string(ref.Value) {
+				t.Fatalf("site %d diverges on %q: %q vs %q", i, key, got.Value, ref.Value)
+			}
+		}
+	}
+	if err := tc.rec.Check(); err != nil {
+		t.Fatalf("serializability: %v", err)
+	}
+}

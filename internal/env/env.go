@@ -1,0 +1,54 @@
+// Package env defines the runtime interface that hosts a protocol node.
+// Protocol code (broadcast stack, membership, replication engines) is
+// written as deterministic event-driven state machines against this
+// interface; the discrete-event simulator (internal/sim) and the TCP
+// runtime (internal/livenet) both implement it, so tests, benchmarks, and
+// the deployable binary exercise the same code paths.
+package env
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/message"
+)
+
+// TimerID names a pending timer so it can be cancelled.
+type TimerID uint64
+
+// Runtime is the execution environment handed to a node. All callbacks into
+// the node (message receipt, timer expiry) are serialized by the runtime:
+// node code never needs its own locking.
+type Runtime interface {
+	// ID returns this site's identifier.
+	ID() message.SiteID
+	// Peers returns the identifiers of every site in the cluster, including
+	// this one, in ascending order. Membership views restrict this static
+	// universe; they never extend it.
+	Peers() []message.SiteID
+	// Send transmits m to site to. Sends to self are delivered like any
+	// other message. Delivery is FIFO per (sender, receiver) pair but may
+	// fail silently if the destination has crashed or is partitioned away.
+	Send(to message.SiteID, m message.Message)
+	// SetTimer schedules fn to run after d. The returned id can cancel it.
+	SetTimer(d time.Duration, fn func()) TimerID
+	// CancelTimer cancels a pending timer; expired or unknown ids are
+	// ignored.
+	CancelTimer(id TimerID)
+	// Now returns the current time. In the simulator this is virtual time
+	// from the start of the run.
+	Now() time.Duration
+	// Rand returns this site's deterministic random source.
+	Rand() *rand.Rand
+	// Logf records a debug line attributed to this site.
+	Logf(format string, args ...any)
+}
+
+// Node is a protocol state machine hosted by a Runtime.
+type Node interface {
+	// Start runs once before any message is delivered.
+	Start()
+	// Receive handles one message from a peer. It runs on the runtime's
+	// event loop; it must not block.
+	Receive(from message.SiteID, m message.Message)
+}

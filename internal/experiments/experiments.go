@@ -1,0 +1,687 @@
+// Package experiments defines the reproduction's evaluation suite — the
+// measured counterparts of the paper's analytical comparison plus the
+// sensitivity and availability studies it discusses qualitatively. Each
+// experiment builds harness runs, renders a table, and exposes headline
+// metrics; cmd/benchrunner prints the tables and bench_test.go reports the
+// metrics as testing.B results. EXPERIMENTS.md records expectation vs.
+// measurement for each.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/message"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Report is one experiment's output.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*harness.Table
+	// Metrics are headline numbers ("reliable/n=5/msgs_per_commit" style
+	// keys) for benchmark reporting.
+	Metrics map[string]float64
+	// Violations lists any failed expectations (empty = reproduction holds).
+	Violations []string
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Metrics: make(map[string]float64)}
+}
+
+func (r *Report) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// Config scales the suite.
+type Config struct {
+	// Quick shrinks transaction counts and sweep points for CI-speed runs.
+	Quick bool
+	// Seed offsets all runs for replication studies.
+	Seed int64
+}
+
+func (c Config) txns(full int) int {
+	if c.Quick {
+		return full / 4
+	}
+	return full
+}
+
+func (c Config) seed(base int64) int64 { return base + c.Seed }
+
+// engineCfg returns the per-protocol engine defaults used across the suite.
+func engineCfg(proto string) core.Config {
+	cfg := core.Config{}
+	if proto == harness.ProtoCausal {
+		cfg.CausalHeartbeat = 25 * time.Millisecond
+	}
+	return cfg
+}
+
+// All runs every experiment.
+func All(cfg Config) ([]*Report, error) {
+	runs := []func(Config) (*Report, error){
+		E1Messages, E2CommitLatency, E3AbortContention, E4ThroughputSites,
+		E5WriteMix, E6CausalHeartbeat, E7Availability, E8Ablation, E9Batching,
+		E10Quorum, E11SlowSite, E12SnapshotReads,
+	}
+	out := make([]*Report, 0, len(runs))
+	for _, f := range runs {
+		r, err := f(cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// E1Messages measures per-commit message and broadcast-operation counts
+// against the analytical model, across cluster sizes. Paper claim: protocol
+// C needs no positive acknowledgements, protocol A no acknowledgements at
+// all, while protocol R's decentralized vote round costs n(n-1) unicasts.
+func E1Messages(cfg Config) (*Report, error) {
+	rep := newReport("E1", "Messages per committed update transaction (w=2 writes, no contention)")
+	tbl := harness.NewTable(rep.Title,
+		"sites", "protocol", "unicasts/commit", "analytic", "broadcast ops", "bytes/commit")
+	sizes := []int{3, 5, 7, 9}
+	if cfg.Quick {
+		sizes = []int{3, 5}
+	}
+	const w = 2
+	for _, n := range sizes {
+		for _, proto := range harness.Protocols {
+			res, err := harness.Run(harness.Options{
+				Protocol: proto,
+				Seed:     cfg.seed(101),
+				Engine:   engineCfg(proto),
+				Workload: workload.Spec{
+					Sites: n, Count: cfg.txns(200), Window: 20 * time.Second,
+					Keys: 4096, ReadsPerTxn: 1, WritesPerTxn: w, Seed: cfg.seed(11),
+				},
+			})
+			if err != nil {
+				return rep, err
+			}
+			an := analyticMsgs(proto, n, w)
+			tbl.Add(n, proto, res.ProtocolMsgsPerCommit, an, res.LogicalBroadcasts/float64(res.Committed), res.BytesPerCommit)
+			key := fmt.Sprintf("%s/n=%d", proto, n)
+			rep.Metrics[key+"/msgs_per_commit"] = res.ProtocolMsgsPerCommit
+			if res.ProtocolMsgsPerCommit < 0.85*an || res.ProtocolMsgsPerCommit > 1.15*an {
+				rep.violate("E1 %s n=%d: measured %.1f vs analytic %.1f", proto, n, res.ProtocolMsgsPerCommit, an)
+			}
+		}
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// analyticMsgs is the closed-form unicast count per committed update
+// transaction with w write operations at n sites, no conflicts.
+func analyticMsgs(proto string, n, w int) float64 {
+	switch proto {
+	case harness.ProtoBaseline:
+		return float64(2*w*(n-1) + 3*(n-1))
+	case harness.ProtoReliable:
+		return float64(2*w*(n-1) + (n - 1) + n*(n-1))
+	case harness.ProtoCausal:
+		return float64((w + 1) * (n - 1))
+	case harness.ProtoAtomic:
+		return float64((w+1)*(n-1) + (n - 1))
+	default:
+		return 0
+	}
+}
+
+// E2CommitLatency measures commit latency across cluster sizes. Paper
+// claim: R pays per-operation ack round trips plus the vote round; C
+// pipelines writes and pays one implicit-ack wait; A pays a single
+// total-order delivery.
+func E2CommitLatency(cfg Config) (*Report, error) {
+	rep := newReport("E2", "Commit latency (1-2ms links, w=2)")
+	tbl := harness.NewTable(rep.Title, "sites", "protocol", "mean", "p50", "p99")
+	sizes := []int{3, 5, 7}
+	if cfg.Quick {
+		sizes = []int{3, 5}
+	}
+	for _, n := range sizes {
+		perProto := map[string]time.Duration{}
+		for _, proto := range harness.Protocols {
+			res, err := harness.Run(harness.Options{
+				Protocol: proto,
+				Link:     netsim.Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond},
+				Seed:     cfg.seed(102),
+				Engine:   engineCfg(proto),
+				Workload: workload.Spec{
+					Sites: n, Count: cfg.txns(200), Window: 20 * time.Second,
+					Keys: 4096, ReadsPerTxn: 1, WritesPerTxn: 2, Seed: cfg.seed(12),
+				},
+			})
+			if err != nil {
+				return rep, err
+			}
+			tbl.Add(n, proto, res.UpdateLatency.Mean(), res.UpdateLatency.Quantile(0.5), res.UpdateLatency.Quantile(0.99))
+			perProto[proto] = res.UpdateLatency.Mean()
+			rep.Metrics[fmt.Sprintf("%s/n=%d/mean_latency_us", proto, n)] = float64(res.UpdateLatency.Mean().Microseconds())
+		}
+		// Expected shape: A commits after one ordered delivery, R pays
+		// write-ack rounds plus votes, so A should beat R.
+		if perProto[harness.ProtoAtomic] >= perProto[harness.ProtoReliable] {
+			rep.violate("E2 n=%d: atomic latency %v not below reliable %v", n,
+				perProto[harness.ProtoAtomic], perProto[harness.ProtoReliable])
+		}
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// E3AbortContention sweeps hot-key contention. Paper claim: R and C abort
+// conflicting writers via negative acknowledgements (never-wait rule); the
+// blocking baseline trades aborts for queueing; A aborts only stale
+// certifications. Read-only transactions never abort under the broadcast
+// protocols at any contention level.
+func E3AbortContention(cfg Config) (*Report, error) {
+	rep := newReport("E3", "Abort rate vs contention (hot-set probability, 4 hot keys)")
+	tbl := harness.NewTable(rep.Title, "hot-prob", "protocol", "committed", "aborted", "abort rate", "ro aborted")
+	probs := []float64{0, 0.3, 0.6, 0.9}
+	if cfg.Quick {
+		probs = []float64{0, 0.6}
+	}
+	for _, p := range probs {
+		for _, proto := range harness.Protocols {
+			res, err := harness.Run(harness.Options{
+				Protocol: proto,
+				Seed:     cfg.seed(103),
+				Engine:   engineCfg(proto),
+				Workload: workload.Spec{
+					Sites: 5, Count: cfg.txns(400), Window: 10 * time.Second,
+					Keys: 512, HotKeys: 4, HotProb: p,
+					ReadOnlyFraction: 0.25, ReadsPerTxn: 2, WritesPerTxn: 2, Seed: cfg.seed(13),
+				},
+			})
+			if err != nil {
+				return rep, err
+			}
+			roAborted := res.Submitted - res.Committed - res.Aborted - res.ReadOnlyCommitted - res.Unfinished - res.Skipped
+			// Aborted read-only transactions land in res.Aborted with their
+			// reasons; separate them out by reason accounting.
+			roAborts := res.AbortsByReason[core.ReasonWounded] // only the baseline wounds readers
+			_ = roAborted
+			tbl.Add(fmt.Sprintf("%.1f", p), proto, res.Committed, res.Aborted, harness.FormatPct(res.AbortRate()), roAborts)
+			rep.Metrics[fmt.Sprintf("%s/hot=%.1f/abort_rate", proto, p)] = res.AbortRate()
+			if proto != harness.ProtoBaseline && res.ReadOnlyCommitted == 0 && res.Submitted > 0 {
+				rep.violate("E3 %s hot=%.1f: no read-only commits recorded", proto, p)
+			}
+		}
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// E4ThroughputSites measures committed update transactions per second as
+// the cluster grows under a fixed cluster-wide offered load.
+func E4ThroughputSites(cfg Config) (*Report, error) {
+	rep := newReport("E4", "Throughput vs cluster size (fixed offered load)")
+	tbl := harness.NewTable(rep.Title, "sites", "protocol", "committed/s", "abort rate", "msgs/commit")
+	sizes := []int{3, 5, 7, 9}
+	if cfg.Quick {
+		sizes = []int{3, 7}
+	}
+	for _, n := range sizes {
+		for _, proto := range harness.Protocols {
+			res, err := harness.Run(harness.Options{
+				Protocol: proto,
+				Seed:     cfg.seed(104),
+				Engine:   engineCfg(proto),
+				Workload: workload.Spec{
+					Sites: n, Count: cfg.txns(600), Window: 15 * time.Second,
+					Keys: 128, ReadOnlyFraction: 0.2, ReadsPerTxn: 2, WritesPerTxn: 2, Seed: cfg.seed(14),
+				},
+			})
+			if err != nil {
+				return rep, err
+			}
+			tbl.Add(n, proto, res.ThroughputPerSec, harness.FormatPct(res.AbortRate()), res.ProtocolMsgsPerCommit)
+			rep.Metrics[fmt.Sprintf("%s/n=%d/throughput", proto, n)] = res.ThroughputPerSec
+		}
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// E5WriteMix sweeps the read-only fraction. Paper claim: read-only
+// transactions are free (no broadcast) and never aborted by the broadcast
+// protocols, so read-heavy mixes widen their advantage.
+func E5WriteMix(cfg Config) (*Report, error) {
+	rep := newReport("E5", "Workload mix: read-only fraction sweep (5 sites)")
+	tbl := harness.NewTable(rep.Title, "ro-frac", "protocol", "upd committed", "ro committed", "abort rate", "msgs/commit")
+	fracs := []float64{0, 0.25, 0.5, 0.75, 0.95}
+	if cfg.Quick {
+		fracs = []float64{0, 0.5, 0.95}
+	}
+	for _, f := range fracs {
+		for _, proto := range harness.Protocols {
+			res, err := harness.Run(harness.Options{
+				Protocol: proto,
+				Seed:     cfg.seed(105),
+				Engine:   engineCfg(proto),
+				Workload: workload.Spec{
+					Sites: 5, Count: cfg.txns(400), Window: 10 * time.Second,
+					Keys: 64, HotKeys: 8, HotProb: 0.5,
+					ReadOnlyFraction: f, ReadsPerTxn: 2, WritesPerTxn: 2, Seed: cfg.seed(15),
+				},
+			})
+			if err != nil {
+				return rep, err
+			}
+			tbl.Add(fmt.Sprintf("%.0f%%", 100*f), proto, res.Committed, res.ReadOnlyCommitted,
+				harness.FormatPct(res.AbortRate()), res.ProtocolMsgsPerCommit)
+			rep.Metrics[fmt.Sprintf("%s/ro=%.2f/abort_rate", proto, f)] = res.AbortRate()
+		}
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// E6CausalHeartbeat sweeps protocol C's null-broadcast interval at low
+// offered load — quantifying the paper's stated drawback ("the wait for
+// implicit acknowledgments can become a drawback resulting in substantial
+// delays") and the cost of the mitigation.
+func E6CausalHeartbeat(cfg Config) (*Report, error) {
+	rep := newReport("E6", "Protocol C: implicit-ack stall vs heartbeat interval (low load)")
+	tbl := harness.NewTable(rep.Title, "heartbeat", "mean commit", "p99 commit", "unfinished", "background msg/s")
+	intervals := []time.Duration{0, 10 * time.Millisecond, 25 * time.Millisecond,
+		100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second}
+	if cfg.Quick {
+		intervals = []time.Duration{0, 25 * time.Millisecond, 500 * time.Millisecond}
+	}
+	for _, hb := range intervals {
+		ecfg := core.Config{CausalHeartbeat: hb}
+		res, err := harness.Run(harness.Options{
+			Protocol: harness.ProtoCausal,
+			Seed:     cfg.seed(106),
+			Engine:   ecfg,
+			Drain:    5 * time.Second, // bounded: with hb=0 some commits stall forever
+			Workload: workload.Spec{
+				Sites: 5, Count: cfg.txns(60), Window: 30 * time.Second,
+				Keys: 1024, ReadsPerTxn: 1, WritesPerTxn: 2, Seed: cfg.seed(16),
+			},
+		})
+		if err != nil {
+			return rep, err
+		}
+		label := hb.String()
+		if hb == 0 {
+			label = "off"
+		}
+		tbl.Add(label, res.UpdateLatency.Mean(), res.UpdateLatency.Quantile(0.99), res.Unfinished, res.BackgroundMsgsPerSec)
+		rep.Metrics[fmt.Sprintf("hb=%s/mean_latency_us", label)] = float64(res.UpdateLatency.Mean().Microseconds())
+		rep.Metrics[fmt.Sprintf("hb=%s/unfinished", label)] = float64(res.Unfinished)
+		if hb == 0 && res.Unfinished == 0 {
+			rep.violate("E6: disabling heartbeats at low load should stall some commits")
+		}
+		if hb == 25*time.Millisecond && res.Unfinished > 0 {
+			rep.violate("E6: 25ms heartbeats should clear all commits, %d unfinished", res.Unfinished)
+		}
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// E7Availability crashes one site mid-run. Paper claim: with
+// majority-quorum views the system keeps committing; protocol A does not
+// even pause (no acknowledgements to miss), while R and C pause for the
+// view change.
+func E7Availability(cfg Config) (*Report, error) {
+	rep := newReport("E7", "Availability under a site crash at t=5s (5 sites, membership on)")
+	tbl := harness.NewTable(rep.Title, "protocol", "committed pre", "committed post", "unfinished", "skipped", "abort rate")
+	crashAt := 5 * time.Second
+	for _, proto := range []string{harness.ProtoReliable, harness.ProtoCausal, harness.ProtoAtomic} {
+		ecfg := engineCfg(proto)
+		ecfg.Membership = true
+		ecfg.FailureInterval = 50 * time.Millisecond
+		ecfg.FailureTimeout = 250 * time.Millisecond
+		res, err := harness.Run(harness.Options{
+			Protocol: proto,
+			Seed:     cfg.seed(107),
+			Engine:   ecfg,
+			Faults:   []harness.Fault{{At: crashAt, Crash: 4}},
+			Workload: workload.Spec{
+				Sites: 5, Count: cfg.txns(300), Window: 15 * time.Second,
+				Keys: 256, ReadsPerTxn: 1, WritesPerTxn: 2, Seed: cfg.seed(17),
+			},
+		})
+		if err != nil {
+			return rep, err
+		}
+		pre, post := 0, 0
+		for _, at := range res.CommitTimes {
+			if at < crashAt {
+				pre++
+			} else {
+				post++
+			}
+		}
+		tbl.Add(proto, pre, post, res.Unfinished, res.Skipped, harness.FormatPct(res.AbortRate()))
+		rep.Metrics[proto+"/post_crash_commits"] = float64(post)
+		if post == 0 {
+			rep.violate("E7 %s: no commits after the crash — availability lost", proto)
+		}
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// E8Ablation studies the design alternatives DESIGN.md calls out: the
+// total-order implementation (fixed sequencer vs ISIS agreed timestamps)
+// and reliable-broadcast relaying under message loss.
+func E8Ablation(cfg Config) (*Report, error) {
+	rep := newReport("E8", "Ablations: total-order implementation; relaying under loss")
+
+	ord := harness.NewTable("Protocol A: sequencer vs ISIS ordering (5 sites)",
+		"ordering", "msgs/commit", "mean commit", "p99 commit")
+	for _, mode := range []struct {
+		name string
+		m    broadcast.AtomicMode
+	}{{"sequencer", broadcast.AtomicSequencer}, {"isis", broadcast.AtomicIsis}} {
+		res, err := harness.Run(harness.Options{
+			Protocol: harness.ProtoAtomic,
+			Link:     netsim.Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond},
+			Seed:     cfg.seed(108),
+			Engine:   core.Config{AtomicMode: mode.m},
+			Workload: workload.Spec{
+				Sites: 5, Count: cfg.txns(200), Window: 10 * time.Second,
+				Keys: 1024, ReadsPerTxn: 1, WritesPerTxn: 2, Seed: cfg.seed(18),
+			},
+		})
+		if err != nil {
+			return rep, err
+		}
+		ord.Add(mode.name, res.ProtocolMsgsPerCommit, res.UpdateLatency.Mean(), res.UpdateLatency.Quantile(0.99))
+		rep.Metrics["order="+mode.name+"/msgs_per_commit"] = res.ProtocolMsgsPerCommit
+	}
+	rep.Tables = append(rep.Tables, ord)
+
+	loss := harness.NewTable("Protocol R under 10% message loss: eager relay on/off (4 sites)",
+		"relay", "committed", "unfinished", "msgs/commit")
+	for _, relay := range []bool{false, true} {
+		res, err := harness.Run(harness.Options{
+			Protocol: harness.ProtoReliable,
+			Link:     netsim.Lossy{Inner: netsim.Fixed{Delay: time.Millisecond}, P: 0.10},
+			Seed:     cfg.seed(109),
+			Engine:   core.Config{Relay: relay},
+			Drain:    10 * time.Second,
+			Workload: workload.Spec{
+				Sites: 4, Count: cfg.txns(150), Window: 15 * time.Second,
+				Keys: 1024, ReadsPerTxn: 0, WritesPerTxn: 1, Seed: cfg.seed(19),
+			},
+		})
+		if err != nil {
+			return rep, err
+		}
+		loss.Add(relay, res.Committed, res.Unfinished, res.MsgsPerCommit)
+		rep.Metrics[fmt.Sprintf("relay=%v/committed", relay)] = float64(res.Committed)
+	}
+	rep.Tables = append(rep.Tables, loss)
+	return rep, nil
+}
+
+// E9Batching measures the deferred-write (batching) optimization for
+// protocols R and C: one WriteBatch broadcast replaces the per-operation
+// stream, collapsing R's per-op acknowledgement rounds into one. This is
+// the direction the group-communication replication literature that grew
+// out of this paper (and systems like Postgres-R and Galera) took.
+func E9Batching(cfg Config) (*Report, error) {
+	rep := newReport("E9", "Deferred-write batching ablation (5 sites, w=4 writes)")
+	tbl := harness.NewTable(rep.Title, "protocol", "mode", "msgs/commit", "mean commit", "abort rate")
+	const w = 4
+	for _, proto := range []string{harness.ProtoReliable, harness.ProtoCausal} {
+		for _, batch := range []bool{false, true} {
+			ecfg := engineCfg(proto)
+			ecfg.BatchWrites = batch
+			res, err := harness.Run(harness.Options{
+				Protocol: proto,
+				Link:     netsim.Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond},
+				Seed:     cfg.seed(110),
+				Engine:   ecfg,
+				Workload: workload.Spec{
+					Sites: 5, Count: cfg.txns(200), Window: 10 * time.Second,
+					Keys: 64, HotKeys: 8, HotProb: 0.3,
+					ReadsPerTxn: 1, WritesPerTxn: w, Seed: cfg.seed(20),
+				},
+			})
+			if err != nil {
+				return rep, err
+			}
+			mode := "stream"
+			if batch {
+				mode = "batch"
+			}
+			tbl.Add(proto, mode, res.ProtocolMsgsPerCommit, res.UpdateLatency.Mean(), harness.FormatPct(res.AbortRate()))
+			rep.Metrics[fmt.Sprintf("%s/%s/msgs_per_commit", proto, mode)] = res.ProtocolMsgsPerCommit
+			rep.Metrics[fmt.Sprintf("%s/%s/mean_latency_us", proto, mode)] = float64(res.UpdateLatency.Mean().Microseconds())
+		}
+	}
+	if rep.Metrics["reliable/batch/msgs_per_commit"] >= rep.Metrics["reliable/stream/msgs_per_commit"] {
+		rep.violate("E9: batching did not reduce protocol R messages")
+	}
+	if rep.Metrics["causal/batch/msgs_per_commit"] >= rep.Metrics["causal/stream/msgs_per_commit"] {
+		rep.violate("E9: batching did not reduce protocol C messages")
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// E10Quorum contrasts the broadcast-ROWA family with Gifford's
+// majority-quorum replica control — the other classical point-to-point
+// approach the paper's introduction situates itself against. Two cuts:
+//
+//  1. read cost: quorum reads pay two network rounds per key and shared
+//     locks at a majority, where the broadcast protocols read locally for
+//     free — so read-heavy mixes separate the families dramatically;
+//  2. availability mechanics: a quorum system rides through a minority
+//     crash with no failure detector at all, while the broadcast ROWA
+//     protocols must wait out detection and a view change.
+func E10Quorum(cfg Config) (*Report, error) {
+	rep := newReport("E10", "Quorum vs broadcast ROWA: read cost and detector-free availability")
+
+	costs := harness.NewTable("Per-commit cost, 75% read-only mix (5 sites, 2 reads + 2 writes)",
+		"protocol", "msgs/commit", "ro committed", "mean ro latency", "mean upd latency")
+	for _, proto := range []string{harness.ProtoQuorum, harness.ProtoCausal, harness.ProtoAtomic} {
+		res, err := harness.Run(harness.Options{
+			Protocol: proto,
+			Link:     netsim.Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond},
+			Seed:     cfg.seed(111),
+			Engine:   engineCfg(proto),
+			Workload: workload.Spec{
+				Sites: 5, Count: cfg.txns(300), Window: 15 * time.Second,
+				Keys: 128, ReadOnlyFraction: 0.75,
+				ReadsPerTxn: 2, WritesPerTxn: 2, Seed: cfg.seed(21),
+			},
+		})
+		if err != nil {
+			return rep, err
+		}
+		costs.Add(proto, res.ProtocolMsgsPerCommit, res.ReadOnlyCommitted,
+			res.ReadOnlyLatency.Mean(), res.UpdateLatency.Mean())
+		rep.Metrics[proto+"/msgs_per_commit"] = res.ProtocolMsgsPerCommit
+		rep.Metrics[proto+"/ro_latency_us"] = float64(res.ReadOnlyLatency.Mean().Microseconds())
+	}
+	// Broadcast read-only transactions are local: effectively zero latency
+	// and zero messages; quorum read-only transactions pay real rounds.
+	if rep.Metrics["quorum/ro_latency_us"] <= rep.Metrics["causal/ro_latency_us"] {
+		rep.violate("E10: quorum read-only latency should exceed broadcast's local reads")
+	}
+	rep.Tables = append(rep.Tables, costs)
+
+	avail := harness.NewTable("Crash at t=5s, NO failure detector anywhere (5 sites)",
+		"protocol", "committed pre", "committed post", "unfinished")
+	crashAt := 5 * time.Second
+	for _, proto := range []string{harness.ProtoQuorum, harness.ProtoReliable, harness.ProtoCausal} {
+		// Membership deliberately disabled: this measures what happens with
+		// no detection machinery at all.
+		res, err := harness.Run(harness.Options{
+			Protocol: proto,
+			Seed:     cfg.seed(112),
+			Engine:   engineCfg(proto),
+			Faults:   []harness.Fault{{At: crashAt, Crash: 4}},
+			Drain:    5 * time.Second,
+			Workload: workload.Spec{
+				Sites: 5, Count: cfg.txns(200), Window: 10 * time.Second,
+				Keys: 256, ReadsPerTxn: 1, WritesPerTxn: 2, Seed: cfg.seed(22),
+			},
+		})
+		if err != nil {
+			return rep, err
+		}
+		pre, post := 0, 0
+		for _, at := range res.CommitTimes {
+			if at < crashAt {
+				pre++
+			} else {
+				post++
+			}
+		}
+		avail.Add(proto, pre, post, res.Unfinished)
+		rep.Metrics[proto+"/detectorless_post_crash"] = float64(post)
+		rep.Metrics[proto+"/detectorless_unfinished"] = float64(res.Unfinished)
+	}
+	if rep.Metrics["quorum/detectorless_post_crash"] == 0 {
+		rep.violate("E10: quorum should commit through a minority crash without a detector")
+	}
+	if rep.Metrics["reliable/detectorless_unfinished"] == 0 {
+		rep.violate("E10: detector-less protocol R should stall on the dead site's acks")
+	}
+	rep.Tables = append(rep.Tables, avail)
+	return rep, nil
+}
+
+// E11SlowSite places one distant site (50ms links, vs 1-2ms LAN for the
+// rest) in a 5-site cluster and measures commit latency across all homes
+// (a fifth of the transactions are homed at the distant site itself and
+// are legitimately slow under every protocol — the differentiation is in
+// how much the OTHER four-fifths are dragged along).
+// The acknowledgement structure decides who waits for the stragglers:
+// protocols R and C cannot commit before the farthest site has
+// (explicitly or implicitly) acknowledged, so their latency is gated by
+// the slowest round trip; protocol A's home site commits as soon as its
+// own site processes the totally ordered request — the distant site
+// merely applies late. The ROWA baseline waits for the distant acks too.
+func E11SlowSite(cfg Config) (*Report, error) {
+	rep := newReport("E11", "One distant site (50ms vs 1-2ms LAN): who waits for the straggler?")
+	tbl := harness.NewTable(rep.Title, "protocol", "mean commit", "p99", "vs all-LAN mean")
+	overrides := map[[2]message.SiteID]time.Duration{}
+	for i := message.SiteID(0); i < 4; i++ {
+		overrides[[2]message.SiteID{i, 4}] = 50 * time.Millisecond
+		overrides[[2]message.SiteID{4, i}] = 50 * time.Millisecond
+	}
+	mixed := netsim.PairOverride{
+		Inner:     netsim.Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond},
+		Overrides: overrides,
+	}
+	lan := netsim.Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond}
+	spec := workload.Spec{
+		Sites: 5, Count: cfg.txns(200), Window: 20 * time.Second,
+		Keys: 2048, ReadsPerTxn: 1, WritesPerTxn: 2, Seed: cfg.seed(23),
+	}
+	for _, proto := range []string{harness.ProtoBaseline, harness.ProtoReliable, harness.ProtoCausal, harness.ProtoAtomic} {
+		run := func(link sim.LinkModel) harness.Result {
+			res, err := harness.Run(harness.Options{
+				Protocol: proto, Link: link, Seed: cfg.seed(113),
+				Engine: engineCfg(proto), Workload: spec,
+				Drain: 60 * time.Second,
+			})
+			if err != nil {
+				panic(err) // converted below
+			}
+			return res
+		}
+		var mixedRes, lanRes harness.Result
+		if err := capture(func() { mixedRes = run(mixed); lanRes = run(lan) }); err != nil {
+			return rep, err
+		}
+		ratio := float64(mixedRes.UpdateLatency.Mean()) / float64(lanRes.UpdateLatency.Mean())
+		tbl.Add(proto, mixedRes.UpdateLatency.Mean(), mixedRes.UpdateLatency.Quantile(0.99),
+			fmt.Sprintf("%.1fx", ratio))
+		rep.Metrics[proto+"/slow_site_latency_ratio"] = ratio
+	}
+	// Protocol A should be far less affected than R (which must collect
+	// the distant acknowledgements for every write operation).
+	if rep.Metrics["atomic/slow_site_latency_ratio"] >= rep.Metrics["reliable/slow_site_latency_ratio"] {
+		rep.violate("E11: atomic should be less straggler-gated than reliable (A=%.1fx R=%.1fx)",
+			rep.Metrics["atomic/slow_site_latency_ratio"], rep.Metrics["reliable/slow_site_latency_ratio"])
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// capture converts a panic from the closure into an error (the nested
+// closures above otherwise need triple error plumbing).
+func capture(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			err = fmt.Errorf("experiment panic: %v", r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// E12SnapshotReads ablates Config.SnapshotReadOnly for the lock-based
+// protocols: with locking reads, a read-only transaction can queue behind
+// the exclusive locks that in-flight writers hold from write delivery to
+// commit decision; with snapshot reads it returns immediately from the
+// local committed state. One-copy serializability is preserved either way
+// (the read-only transaction observes its site's committed prefix, a
+// linear extension of the conflict order) — the test suite re-verifies
+// this with the MVSG checker.
+func E12SnapshotReads(cfg Config) (*Report, error) {
+	rep := newReport("E12", "Read-only snapshot reads vs locking reads (R and C, hot-key write load)")
+	tbl := harness.NewTable(rep.Title, "protocol", "ro reads", "mean ro latency", "p99 ro latency", "upd abort rate")
+	for _, proto := range []string{harness.ProtoReliable, harness.ProtoCausal} {
+		for _, snapshot := range []bool{false, true} {
+			ecfg := engineCfg(proto)
+			ecfg.SnapshotReadOnly = snapshot
+			res, err := harness.Run(harness.Options{
+				Protocol: proto,
+				Link:     netsim.Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond},
+				Seed:     cfg.seed(114),
+				Engine:   ecfg,
+				Workload: workload.Spec{
+					Sites: 5, Count: cfg.txns(400), Window: 8 * time.Second,
+					Keys: 16, HotKeys: 2, HotProb: 0.8,
+					ReadOnlyFraction: 0.5, ReadsPerTxn: 3, WritesPerTxn: 2, Seed: cfg.seed(24),
+				},
+			})
+			if err != nil {
+				return rep, err
+			}
+			mode := "locking"
+			if snapshot {
+				mode = "snapshot"
+			}
+			tbl.Add(proto+"/"+mode, res.ReadOnlyCommitted,
+				res.ReadOnlyLatency.Mean(), res.ReadOnlyLatency.Quantile(0.99),
+				harness.FormatPct(res.AbortRate()))
+			rep.Metrics[fmt.Sprintf("%s/%s/ro_p99_us", proto, mode)] =
+				float64(res.ReadOnlyLatency.Quantile(0.99).Microseconds())
+		}
+		if rep.Metrics[proto+"/snapshot/ro_p99_us"] > rep.Metrics[proto+"/locking/ro_p99_us"] {
+			rep.violate("E12 %s: snapshot reads did not improve read-only tail latency", proto)
+		}
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}

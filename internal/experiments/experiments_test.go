@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps the experiment self-tests fast.
+var quickCfg = Config{Quick: true}
+
+// TestAllExperimentsHold runs the whole suite in quick mode: every
+// experiment must complete and every built-in expectation must hold — this
+// is the reproduction's continuous regression gate.
+func TestAllExperimentsHold(t *testing.T) {
+	reports, err := All(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 12 {
+		t.Fatalf("suite has %d experiments, want 12", len(reports))
+	}
+	for _, rep := range reports {
+		if len(rep.Violations) > 0 {
+			t.Errorf("%s: %v", rep.ID, rep.Violations)
+		}
+		if len(rep.Tables) == 0 {
+			t.Errorf("%s produced no tables", rep.ID)
+		}
+		for _, tbl := range rep.Tables {
+			if !strings.Contains(tbl.String(), "--") {
+				t.Errorf("%s table missing header rule:\n%s", rep.ID, tbl)
+			}
+		}
+		if len(rep.Metrics) == 0 {
+			t.Errorf("%s exposed no metrics", rep.ID)
+		}
+	}
+}
+
+// TestSeedReplication verifies a different seed offset still satisfies
+// every expectation — the claims are robust, not seed-lucky.
+func TestSeedReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, seed := range []int64{1000, 2000} {
+		cfg := Config{Quick: true, Seed: seed}
+		reports, err := All(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rep := range reports {
+			if len(rep.Violations) > 0 {
+				t.Errorf("seed %d %s: %v", seed, rep.ID, rep.Violations)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/message"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// detNode runs a detector and records transitions.
+type detNode struct {
+	det      *Detector
+	suspects []message.SiteID
+	revived  []message.SiteID
+}
+
+func (n *detNode) Start() { n.det.Start() }
+func (n *detNode) Receive(from message.SiteID, m message.Message) {
+	n.det.Observe(from)
+}
+
+var _ env.Node = (*detNode)(nil)
+
+func makeDetCluster(t *testing.T, n int) (*sim.Cluster, []*detNode) {
+	t.Helper()
+	c := sim.NewCluster(n, netsim.Fixed{Delay: time.Millisecond}, 1)
+	nodes := make([]*detNode, n)
+	for i := 0; i < n; i++ {
+		nd := &detNode{}
+		nd.det = New(c.Runtime(message.SiteID(i)), Config{
+			Interval:  20 * time.Millisecond,
+			Timeout:   100 * time.Millisecond,
+			OnSuspect: func(s message.SiteID) { nd.suspects = append(nd.suspects, s) },
+			OnAlive:   func(s message.SiteID) { nd.revived = append(nd.revived, s) },
+		})
+		nodes[i] = nd
+		c.Bind(message.SiteID(i), nd)
+	}
+	c.Start()
+	return c, nodes
+}
+
+func TestNoFalseSuspicionsWhenHealthy(t *testing.T) {
+	c, nodes := makeDetCluster(t, 4)
+	if _, err := c.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nodes {
+		if len(n.suspects) != 0 {
+			t.Fatalf("site %d suspected %v with everyone alive", i, n.suspects)
+		}
+	}
+}
+
+func TestCrashedSiteSuspectedByAll(t *testing.T) {
+	c, nodes := makeDetCluster(t, 4)
+	c.Schedule(time.Second, func() { c.Crash(3) })
+	if _, err := c.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !nodes[i].det.Suspects(3) {
+			t.Fatalf("site %d does not suspect the crashed site", i)
+		}
+		if got := nodes[i].det.Suspected(); len(got) != 1 || got[0] != 3 {
+			t.Fatalf("site %d suspected set %v", i, got)
+		}
+	}
+}
+
+func TestRecoveryClearsSuspicion(t *testing.T) {
+	c, nodes := makeDetCluster(t, 3)
+	c.Schedule(time.Second, func() { c.Crash(2) })
+	c.Schedule(2*time.Second, func() {
+		c.Recover(2)
+		// The recovered node's heartbeat loop died with it; restart it.
+		nodes[2].det.Start()
+	})
+	if _, err := c.Run(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if nodes[i].det.Suspects(2) {
+			t.Fatalf("site %d still suspects the recovered site", i)
+		}
+		found := false
+		for _, s := range nodes[i].revived {
+			if s == 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("site %d never saw OnAlive for the recovered site", i)
+		}
+	}
+}
+
+func TestAnyTrafficCountsAsLiveness(t *testing.T) {
+	// Site 1 sends no heartbeats (detector never started) but sends
+	// protocol traffic; site 0 must not suspect it.
+	c := sim.NewCluster(2, netsim.Fixed{Delay: time.Millisecond}, 1)
+	n0 := &detNode{}
+	n0.det = New(c.Runtime(0), Config{Interval: 20 * time.Millisecond, Timeout: 100 * time.Millisecond})
+	c.Bind(0, n0)
+	s1 := &silentNode{rt: c.Runtime(1)}
+	c.Bind(1, s1)
+	c.Start()
+	// Periodic non-heartbeat traffic from site 1.
+	var tick func()
+	tick = func() {
+		s1.rt.Send(0, &message.CausalNull{From: 1})
+		s1.rt.SetTimer(50*time.Millisecond, tick)
+	}
+	c.Schedule(0, tick)
+	if _, err := c.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n0.det.Suspects(1) {
+		t.Fatal("site 0 suspected a site with live protocol traffic")
+	}
+}
+
+type silentNode struct{ rt env.Runtime }
+
+func (s *silentNode) Start() {}
+func (s *silentNode) Receive(message.SiteID, message.Message) {
+}
+
+func TestStopHaltsProbing(t *testing.T) {
+	c, nodes := makeDetCluster(t, 2)
+	c.Schedule(500*time.Millisecond, func() { nodes[0].det.Stop() })
+	if _, err := c.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Site 1 stops hearing heartbeats from 0... but Observe-based liveness
+	// only needs traffic; with site 0 silent, site 1 should suspect it.
+	if !nodes[1].det.Suspects(0) {
+		t.Fatal("peer of a stopped detector should eventually suspect it")
+	}
+}

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Replicated aggregates one configuration measured across several seeds.
+type Replicated struct {
+	Protocol string
+	Runs     []Result
+
+	// Headline statistics across runs (mean and sample standard
+	// deviation).
+	MsgsPerCommit    Stat
+	AbortRate        Stat
+	MeanLatencyMicro Stat
+	Throughput       Stat
+}
+
+// Stat is a mean with a sample standard deviation.
+type Stat struct {
+	Mean   float64
+	Stddev float64
+	N      int
+}
+
+// String implements fmt.Stringer.
+func (s Stat) String() string {
+	if s.N <= 1 {
+		return fmt.Sprintf("%.2f", s.Mean)
+	}
+	return fmt.Sprintf("%.2f±%.2f", s.Mean, s.Stddev)
+}
+
+func newStat(xs []float64) Stat {
+	s := Stat{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	for _, x := range xs {
+		s.Mean += x
+	}
+	s.Mean /= float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Replicate runs the same experiment configuration under k different seeds
+// (offsetting both the network seed and the workload seed) and aggregates
+// the headline metrics, for reporting results as mean±stddev instead of a
+// single draw.
+func Replicate(opts Options, k int) (Replicated, error) {
+	if k <= 0 {
+		k = 3
+	}
+	rep := Replicated{Protocol: opts.Protocol}
+	var msgs, aborts, lats, thrs []float64
+	for i := 0; i < k; i++ {
+		o := opts
+		o.Seed = opts.Seed + int64(i)*1000
+		o.Workload.Seed = opts.Workload.Seed + int64(i)*1000
+		res, err := Run(o)
+		if err != nil {
+			return rep, fmt.Errorf("replicate seed %d: %w", i, err)
+		}
+		rep.Runs = append(rep.Runs, res)
+		msgs = append(msgs, res.ProtocolMsgsPerCommit)
+		aborts = append(aborts, res.AbortRate())
+		lats = append(lats, float64(res.UpdateLatency.Mean())/float64(time.Microsecond))
+		thrs = append(thrs, res.ThroughputPerSec)
+	}
+	rep.MsgsPerCommit = newStat(msgs)
+	rep.AbortRate = newStat(aborts)
+	rep.MeanLatencyMicro = newStat(lats)
+	rep.Throughput = newStat(thrs)
+	return rep, nil
+}

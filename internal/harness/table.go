@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table renders aligned text tables for the experiment reports.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Add appends one row; values are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(10 * time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String implements fmt.Stringer.
+func (t *Table) String() string {
+	width := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatPct renders a ratio as a percentage string.
+func FormatPct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,85 @@
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/message"
+)
+
+// TxnSpec is a declarative transaction for the blocking client helper:
+// reads execute first, then writes, then commit.
+type TxnSpec struct {
+	ReadOnly bool
+	Reads    []message.Key
+	Writes   []message.KV
+}
+
+// TxnOutcome is the blocking helper's result.
+type TxnOutcome struct {
+	Committed bool
+	Reason    string
+	Values    map[message.Key]message.Value
+}
+
+// ErrTxnTimeout is returned when the transaction does not finish in time.
+var ErrTxnTimeout = errors.New("livenet: transaction timed out")
+
+// ExecuteTxn drives one transaction through an engine hosted on h,
+// blocking the calling goroutine until the outcome arrives or timeout
+// expires. It is safe to call from any goroutine; engine interaction is
+// marshaled onto the host's event loop.
+func ExecuteTxn(h *Host, e core.Engine, spec TxnSpec, timeout time.Duration) (TxnOutcome, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	out := TxnOutcome{Values: make(map[message.Key]message.Value, len(spec.Reads))}
+	done := make(chan error, 1)
+	finish := func(o core.Outcome, r core.AbortReason) {
+		out.Committed = o == core.Committed
+		if !out.Committed {
+			out.Reason = r.String()
+		}
+		done <- nil
+	}
+	h.Do(func() {
+		tx := e.Begin(spec.ReadOnly)
+		var step func(i int)
+		step = func(i int) {
+			if i < len(spec.Reads) {
+				key := spec.Reads[i]
+				e.Read(tx, key, func(v message.Value, err error) {
+					if err != nil {
+						e.Abort(tx)
+						done <- fmt.Errorf("read %q: %w", key, err)
+						return
+					}
+					out.Values[key] = v
+					step(i + 1)
+				})
+				return
+			}
+			for _, w := range spec.Writes {
+				if err := e.Write(tx, w.Key, w.Value); err != nil {
+					e.Abort(tx)
+					if o, r := tx.Outcome(); o != 0 {
+						finish(o, r)
+					} else {
+						done <- fmt.Errorf("write %q: %w", w.Key, err)
+					}
+					return
+				}
+			}
+			e.Commit(tx, finish)
+		}
+		step(0)
+	})
+	select {
+	case err := <-done:
+		return out, err
+	case <-time.After(timeout):
+		return out, ErrTxnTimeout
+	}
+}

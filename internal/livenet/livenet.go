@@ -1,0 +1,362 @@
+// Package livenet hosts the protocol nodes on a real TCP network: the same
+// event-driven engines that run under the deterministic simulator are bound
+// to an env.Runtime backed by stdlib net, gob-encoded connections, and
+// wall-clock timers. cmd/replicadb uses it to run a replica as an ordinary
+// networked process.
+//
+// Concurrency model: every callback into the node (message receipt, timer
+// expiry) is serialized by one mutex, preserving the engines'
+// single-threaded assumptions. Outgoing messages are queued per peer and
+// written by one sender goroutine per peer, which redials with backoff, so
+// Send never blocks the event loop.
+package livenet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/message"
+)
+
+// Config describes one site of a TCP cluster.
+type Config struct {
+	// ID is this site's identifier.
+	ID message.SiteID
+	// Addrs maps every site (including this one) to its host:port.
+	Addrs map[message.SiteID]string
+	// Listener, when non-nil, is used instead of listening on
+	// Addrs[ID] — tests inject pre-bound ephemeral listeners.
+	Listener net.Listener
+	// Logger receives diagnostics; nil silences them.
+	Logger *log.Logger
+	// DialRetry is the reconnect backoff (default 500ms).
+	DialRetry time.Duration
+	// SendQueue is the per-peer outgoing buffer (default 1024). When full,
+	// messages are dropped — the protocols tolerate loss like a lossy link.
+	SendQueue int
+	// Seed for the runtime's random source (default: time-based would break
+	// nothing here, but a fixed default keeps behaviour comparable).
+	Seed int64
+}
+
+// envelope is the wire frame.
+type envelope struct {
+	From message.SiteID
+	Msg  message.Message
+}
+
+// Host implements env.Runtime over TCP.
+type Host struct {
+	cfg   Config
+	peers []message.SiteID
+	start time.Time
+
+	mu        sync.Mutex
+	node      env.Node
+	rng       *rand.Rand
+	nextTimer env.TimerID
+	timers    map[env.TimerID]*time.Timer
+	closed    bool
+
+	ln      net.Listener
+	senders map[message.SiteID]*sender
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	// Counters (atomic enough under mu for our purposes).
+	sent, received, dropped int64
+}
+
+var _ env.Runtime = (*Host)(nil)
+
+// sender owns the outgoing connection to one peer.
+type sender struct {
+	host *Host
+	to   message.SiteID
+	addr string
+	out  chan envelope
+}
+
+// New creates a host; construct the node against it, Bind it, then Start.
+func New(cfg Config) (*Host, error) {
+	if _, ok := cfg.Addrs[cfg.ID]; !ok && cfg.Listener == nil {
+		return nil, fmt.Errorf("livenet: no address for own id %v", cfg.ID)
+	}
+	if cfg.DialRetry <= 0 {
+		cfg.DialRetry = 500 * time.Millisecond
+	}
+	if cfg.SendQueue <= 0 {
+		cfg.SendQueue = 1024
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(cfg.ID) + 1
+	}
+	message.RegisterGob()
+	h := &Host{
+		cfg:     cfg,
+		start:   time.Now(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		timers:  make(map[env.TimerID]*time.Timer),
+		senders: make(map[message.SiteID]*sender),
+		stop:    make(chan struct{}),
+	}
+	for id := range cfg.Addrs {
+		h.peers = append(h.peers, id)
+	}
+	sort.Slice(h.peers, func(i, j int) bool { return h.peers[i] < h.peers[j] })
+	return h, nil
+}
+
+// Bind installs the node. Must be called before Start.
+func (h *Host) Bind(n env.Node) { h.node = n }
+
+// Start listens, connects to peers, and runs the node's Start callback.
+func (h *Host) Start() error {
+	if h.node == nil {
+		return errors.New("livenet: Start before Bind")
+	}
+	ln := h.cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", h.cfg.Addrs[h.cfg.ID])
+		if err != nil {
+			return fmt.Errorf("livenet: listen: %w", err)
+		}
+	}
+	h.ln = ln
+	h.wg.Add(1)
+	go h.acceptLoop()
+	for _, id := range h.peers {
+		if id == h.cfg.ID {
+			continue
+		}
+		s := &sender{host: h, to: id, addr: h.cfg.Addrs[id], out: make(chan envelope, h.cfg.SendQueue)}
+		h.senders[id] = s
+		h.wg.Add(1)
+		go s.run()
+	}
+	h.mu.Lock()
+	h.node.Start()
+	h.mu.Unlock()
+	return nil
+}
+
+// Addr returns the listening address (useful with ephemeral ports).
+func (h *Host) Addr() string {
+	if h.ln == nil {
+		return ""
+	}
+	return h.ln.Addr().String()
+}
+
+// Close shuts the host down and waits for its goroutines.
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	for id, t := range h.timers {
+		t.Stop()
+		delete(h.timers, id)
+	}
+	h.mu.Unlock()
+	close(h.stop)
+	if h.ln != nil {
+		h.ln.Close()
+	}
+	h.wg.Wait()
+}
+
+func (h *Host) logf(format string, args ...any) {
+	if h.cfg.Logger != nil {
+		h.cfg.Logger.Printf("site %v: %s", h.cfg.ID, fmt.Sprintf(format, args...))
+	}
+}
+
+// acceptLoop admits inbound connections; each runs a decode loop.
+func (h *Host) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			select {
+			case <-h.stop:
+				return
+			default:
+			}
+			h.logf("accept: %v", err)
+			return
+		}
+		h.wg.Add(1)
+		go h.readLoop(conn)
+	}
+}
+
+func (h *Host) readLoop(conn net.Conn) {
+	defer h.wg.Done()
+	defer conn.Close()
+	go func() { // unblock the decoder on shutdown
+		<-h.stop
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var e envelope
+		if err := dec.Decode(&e); err != nil {
+			if !errors.Is(err, io.EOF) {
+				select {
+				case <-h.stop:
+				default:
+					h.logf("decode from %v: %v", conn.RemoteAddr(), err)
+				}
+			}
+			return
+		}
+		h.deliver(e.From, e.Msg)
+	}
+}
+
+func (h *Host) deliver(from message.SiteID, m message.Message) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.node == nil {
+		return
+	}
+	h.received++
+	h.node.Receive(from, m)
+}
+
+// run dials (with retry) and drains the outgoing queue.
+func (s *sender) run() {
+	defer s.host.wg.Done()
+	var conn net.Conn
+	var enc *gob.Encoder
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-s.host.stop:
+			return
+		case e := <-s.out:
+			for {
+				if conn == nil {
+					c, err := net.DialTimeout("tcp", s.addr, 2*time.Second)
+					if err != nil {
+						select {
+						case <-s.host.stop:
+							return
+						case <-time.After(s.host.cfg.DialRetry):
+							continue
+						}
+					}
+					conn = c
+					enc = gob.NewEncoder(conn)
+				}
+				if err := enc.Encode(e); err != nil {
+					s.host.logf("send to %v: %v", s.to, err)
+					conn.Close()
+					conn, enc = nil, nil
+					continue // redial and retry this envelope once connected
+				}
+				break
+			}
+		}
+	}
+}
+
+// --- env.Runtime ----------------------------------------------------------
+
+// ID implements env.Runtime.
+func (h *Host) ID() message.SiteID { return h.cfg.ID }
+
+// Peers implements env.Runtime.
+func (h *Host) Peers() []message.SiteID { return h.peers }
+
+// Send implements env.Runtime: enqueue to the peer's sender, dropping when
+// the queue is full (the protocols treat that as network loss).
+func (h *Host) Send(to message.SiteID, m message.Message) {
+	s, ok := h.senders[to]
+	if !ok {
+		return
+	}
+	select {
+	case s.out <- envelope{From: h.cfg.ID, Msg: m}:
+		h.sent++
+	default:
+		h.dropped++
+		h.logf("queue to %v full, dropping %v", to, m.Kind())
+	}
+}
+
+// SetTimer implements env.Runtime.
+func (h *Host) SetTimer(d time.Duration, fn func()) env.TimerID {
+	h.nextTimer++
+	id := h.nextTimer
+	h.timers[id] = time.AfterFunc(d, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if h.closed {
+			return
+		}
+		if _, live := h.timers[id]; !live {
+			return
+		}
+		delete(h.timers, id)
+		fn()
+	})
+	return id
+}
+
+// CancelTimer implements env.Runtime.
+func (h *Host) CancelTimer(id env.TimerID) {
+	if t, ok := h.timers[id]; ok {
+		t.Stop()
+		delete(h.timers, id)
+	}
+}
+
+// Now implements env.Runtime.
+func (h *Host) Now() time.Duration { return time.Since(h.start) }
+
+// Rand implements env.Runtime.
+func (h *Host) Rand() *rand.Rand { return h.rng }
+
+// Logf implements env.Runtime.
+func (h *Host) Logf(format string, args ...any) { h.logf(format, args...) }
+
+// Do runs fn serialized with the node's event loop — the bridge external
+// adapters (client servers, admin endpoints) use to call into the engine.
+func (h *Host) Do(fn func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	fn()
+}
+
+// Counters returns (sent, received, dropped) message counts.
+func (h *Host) Counters() (sent, received, dropped int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sent, h.received, h.dropped
+}
+
+// newEncoder and newDecoder expose the wire codec for tests.
+func newEncoder(w io.Writer) *gob.Encoder { return gob.NewEncoder(w) }
+
+func newDecoder(r io.Reader) *gob.Decoder { return gob.NewDecoder(r) }

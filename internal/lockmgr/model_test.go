@@ -1,0 +1,167 @@
+package lockmgr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/message"
+)
+
+// modelState is a straightforward reference implementation of a lock
+// table: holders per key plus a FIFO queue, with no optimization. The
+// property test runs random operation streams through both the Manager and
+// the model and compares observable behaviour after every step.
+type modelState struct {
+	holders map[message.Key]map[message.TxnID]Mode
+	queue   map[message.Key][]modelWaiter
+}
+
+type modelWaiter struct {
+	txn  message.TxnID
+	mode Mode
+}
+
+func newModel() *modelState {
+	return &modelState{
+		holders: make(map[message.Key]map[message.TxnID]Mode),
+		queue:   make(map[message.Key][]modelWaiter),
+	}
+}
+
+func (m *modelState) compatibleWithHolders(key message.Key, txn message.TxnID, mode Mode) bool {
+	for t, h := range m.holders[key] {
+		if t == txn {
+			continue
+		}
+		if h == Exclusive || mode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire mirrors Manager.Acquire's contract.
+func (m *modelState) acquire(txn message.TxnID, key message.Key, mode Mode, wait bool) Result {
+	if cur, ok := m.holders[key][txn]; ok {
+		if cur >= mode {
+			return Granted
+		}
+		if len(m.holders[key]) == 1 {
+			m.holders[key][txn] = mode
+			return Granted
+		}
+		if !wait {
+			return Conflict
+		}
+		m.queue[key] = append(m.queue[key], modelWaiter{txn, mode})
+		return Queued
+	}
+	if len(m.queue[key]) == 0 && m.compatibleWithHolders(key, txn, mode) {
+		if m.holders[key] == nil {
+			m.holders[key] = make(map[message.TxnID]Mode)
+		}
+		m.holders[key][txn] = mode
+		return Granted
+	}
+	if !wait {
+		return Conflict
+	}
+	m.queue[key] = append(m.queue[key], modelWaiter{txn, mode})
+	return Queued
+}
+
+func (m *modelState) releaseAll(txn message.TxnID) {
+	for key, hs := range m.holders {
+		delete(hs, txn)
+		_ = key
+	}
+	for key, q := range m.queue {
+		out := q[:0]
+		for _, w := range q {
+			if w.txn != txn {
+				out = append(out, w)
+			}
+		}
+		m.queue[key] = out
+	}
+	// Promote queue heads exactly like the Manager does.
+	for key := range m.queue {
+		m.promote(key)
+	}
+}
+
+func (m *modelState) promote(key message.Key) {
+	for len(m.queue[key]) > 0 {
+		w := m.queue[key][0]
+		if cur, held := m.holders[key][w.txn]; held {
+			if cur >= w.mode || len(m.holders[key]) == 1 {
+				m.holders[key][w.txn] = w.mode
+				m.queue[key] = m.queue[key][1:]
+				continue
+			}
+			return
+		}
+		if !m.compatibleWithHolders(key, w.txn, w.mode) {
+			return
+		}
+		if m.holders[key] == nil {
+			m.holders[key] = make(map[message.TxnID]Mode)
+		}
+		m.holders[key][w.txn] = w.mode
+		m.queue[key] = m.queue[key][1:]
+	}
+}
+
+func (m *modelState) locks() int {
+	n := 0
+	for _, hs := range m.holders {
+		n += len(hs)
+	}
+	return n
+}
+
+func (m *modelState) waiters() int {
+	n := 0
+	for _, q := range m.queue {
+		n += len(q)
+	}
+	return n
+}
+
+// TestManagerMatchesModel runs long random operation streams and asserts
+// the Manager and the reference model agree on every Acquire result and on
+// the aggregate holder/waiter counts after every step.
+func TestManagerMatchesModel(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		mgr := New()
+		model := newModel()
+		for step := 0; step < 500; step++ {
+			txn := message.TxnID{Site: message.SiteID(r.Intn(3)), Seq: uint64(1 + r.Intn(12))}
+			key := message.Key([]byte{'a' + byte(r.Intn(5))})
+			switch r.Intn(5) {
+			case 0, 1:
+				mode := Shared
+				if r.Intn(2) == 0 {
+					mode = Exclusive
+				}
+				wait := r.Intn(2) == 0
+				got := mgr.Acquire(txn, key, mode, wait, nil)
+				want := model.acquire(txn, key, mode, wait)
+				if got != want {
+					t.Fatalf("trial %d step %d: Acquire(%v,%q,%v,wait=%v) = %v, model says %v",
+						trial, step, txn, key, mode, wait, got, want)
+				}
+			default:
+				mgr.ReleaseAll(txn)
+				model.releaseAll(txn)
+			}
+			if mgr.Locks() != model.locks() {
+				t.Fatalf("trial %d step %d: locks %d vs model %d", trial, step, mgr.Locks(), model.locks())
+			}
+			if mgr.Waiters() != model.waiters() {
+				t.Fatalf("trial %d step %d: waiters %d vs model %d", trial, step, mgr.Waiters(), model.waiters())
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package membership maintains majority-quorum views of the cluster, the
+// paper's primary-partition rule: "as site failures and recovery occur, the
+// view is dynamically restructured using the notion of majority quorums; as
+// long as the view has majority membership, the system remains
+// operational."
+//
+// The protocol is coordinator-driven: the lowest unsuspected member
+// proposes a new view when the failure detector's picture diverges from the
+// installed view; members acknowledge monotonically increasing view ids;
+// once every proposed member has acknowledged, the coordinator installs the
+// view everywhere. Replication engines consult InPrimary before accepting
+// or committing transactions and are told of each installed view through a
+// callback. This is a pragmatic view-synchronous service, not consensus —
+// the paper itself cites the impossibility results that rule out
+// deterministic asynchronous solutions.
+package membership
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/failure"
+	"repro/internal/message"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Detector supplies suspicion state; the manager registers its own
+	// OnSuspect/OnAlive hooks on it (chaining any already present).
+	Detector *failure.Detector
+	// ProposalTimeout bounds how long a coordinator waits for view acks
+	// before retrying with a higher id. Defaults to 250ms.
+	ProposalTimeout time.Duration
+	// OnViewChange fires after a new view is installed locally.
+	OnViewChange func(old, installed message.View)
+	// OnJoin fires on an existing member when a site absent from the
+	// previous view is installed — the trigger for offering state transfer.
+	OnJoin func(joined message.SiteID)
+}
+
+// Manager is one site's membership endpoint.
+type Manager struct {
+	rt  env.Runtime
+	cfg Config
+	det *failure.Detector
+
+	view     message.View
+	proposed *message.View
+	acks     map[message.SiteID]bool
+	timer    env.TimerID
+	highest  uint64 // highest view id seen or acknowledged
+}
+
+// New creates a manager. Call Start after constructing the node.
+func New(rt env.Runtime, cfg Config) *Manager {
+	if cfg.ProposalTimeout <= 0 {
+		cfg.ProposalTimeout = 250 * time.Millisecond
+	}
+	m := &Manager{rt: rt, cfg: cfg, det: cfg.Detector}
+	return m
+}
+
+// Start installs the initial full view and hooks the failure detector.
+func (m *Manager) Start() {
+	m.view = message.View{ID: 1, Members: append([]message.SiteID(nil), m.rt.Peers()...)}
+	m.highest = 1
+	if m.cfg.OnViewChange != nil {
+		m.cfg.OnViewChange(message.View{}, m.view)
+	}
+}
+
+// View returns the installed view.
+func (m *Manager) View() message.View { return m.view }
+
+// Members returns the installed view's member set.
+func (m *Manager) Members() []message.SiteID { return m.view.Members }
+
+// InPrimary reports whether this site's view holds a majority of the full
+// cluster and contains this site.
+func (m *Manager) InPrimary() bool {
+	return 2*len(m.view.Members) > len(m.rt.Peers()) && m.view.Has(m.rt.ID())
+}
+
+// Coordinator returns the view-change coordinator: the lowest member of the
+// installed view this site does not suspect.
+func (m *Manager) Coordinator() message.SiteID {
+	for _, s := range m.view.Members {
+		if s == m.rt.ID() || m.det == nil || !m.det.Suspects(s) {
+			return s
+		}
+	}
+	return m.rt.ID()
+}
+
+// Reconsider compares the installed view with the failure detector's
+// current picture and, if this site is the coordinator and the pictures
+// differ, proposes a corrected view. The node router calls it from the
+// detector's OnSuspect/OnAlive hooks and when a non-member is heard from.
+func (m *Manager) Reconsider() {
+	if m.Coordinator() != m.rt.ID() {
+		return
+	}
+	target := m.targetMembers()
+	if sameMembers(target, m.view.Members) {
+		m.proposed = nil
+		return
+	}
+	if m.proposed != nil && sameMembers(target, m.proposed.Members) {
+		return // proposal in flight
+	}
+	m.propose(target)
+}
+
+// targetMembers is the detector-informed desired membership: every peer not
+// currently suspected (whether or not it is in the installed view — this is
+// how recovered sites rejoin).
+func (m *Manager) targetMembers() []message.SiteID {
+	var out []message.SiteID
+	for _, p := range m.rt.Peers() {
+		if p == m.rt.ID() || m.det == nil || !m.det.Suspects(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameMembers(a, b []message.SiteID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) propose(members []message.SiteID) {
+	m.highest++
+	v := message.View{ID: m.highest, Members: members}
+	m.proposed = &v
+	m.acks = map[message.SiteID]bool{m.rt.ID(): true}
+	for _, p := range members {
+		if p == m.rt.ID() {
+			continue
+		}
+		m.rt.Send(p, &message.ViewPropose{Proposer: m.rt.ID(), View: v})
+	}
+	m.rt.CancelTimer(m.timer)
+	m.timer = m.rt.SetTimer(m.cfg.ProposalTimeout, m.proposalTimeout)
+	m.maybeInstall()
+}
+
+func (m *Manager) proposalTimeout() {
+	if m.proposed == nil {
+		return
+	}
+	// Retry with a fresh id, re-reading the detector (a proposed member may
+	// have died meanwhile, which is why the previous round stalled).
+	m.proposed = nil
+	m.Reconsider()
+}
+
+// Handle processes membership traffic. The node router directs
+// ViewPropose/ViewAck/ViewInstall here.
+func (m *Manager) Handle(from message.SiteID, msg message.Message) {
+	switch t := msg.(type) {
+	case *message.ViewPropose:
+		m.handlePropose(from, t)
+	case *message.ViewAck:
+		m.handleAck(t)
+	case *message.ViewInstall:
+		m.install(t.View)
+	default:
+		m.rt.Logf("membership: unexpected %v from %v", msg.Kind(), from)
+	}
+}
+
+// Handles reports whether the manager is responsible for msg.
+func Handles(msg message.Message) bool {
+	switch msg.Kind() {
+	case message.KindViewPropose, message.KindViewAck, message.KindViewInstall:
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *Manager) handlePropose(from message.SiteID, p *message.ViewPropose) {
+	if p.View.ID <= m.highest {
+		return // stale or already acknowledged another proposal at this id
+	}
+	m.highest = p.View.ID
+	m.rt.Send(from, &message.ViewAck{By: m.rt.ID(), ViewID: p.View.ID})
+}
+
+func (m *Manager) handleAck(a *message.ViewAck) {
+	if m.proposed == nil || a.ViewID != m.proposed.ID {
+		return
+	}
+	m.acks[a.By] = true
+	m.maybeInstall()
+}
+
+func (m *Manager) maybeInstall() {
+	if m.proposed == nil {
+		return
+	}
+	for _, p := range m.proposed.Members {
+		if !m.acks[p] {
+			return
+		}
+	}
+	v := *m.proposed
+	m.proposed = nil
+	m.rt.CancelTimer(m.timer)
+	for _, p := range v.Members {
+		if p == m.rt.ID() {
+			continue
+		}
+		m.rt.Send(p, &message.ViewInstall{View: v})
+	}
+	m.install(v)
+}
+
+func (m *Manager) install(v message.View) {
+	if v.ID <= m.view.ID {
+		return
+	}
+	old := m.view
+	m.view = v
+	if v.ID > m.highest {
+		m.highest = v.ID
+	}
+	if m.cfg.OnViewChange != nil {
+		m.cfg.OnViewChange(old, v)
+	}
+	if m.cfg.OnJoin != nil {
+		for _, s := range v.Members {
+			if s != m.rt.ID() && !old.Has(s) && old.ID != 0 {
+				m.cfg.OnJoin(s)
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/failure"
+	"repro/internal/message"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// memberNode composes a failure detector and a membership manager the same
+// way the replication engines do.
+type memberNode struct {
+	rt    env.Runtime
+	det   *failure.Detector
+	mgr   *Manager
+	views []message.View
+	joins []message.SiteID
+}
+
+func newMemberNode(rt env.Runtime) *memberNode {
+	n := &memberNode{rt: rt}
+	n.det = failure.New(rt, failure.Config{
+		Interval:  20 * time.Millisecond,
+		Timeout:   100 * time.Millisecond,
+		OnSuspect: func(message.SiteID) { n.mgr.Reconsider() },
+		OnAlive:   func(message.SiteID) { n.mgr.Reconsider() },
+	})
+	n.mgr = New(rt, Config{
+		Detector:        n.det,
+		ProposalTimeout: 200 * time.Millisecond,
+		OnViewChange:    func(_, v message.View) { n.views = append(n.views, v) },
+		OnJoin:          func(s message.SiteID) { n.joins = append(n.joins, s) },
+	})
+	return n
+}
+
+func (n *memberNode) Start() {
+	n.mgr.Start()
+	n.det.Start()
+}
+
+func (n *memberNode) Receive(from message.SiteID, m message.Message) {
+	n.det.Observe(from)
+	switch {
+	case m.Kind() == message.KindHeartbeat:
+		// liveness only
+	case Handles(m):
+		n.mgr.Handle(from, m)
+	}
+}
+
+func makeCluster(t *testing.T, n int) (*sim.Cluster, []*memberNode) {
+	t.Helper()
+	c := sim.NewCluster(n, netsim.Fixed{Delay: 2 * time.Millisecond}, 1)
+	nodes := make([]*memberNode, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = newMemberNode(c.Runtime(message.SiteID(i)))
+		c.Bind(message.SiteID(i), nodes[i])
+	}
+	c.Start()
+	return c, nodes
+}
+
+func run(t *testing.T, c *sim.Cluster, d time.Duration) {
+	t.Helper()
+	if _, err := c.Run(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialViewIsFullCluster(t *testing.T) {
+	c, nodes := makeCluster(t, 5)
+	run(t, c, 50*time.Millisecond)
+	for i, n := range nodes {
+		v := n.mgr.View()
+		if v.ID != 1 || len(v.Members) != 5 {
+			t.Fatalf("site %d initial view %v", i, v)
+		}
+		if !n.mgr.InPrimary() {
+			t.Fatalf("site %d not in primary", i)
+		}
+	}
+}
+
+func TestCrashShrinksView(t *testing.T) {
+	c, nodes := makeCluster(t, 5)
+	c.Schedule(200*time.Millisecond, func() { c.Crash(4) })
+	run(t, c, 2*time.Second)
+	for i := 0; i < 4; i++ {
+		v := nodes[i].mgr.View()
+		if len(v.Members) != 4 || v.Has(4) {
+			t.Fatalf("site %d view %v still contains crashed site", i, v)
+		}
+		if !nodes[i].mgr.InPrimary() {
+			t.Fatalf("site %d lost primary despite majority", i)
+		}
+	}
+}
+
+func TestCoordinatorCrashStillConverges(t *testing.T) {
+	c, nodes := makeCluster(t, 5)
+	// Site 0 is the initial coordinator; crash it and the next-lowest must
+	// take over proposing.
+	c.Schedule(200*time.Millisecond, func() { c.Crash(0) })
+	run(t, c, 3*time.Second)
+	for i := 1; i < 5; i++ {
+		v := nodes[i].mgr.View()
+		if len(v.Members) != 4 || v.Has(0) {
+			t.Fatalf("site %d view %v", i, v)
+		}
+		if nodes[i].mgr.Coordinator() != 1 {
+			t.Fatalf("site %d coordinator %v, want 1", i, nodes[i].mgr.Coordinator())
+		}
+	}
+}
+
+func TestMinorityPartitionLosesPrimary(t *testing.T) {
+	c, nodes := makeCluster(t, 5)
+	c.Schedule(200*time.Millisecond, func() {
+		c.Partition([]message.SiteID{0, 1}, []message.SiteID{2, 3, 4})
+	})
+	run(t, c, 3*time.Second)
+	// Majority side keeps a primary view of {2,3,4}.
+	for i := 2; i < 5; i++ {
+		if !nodes[i].mgr.InPrimary() {
+			t.Fatalf("majority site %d lost primary: %v", i, nodes[i].mgr.View())
+		}
+		if got := len(nodes[i].mgr.View().Members); got != 3 {
+			t.Fatalf("majority site %d view size %d", i, got)
+		}
+	}
+	// Minority side must not believe it is primary.
+	for i := 0; i < 2; i++ {
+		if nodes[i].mgr.InPrimary() {
+			t.Fatalf("minority site %d claims primary: %v", i, nodes[i].mgr.View())
+		}
+	}
+}
+
+func TestHealedPartitionRejoins(t *testing.T) {
+	c, nodes := makeCluster(t, 5)
+	c.Schedule(200*time.Millisecond, func() {
+		c.Partition([]message.SiteID{0}, []message.SiteID{1, 2, 3, 4})
+	})
+	c.Schedule(1500*time.Millisecond, func() { c.Heal() })
+	run(t, c, 5*time.Second)
+	for i, n := range nodes {
+		v := n.mgr.View()
+		if len(v.Members) != 5 {
+			t.Fatalf("site %d view %v after heal", i, v)
+		}
+		if !n.mgr.InPrimary() {
+			t.Fatalf("site %d not primary after heal", i)
+		}
+	}
+	// Members of the majority side saw site 0 join.
+	sawJoin := false
+	for i := 1; i < 5; i++ {
+		for _, j := range nodes[i].joins {
+			if j == 0 {
+				sawJoin = true
+			}
+		}
+	}
+	if !sawJoin {
+		t.Fatal("no OnJoin fired for the healed site")
+	}
+}
+
+func TestViewIDsMonotone(t *testing.T) {
+	c, nodes := makeCluster(t, 4)
+	c.Schedule(200*time.Millisecond, func() { c.Crash(3) })
+	c.Schedule(900*time.Millisecond, func() { c.Recover(3) })
+	run(t, c, 4*time.Second)
+	for i, n := range nodes {
+		last := uint64(0)
+		for _, v := range n.views {
+			if v.ID <= last {
+				t.Fatalf("site %d: non-monotone view ids %v", i, n.views)
+			}
+			last = v.ID
+		}
+	}
+}
+
+// lossyCluster builds member nodes over a lossy link: view convergence
+// must survive dropped proposals/acks through the retry timer.
+func TestViewConvergesOverLossyLinks(t *testing.T) {
+	c := sim.NewCluster(4, netsim.Lossy{Inner: netsim.Fixed{Delay: 2 * time.Millisecond}, P: 0.15}, 7)
+	nodes := make([]*memberNode, 4)
+	for i := 0; i < 4; i++ {
+		nodes[i] = newMemberNode(c.Runtime(message.SiteID(i)))
+		c.Bind(message.SiteID(i), nodes[i])
+	}
+	c.Start()
+	c.Schedule(300*time.Millisecond, func() { c.Crash(3) })
+	run(t, c, 10*time.Second)
+	for i := 0; i < 3; i++ {
+		v := nodes[i].mgr.View()
+		if len(v.Members) != 3 || v.Has(3) {
+			t.Fatalf("site %d view %v despite retries over lossy links", i, v)
+		}
+		if !nodes[i].mgr.InPrimary() {
+			t.Fatalf("site %d lost primary", i)
+		}
+	}
+}
+
+// TestTwoSimultaneousCrashes shrinks the view twice in quick succession;
+// ids must stay monotone and the final view must be exactly the survivors.
+func TestTwoSimultaneousCrashes(t *testing.T) {
+	c, nodes := makeCluster(t, 6)
+	c.Schedule(200*time.Millisecond, func() {
+		c.Crash(5)
+		c.Crash(4)
+	})
+	run(t, c, 4*time.Second)
+	for i := 0; i < 4; i++ {
+		v := nodes[i].mgr.View()
+		if len(v.Members) != 4 || v.Has(4) || v.Has(5) {
+			t.Fatalf("site %d view %v", i, v)
+		}
+	}
+}
+
+// TestViewAckIgnoresStaleProposals: a proposal with an id at or below the
+// highest seen must be ignored, preventing an old coordinator from
+// regressing the membership.
+func TestViewAckIgnoresStaleProposals(t *testing.T) {
+	c, nodes := makeCluster(t, 3)
+	run(t, c, 200*time.Millisecond)
+	n := nodes[1]
+	before := n.mgr.View().ID
+	// Replay a stale proposal directly.
+	n.mgr.Handle(0, &message.ViewPropose{Proposer: 0, View: message.View{ID: before, Members: []message.SiteID{0, 1}}})
+	n.mgr.Handle(0, &message.ViewInstall{View: message.View{ID: before, Members: []message.SiteID{0, 1}}})
+	if got := n.mgr.View(); got.ID != before || len(got.Members) != 3 {
+		t.Fatalf("stale proposal regressed the view: %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+// Package message defines the identifiers and wire messages exchanged by
+// every layer of the replicated-database stack: the broadcast primitives,
+// the membership service, the replication protocols, and the point-to-point
+// baseline. Keeping all wire types in one leaf package lets both the
+// deterministic simulator and the TCP runtime share a single codec.
+package message
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// SiteID identifies a database site (replica). Sites are numbered densely
+// from 0 so that identifiers double as slice indices in vector clocks.
+type SiteID int32
+
+// String implements fmt.Stringer.
+func (s SiteID) String() string { return "s" + strconv.Itoa(int(s)) }
+
+// TxnID identifies a transaction globally: the home site that initiated it
+// plus a per-site monotone sequence number.
+type TxnID struct {
+	Site SiteID
+	Seq  uint64
+}
+
+// String implements fmt.Stringer.
+func (t TxnID) String() string { return fmt.Sprintf("t%d.%d", t.Site, t.Seq) }
+
+// IsZero reports whether t is the zero TxnID, which is never assigned to a
+// real transaction.
+func (t TxnID) IsZero() bool { return t.Seq == 0 && t.Site == 0 }
+
+// Less orders transactions by age: lower sequence numbers are older, with
+// the site identifier breaking ties. The baseline protocol's wound-wait
+// policy uses this order.
+func (t TxnID) Less(o TxnID) bool {
+	if t.Seq != o.Seq {
+		return t.Seq < o.Seq
+	}
+	return t.Site < o.Site
+}
+
+// Key names a database object. The database is fully replicated: every site
+// stores a copy of every key.
+type Key string
+
+// Value is an uninterpreted object value.
+type Value []byte
+
+// KeyVer pairs a key with the version (commit index) a transaction observed
+// or intends to install. Protocol A's certification rule compares these base
+// versions against the committed-version table.
+type KeyVer struct {
+	Key Key
+	Ver uint64
+}
+
+// KV pairs a key with a value in a transaction's write set.
+type KV struct {
+	Key   Key
+	Value Value
+}

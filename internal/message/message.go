@@ -1,0 +1,673 @@
+package message
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// Kind discriminates wire message types for dispatch and metrics.
+type Kind int
+
+// All message kinds, grouped by the layer that owns them.
+const (
+	// Broadcast layer.
+	KindBcast Kind = iota + 1
+	KindSeqOrder
+	KindIsisPropose
+	KindIsisFinal
+
+	// Failure detection and membership.
+	KindHeartbeat
+	KindViewPropose
+	KindViewAck
+	KindViewInstall
+	KindStateRequest
+	KindStateSnapshot
+	KindRetransmitReq
+
+	// Replication protocol payloads (carried inside Bcast or sent unicast).
+	KindWriteReq
+	KindWriteAck
+	KindTxnNack
+	KindVoteReq
+	KindVote
+	KindDecision
+	KindCommitReq
+	KindCausalNull
+	KindWriteBatch
+
+	// Point-to-point baseline.
+	KindUWrite
+	KindUWriteAck
+	KindWound
+	KindPrepare
+	KindPrepareVote
+	KindPDecision
+
+	// Quorum (weighted-voting) baseline.
+	KindQReadReq
+	KindQReadReply
+	KindQLockReq
+	KindQLockReply
+	KindQCommit
+	KindQRelease
+)
+
+var kindNames = map[Kind]string{
+	KindBcast:         "Bcast",
+	KindSeqOrder:      "SeqOrder",
+	KindIsisPropose:   "IsisPropose",
+	KindIsisFinal:     "IsisFinal",
+	KindHeartbeat:     "Heartbeat",
+	KindViewPropose:   "ViewPropose",
+	KindViewAck:       "ViewAck",
+	KindViewInstall:   "ViewInstall",
+	KindStateRequest:  "StateRequest",
+	KindStateSnapshot: "StateSnapshot",
+	KindRetransmitReq: "RetransmitReq",
+	KindWriteReq:      "WriteReq",
+	KindWriteAck:      "WriteAck",
+	KindTxnNack:       "TxnNack",
+	KindVoteReq:       "VoteReq",
+	KindVote:          "Vote",
+	KindDecision:      "Decision",
+	KindCommitReq:     "CommitReq",
+	KindCausalNull:    "CausalNull",
+	KindWriteBatch:    "WriteBatch",
+	KindUWrite:        "UWrite",
+	KindUWriteAck:     "UWriteAck",
+	KindWound:         "Wound",
+	KindPrepare:       "Prepare",
+	KindPrepareVote:   "PrepareVote",
+	KindPDecision:     "PDecision",
+	KindQReadReq:      "QReadReq",
+	KindQReadReply:    "QReadReply",
+	KindQLockReq:      "QLockReq",
+	KindQLockReply:    "QLockReply",
+	KindQCommit:       "QCommit",
+	KindQRelease:      "QRelease",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Message is the interface satisfied by every wire message.
+type Message interface {
+	Kind() Kind
+}
+
+// Class selects a broadcast primitive. The three replication protocols are
+// named after the class their write/commit traffic uses.
+type Class int
+
+// Broadcast classes in increasing order of delivery guarantees.
+const (
+	ClassReliable Class = iota + 1 // delivery, no ordering across senders
+	ClassFIFO                      // per-sender order
+	ClassCausal                    // causal order, vector clocks exposed
+	ClassAtomic                    // total order
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassReliable:
+		return "reliable"
+	case ClassFIFO:
+		return "fifo"
+	case ClassCausal:
+		return "causal"
+	case ClassAtomic:
+		return "atomic"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Bcast is the broadcast envelope: a payload stamped with its origin,
+// per-origin sequence number, class, and (for causal messages) the origin's
+// vector clock at send time.
+type Bcast struct {
+	Class   Class
+	Origin  SiteID
+	Seq     uint64 // per-origin, per-class sequence number, starting at 1
+	VC      vclock.VC
+	Payload Message
+	Relayed bool // set when forwarded by a non-origin site
+}
+
+// Kind implements Message.
+func (*Bcast) Kind() Kind { return KindBcast }
+
+// OrderEntry assigns a global total-order index to one atomic broadcast.
+type OrderEntry struct {
+	Origin SiteID
+	Seq    uint64
+	Index  uint64
+}
+
+// SeqOrder announces total-order indices assigned by the sequencer.
+type SeqOrder struct {
+	Sequencer SiteID
+	Entries   []OrderEntry
+}
+
+// Kind implements Message.
+func (*SeqOrder) Kind() Kind { return KindSeqOrder }
+
+// IsisPropose carries a receiver's proposed timestamp for an atomic
+// broadcast in the ISIS-style agreed-timestamp variant.
+type IsisPropose struct {
+	Origin   SiteID // origin of the message being ordered
+	Seq      uint64
+	Proposer SiteID
+	TS       uint64
+}
+
+// Kind implements Message.
+func (*IsisPropose) Kind() Kind { return KindIsisPropose }
+
+// IsisFinal fixes the agreed timestamp of an atomic broadcast in the
+// ISIS-style variant.
+type IsisFinal struct {
+	Origin SiteID
+	Seq    uint64
+	TS     uint64
+	Tie    SiteID // proposer whose timestamp won, breaks TS ties
+}
+
+// Kind implements Message.
+func (*IsisFinal) Kind() Kind { return KindIsisFinal }
+
+// Heartbeat is the failure detector's liveness probe.
+type Heartbeat struct {
+	From   SiteID
+	ViewID uint64
+}
+
+// Kind implements Message.
+func (*Heartbeat) Kind() Kind { return KindHeartbeat }
+
+// View is a membership configuration: an identifier plus the member set.
+// Only views containing a majority of the full cluster may commit
+// transactions (primary-partition rule).
+type View struct {
+	ID      uint64
+	Members []SiteID
+}
+
+// Has reports whether s is a member of the view.
+func (v View) Has(s SiteID) bool {
+	for _, m := range v.Members {
+		if m == s {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (v View) String() string { return fmt.Sprintf("view%d%v", v.ID, v.Members) }
+
+// ViewPropose asks the recipients to install a new view.
+type ViewPropose struct {
+	Proposer SiteID
+	View     View
+}
+
+// Kind implements Message.
+func (*ViewPropose) Kind() Kind { return KindViewPropose }
+
+// ViewAck accepts a proposed view.
+type ViewAck struct {
+	By     SiteID
+	ViewID uint64
+}
+
+// Kind implements Message.
+func (*ViewAck) Kind() Kind { return KindViewAck }
+
+// ViewInstall finalizes a view once the proposer has gathered acks from
+// every proposed member.
+type ViewInstall struct {
+	View View
+}
+
+// Kind implements Message.
+func (*ViewInstall) Kind() Kind { return KindViewInstall }
+
+// StateRequest asks a peer for a state snapshot, used when a recovered site
+// rejoins the primary partition.
+type StateRequest struct {
+	From SiteID
+}
+
+// Kind implements Message.
+func (*StateRequest) Kind() Kind { return KindStateRequest }
+
+// VersionRec is one committed version of a key inside a snapshot.
+type VersionRec struct {
+	Index  uint64
+	Writer TxnID
+	Value  Value
+}
+
+// SnapshotEntry is the full version chain of one key inside a snapshot.
+type SnapshotEntry struct {
+	Key      Key
+	Versions []VersionRec
+}
+
+// StateSnapshot transfers committed database state to a rejoining site.
+type StateSnapshot struct {
+	From    SiteID
+	Applied uint64 // commit index the snapshot reflects
+	Entries []SnapshotEntry
+}
+
+// Kind implements Message.
+func (*StateSnapshot) Kind() Kind { return KindStateSnapshot }
+
+// RetransmitReq asks a peer to resend the totally ordered atomic
+// broadcasts from the given index: the gap-repair path a resynchronizing
+// site uses after state transfer.
+type RetransmitReq struct {
+	From      SiteID
+	FromIndex uint64
+}
+
+// Kind implements Message.
+func (*RetransmitReq) Kind() Kind { return KindRetransmitReq }
+
+// WriteReq replicates one write operation of an update transaction. In
+// protocol R it travels by reliable broadcast, in protocols C and A by
+// causal broadcast.
+type WriteReq struct {
+	Txn   TxnID
+	OpSeq int // position among the transaction's writes, starting at 1
+	Key   Key
+	Value Value
+}
+
+// Kind implements Message.
+func (*WriteReq) Kind() Kind { return KindWriteReq }
+
+// WriteAck is protocol R's explicit per-operation acknowledgement, unicast
+// back to the transaction's home site. OK=false is a negative
+// acknowledgement: the write conflicted and the transaction must abort.
+type WriteAck struct {
+	Txn   TxnID
+	OpSeq int
+	By    SiteID
+	OK    bool
+}
+
+// Kind implements Message.
+func (*WriteAck) Kind() Kind { return KindWriteAck }
+
+// TxnNack is protocol C's explicit negative acknowledgement, broadcast
+// causally so every site — not just the home site — learns of the conflict.
+type TxnNack struct {
+	Txn TxnID
+	By  SiteID
+	Key Key
+}
+
+// Kind implements Message.
+func (*TxnNack) Kind() Kind { return KindTxnNack }
+
+// VoteReq starts protocol R's decentralized two-phase commit.
+type VoteReq struct {
+	Txn TxnID
+}
+
+// Kind implements Message.
+func (*VoteReq) Kind() Kind { return KindVoteReq }
+
+// Vote is one site's vote in the decentralized two-phase commit; it is
+// broadcast to all sites so each site tallies the outcome independently.
+type Vote struct {
+	Txn TxnID
+	By  SiteID
+	Yes bool
+}
+
+// Kind implements Message.
+func (*Vote) Kind() Kind { return KindVote }
+
+// Decision announces a transaction's outcome (protocol R: the home site's
+// abort on a negative acknowledgement; protocol C: the home site's
+// commit/abort decision after implicit acknowledgements). NOps carries the
+// number of write operations the home site broadcast, so receivers can
+// garbage-collect the transaction's tombstone once every straggler
+// operation has arrived (reliable broadcast gives no cross-message
+// ordering).
+type Decision struct {
+	Txn    TxnID
+	Commit bool
+	NOps   int
+}
+
+// Kind implements Message.
+func (*Decision) Kind() Kind { return KindDecision }
+
+// CommitReq is protocol A's certification request, delivered in total order
+// by atomic broadcast. Reads and Writes carry the base versions the
+// transaction observed at its home site; NWrites tells receivers how many
+// WriteReq messages to await before certifying.
+type CommitReq struct {
+	Txn     TxnID
+	Reads   []KeyVer
+	Writes  []KeyVer
+	NWrites int
+	// WriteKV carries the write set inline when the engine is configured to
+	// piggyback writes on the commit request instead of disseminating them
+	// with causal WriteReq messages.
+	WriteKV []KV
+}
+
+// Kind implements Message.
+func (*CommitReq) Kind() Kind { return KindCommitReq }
+
+// CausalNull is an empty causal broadcast whose only purpose is to carry a
+// vector clock, refreshing implicit acknowledgements when a site has been
+// silent (protocol C's heartbeat).
+type CausalNull struct {
+	From SiteID
+}
+
+// Kind implements Message.
+func (*CausalNull) Kind() Kind { return KindCausalNull }
+
+// WriteBatch carries a transaction's entire write set in one broadcast —
+// the deferred-write optimization (Config.BatchWrites): protocols R and C
+// disseminate all writes at commit time instead of one operation at a
+// time, trading per-operation pipelining for far fewer messages. Receivers
+// acquire all locks or refuse the whole batch.
+type WriteBatch struct {
+	Txn    TxnID
+	Writes []KV
+}
+
+// Kind implements Message.
+func (*WriteBatch) Kind() Kind { return KindWriteBatch }
+
+// UWrite is the point-to-point baseline's unicast write operation.
+type UWrite struct {
+	Txn   TxnID
+	OpSeq int
+	Key   Key
+	Value Value
+}
+
+// Kind implements Message.
+func (*UWrite) Kind() Kind { return KindUWrite }
+
+// UWriteAck acknowledges a baseline write once its lock is granted.
+type UWriteAck struct {
+	Txn   TxnID
+	OpSeq int
+	By    SiteID
+	OK    bool
+}
+
+// Kind implements Message.
+func (*UWriteAck) Kind() Kind { return KindUWriteAck }
+
+// Wound tells a transaction's home site the transaction was aborted by the
+// wound-wait deadlock-avoidance policy at the sender.
+type Wound struct {
+	Txn TxnID
+	By  SiteID
+}
+
+// Kind implements Message.
+func (*Wound) Kind() Kind { return KindWound }
+
+// Prepare is the baseline's centralized two-phase commit phase-one message.
+type Prepare struct {
+	Txn TxnID
+}
+
+// Kind implements Message.
+func (*Prepare) Kind() Kind { return KindPrepare }
+
+// PrepareVote is a participant's vote, unicast to the coordinator.
+type PrepareVote struct {
+	Txn TxnID
+	By  SiteID
+	Yes bool
+}
+
+// Kind implements Message.
+func (*PrepareVote) Kind() Kind { return KindPrepareVote }
+
+// PDecision is the coordinator's phase-two decision.
+type PDecision struct {
+	Txn    TxnID
+	Commit bool
+}
+
+// Kind implements Message.
+func (*PDecision) Kind() Kind { return KindPDecision }
+
+// QReadReq asks one replica for its current version of a key under a
+// shared lock (quorum baseline: reads consult a majority and take the
+// highest version number [Gif79]).
+type QReadReq struct {
+	Txn TxnID
+	Seq int // read position within the transaction
+	Key Key
+}
+
+// Kind implements Message.
+func (*QReadReq) Kind() Kind { return KindQReadReq }
+
+// QReadReply returns a replica's version once its shared lock is granted.
+type QReadReply struct {
+	Txn    TxnID
+	Seq    int
+	Key    Key
+	From   SiteID
+	Ver    uint64
+	Writer TxnID // transaction that installed the version (serializability audit)
+	Value  Value
+	Found  bool
+}
+
+// Kind implements Message.
+func (*QReadReply) Kind() Kind { return KindQReadReply }
+
+// QLockReq asks a replica to exclusively lock a transaction's whole write
+// set (all-or-wait, wound-wait).
+type QLockReq struct {
+	Txn  TxnID
+	Keys []Key
+}
+
+// Kind implements Message.
+func (*QLockReq) Kind() Kind { return KindQLockReq }
+
+// QLockReply reports the grant with the replica's current version numbers;
+// granting doubles as the prepared-vote of the commit protocol.
+type QLockReply struct {
+	Txn  TxnID
+	From SiteID
+	Vers []KeyVer
+}
+
+// Kind implements Message.
+func (*QLockReply) Kind() Kind { return KindQLockReply }
+
+// QCommit installs a committed quorum write: each key's value at its new
+// version number. Replicas that were not part of the granted quorum apply
+// it too when the version advances theirs (best-effort freshness; the
+// quorum intersection is what guarantees correctness).
+type QCommit struct {
+	Txn    TxnID
+	Writes []KV
+	Vers   []KeyVer
+}
+
+// Kind implements Message.
+func (*QCommit) Kind() Kind { return KindQCommit }
+
+// QRelease releases a transaction's shared locks at a replica (read-only
+// quorum transactions end with this instead of a commit).
+type QRelease struct {
+	Txn TxnID
+}
+
+// Kind implements Message.
+func (*QRelease) Kind() Kind { return KindQRelease }
+
+// RegisterGob registers every concrete message type with encoding/gob so
+// the TCP runtime can transport them. Safe to call more than once.
+func RegisterGob() {
+	gob.Register(&Bcast{})
+	gob.Register(&SeqOrder{})
+	gob.Register(&IsisPropose{})
+	gob.Register(&IsisFinal{})
+	gob.Register(&Heartbeat{})
+	gob.Register(&ViewPropose{})
+	gob.Register(&ViewAck{})
+	gob.Register(&ViewInstall{})
+	gob.Register(&StateRequest{})
+	gob.Register(&StateSnapshot{})
+	gob.Register(&RetransmitReq{})
+	gob.Register(&WriteReq{})
+	gob.Register(&WriteAck{})
+	gob.Register(&TxnNack{})
+	gob.Register(&VoteReq{})
+	gob.Register(&Vote{})
+	gob.Register(&Decision{})
+	gob.Register(&CommitReq{})
+	gob.Register(&CausalNull{})
+	gob.Register(&WriteBatch{})
+	gob.Register(&UWrite{})
+	gob.Register(&UWriteAck{})
+	gob.Register(&Wound{})
+	gob.Register(&Prepare{})
+	gob.Register(&PrepareVote{})
+	gob.Register(&PDecision{})
+	gob.Register(&QReadReq{})
+	gob.Register(&QReadReply{})
+	gob.Register(&QLockReq{})
+	gob.Register(&QLockReply{})
+	gob.Register(&QCommit{})
+	gob.Register(&QRelease{})
+}
+
+// EstimateSize approximates the wire size of a message in bytes. The
+// simulated network uses it for latency models and byte accounting without
+// paying for real serialization.
+func EstimateSize(m Message) int {
+	const hdr = 16 // kind + framing overhead
+	switch t := m.(type) {
+	case *Bcast:
+		return hdr + 16 + 8*len(t.VC) + EstimateSize(t.Payload)
+	case *SeqOrder:
+		return hdr + 20*len(t.Entries)
+	case *IsisPropose, *IsisFinal:
+		return hdr + 28
+	case *Heartbeat:
+		return hdr + 12
+	case *ViewPropose:
+		return hdr + 12 + 4*len(t.View.Members)
+	case *ViewAck:
+		return hdr + 12
+	case *ViewInstall:
+		return hdr + 8 + 4*len(t.View.Members)
+	case *StateRequest:
+		return hdr + 4
+	case *RetransmitReq:
+		return hdr + 12
+	case *StateSnapshot:
+		n := hdr + 12
+		for _, e := range t.Entries {
+			n += len(e.Key)
+			for _, v := range e.Versions {
+				n += 20 + len(v.Value)
+			}
+		}
+		return n
+	case *WriteReq:
+		return hdr + 16 + len(t.Key) + len(t.Value)
+	case *WriteAck:
+		return hdr + 20
+	case *TxnNack:
+		return hdr + 16 + len(t.Key)
+	case *VoteReq:
+		return hdr + 12
+	case *Vote:
+		return hdr + 20
+	case *Decision:
+		return hdr + 16
+	case *CommitReq:
+		n := hdr + 16
+		for _, r := range t.Reads {
+			n += 8 + len(r.Key)
+		}
+		for _, w := range t.Writes {
+			n += 8 + len(w.Key)
+		}
+		for _, kv := range t.WriteKV {
+			n += len(kv.Key) + len(kv.Value)
+		}
+		return n
+	case *CausalNull:
+		return hdr + 4
+	case *WriteBatch:
+		n := hdr + 12
+		for _, kv := range t.Writes {
+			n += 8 + len(kv.Key) + len(kv.Value)
+		}
+		return n
+	case *UWrite:
+		return hdr + 16 + len(t.Key) + len(t.Value)
+	case *UWriteAck:
+		return hdr + 20
+	case *Wound:
+		return hdr + 16
+	case *Prepare:
+		return hdr + 12
+	case *PrepareVote:
+		return hdr + 20
+	case *PDecision:
+		return hdr + 16
+	case *QReadReq:
+		return hdr + 16 + len(t.Key)
+	case *QReadReply:
+		return hdr + 28 + len(t.Key) + len(t.Value)
+	case *QLockReq:
+		n := hdr + 12
+		for _, k := range t.Keys {
+			n += 4 + len(k)
+		}
+		return n
+	case *QLockReply:
+		n := hdr + 16
+		for _, kv := range t.Vers {
+			n += 8 + len(kv.Key)
+		}
+		return n
+	case *QCommit:
+		n := hdr + 12
+		for _, kv := range t.Writes {
+			n += len(kv.Key) + len(kv.Value)
+		}
+		n += 8 * len(t.Vers)
+		return n
+	case *QRelease:
+		return hdr + 12
+	default:
+		return hdr
+	}
+}

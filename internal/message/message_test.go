@@ -1,0 +1,110 @@
+package message
+
+import (
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestTxnIDOrderingAndString(t *testing.T) {
+	a := TxnID{Site: 0, Seq: 1}
+	b := TxnID{Site: 1, Seq: 1}
+	c := TxnID{Site: 0, Seq: 2}
+	if !a.Less(b) || !a.Less(c) || b.Less(a) {
+		t.Fatal("TxnID ordering wrong")
+	}
+	if !b.Less(c) {
+		t.Fatal("seq dominates site in age order")
+	}
+	if a.String() != "t0.1" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if !(TxnID{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	if SiteID(3).String() != "s3" {
+		t.Fatalf("SiteID string %q", SiteID(3).String())
+	}
+}
+
+func TestViewHas(t *testing.T) {
+	v := View{ID: 2, Members: []SiteID{0, 2, 4}}
+	if !v.Has(2) || v.Has(1) {
+		t.Fatal("View.Has wrong")
+	}
+	if v.String() == "" {
+		t.Fatal("empty view string")
+	}
+}
+
+// TestKindStringsComplete ensures every message type's kind has a name —
+// catching a forgotten map entry when a new message is added.
+func TestKindStringsComplete(t *testing.T) {
+	msgs := allMessages()
+	for _, m := range msgs {
+		s := m.Kind().String()
+		if s == "" || s[0] == 'K' && len(s) > 5 && s[:5] == "Kind(" {
+			t.Fatalf("kind %d has no name", m.Kind())
+		}
+	}
+	if got := Kind(9999).String(); got != "Kind(9999)" {
+		t.Fatalf("unknown kind string %q", got)
+	}
+}
+
+// TestEstimateSizePositive ensures the size model covers every message.
+func TestEstimateSizePositive(t *testing.T) {
+	for _, m := range allMessages() {
+		if n := EstimateSize(m); n <= 0 {
+			t.Fatalf("%v estimated size %d", m.Kind(), n)
+		}
+	}
+}
+
+func TestEstimateSizeGrowsWithPayload(t *testing.T) {
+	small := &WriteReq{Txn: TxnID{Site: 1, Seq: 1}, Key: "k", Value: make(Value, 10)}
+	big := &WriteReq{Txn: TxnID{Site: 1, Seq: 1}, Key: "k", Value: make(Value, 1000)}
+	if EstimateSize(big)-EstimateSize(small) != 990 {
+		t.Fatalf("value bytes not counted: %d vs %d", EstimateSize(big), EstimateSize(small))
+	}
+	bare := EstimateSize(&Bcast{Class: ClassReliable, Payload: small})
+	stamped := EstimateSize(&Bcast{Class: ClassCausal, VC: vclock.New(8), Payload: small})
+	if stamped <= bare {
+		t.Fatal("vector clock bytes not counted")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassReliable: "reliable", ClassFIFO: "fifo", ClassCausal: "causal", ClassAtomic: "atomic",
+	} {
+		if c.String() != want {
+			t.Fatalf("%d -> %q", c, c.String())
+		}
+	}
+}
+
+func allMessages() []Message {
+	id := TxnID{Site: 1, Seq: 2}
+	return []Message{
+		&Bcast{Class: ClassReliable, Origin: 1, Seq: 1, Payload: &CausalNull{}},
+		&SeqOrder{Entries: []OrderEntry{{Origin: 1, Seq: 1, Index: 1}}},
+		&IsisPropose{}, &IsisFinal{},
+		&Heartbeat{}, &ViewPropose{}, &ViewAck{}, &ViewInstall{},
+		&StateRequest{}, &StateSnapshot{Entries: []SnapshotEntry{{Key: "k", Versions: []VersionRec{{Value: Value("v")}}}}},
+		&RetransmitReq{},
+		&WriteReq{Txn: id, Key: "k", Value: Value("v")},
+		&WriteAck{Txn: id}, &TxnNack{Txn: id, Key: "k"},
+		&VoteReq{Txn: id}, &Vote{Txn: id}, &Decision{Txn: id},
+		&CommitReq{Txn: id, Reads: []KeyVer{{Key: "k"}}, WriteKV: []KV{{Key: "k", Value: Value("v")}}},
+		&CausalNull{}, &WriteBatch{Txn: id, Writes: []KV{{Key: "k", Value: Value("v")}}},
+		&UWrite{Txn: id, Key: "k", Value: Value("v")}, &UWriteAck{Txn: id},
+		&Wound{Txn: id}, &Prepare{Txn: id}, &PrepareVote{Txn: id}, &PDecision{Txn: id},
+		&QReadReq{Txn: id, Key: "k"},
+		&QReadReply{Txn: id, Key: "k", Value: Value("v"), Found: true},
+		&QLockReq{Txn: id, Keys: []Key{"k"}},
+		&QLockReply{Txn: id, Vers: []KeyVer{{Key: "k", Ver: 1}}},
+		&QCommit{Txn: id, Writes: []KV{{Key: "k", Value: Value("v")}}, Vers: []KeyVer{{Key: "k", Ver: 2}}},
+		&QRelease{Txn: id},
+	}
+}

@@ -1,0 +1,93 @@
+// Package metrics provides the small set of instruments the experiment
+// harness needs: counters and latency histograms with percentile summaries.
+// Everything is plain data owned by one goroutine (the simulator), so there
+// is no internal synchronization.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram records durations and reports order statistics. It keeps raw
+// samples up to a cap, then switches to reservoir sampling so long
+// benchmark runs stay O(1) in memory while percentiles remain unbiased.
+type Histogram struct {
+	samples []time.Duration
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	cap     int
+	// rnd is a tiny xorshift state for the reservoir; deterministic.
+	rnd uint64
+}
+
+// NewHistogram creates a histogram retaining up to capSamples samples
+// (default 8192 when <= 0).
+func NewHistogram(capSamples int) *Histogram {
+	if capSamples <= 0 {
+		capSamples = 8192
+	}
+	return &Histogram{cap: capSamples, rnd: 0x9E3779B97F4A7C15}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Reservoir: replace a random slot with probability cap/count.
+	h.rnd ^= h.rnd << 13
+	h.rnd ^= h.rnd >> 7
+	h.rnd ^= h.rnd << 17
+	if idx := h.rnd % uint64(h.count); idx < uint64(h.cap) {
+		h.samples[idx] = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the mean duration, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(int64(h.sum) / h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(h.samples))
+	copy(s, h.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Summary renders count/mean/p50/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean().Round(time.Microsecond), h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond), h.max.Round(time.Microsecond))
+}

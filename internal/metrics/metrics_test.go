@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not zeroed: %s", h.Summary())
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	h := NewHistogram(16)
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		h.Observe(d * time.Millisecond)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 5*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if got := h.Quantile(0.5); got != 3*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Quantile(1.0); got != 5*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := h.Quantile(0); got != 1*time.Millisecond {
+		t.Fatalf("p0 = %v", got)
+	}
+}
+
+func TestReservoirBounded(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 0; i < 100_000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100_000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Quantiles remain in range even after reservoir replacement.
+	q := h.Quantile(0.5)
+	if q < 0 || q > 100_000*time.Microsecond {
+		t.Fatalf("p50 out of range: %v", q)
+	}
+	// Mean and max are exact regardless of sampling.
+	if h.Max() != 99_999*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+// Property: mean is always between min and max of the observations.
+func TestMeanBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		h := NewHistogram(32)
+		lo, hi := time.Duration(1<<62), time.Duration(0)
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			d := time.Duration(r.Intn(1_000_000)) * time.Nanosecond
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+			h.Observe(d)
+		}
+		m := h.Mean()
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantilesMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		h := NewHistogram(128)
+		for i := 0; i < 50+r.Intn(100); i++ {
+			h.Observe(time.Duration(r.Intn(1000)) * time.Microsecond)
+		}
+		last := time.Duration(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	h := NewHistogram(8)
+	h.Observe(time.Millisecond)
+	s := h.Summary()
+	for _, want := range []string{"n=1", "mean=", "p50=", "p99=", "max="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}

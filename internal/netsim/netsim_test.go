@@ -1,0 +1,77 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+)
+
+func TestFixed(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d, drop := Fixed{Delay: 3 * time.Millisecond}.Latency(0, 1, 100, r)
+	if d != 3*time.Millisecond || drop {
+		t.Fatalf("d=%v drop=%v", d, drop)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	u := Uniform{Min: time.Millisecond, Max: 5 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d, drop := u.Latency(0, 1, 0, r)
+		if drop || d < u.Min || d >= u.Max {
+			t.Fatalf("sample %v drop=%v out of [%v,%v)", d, drop, u.Min, u.Max)
+		}
+	}
+	// Degenerate range returns Min.
+	if d, _ := (Uniform{Min: time.Millisecond, Max: time.Millisecond}).Latency(0, 1, 0, r); d != time.Millisecond {
+		t.Fatalf("degenerate uniform = %v", d)
+	}
+}
+
+func TestLANSizeDependence(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	lan := LAN{Base: 500 * time.Microsecond, PerByte: time.Microsecond}
+	small, _ := lan.Latency(0, 1, 100, r)
+	large, _ := lan.Latency(0, 1, 10_000, r)
+	if large-small != time.Duration(9_900)*time.Microsecond {
+		t.Fatalf("per-byte cost wrong: small=%v large=%v", small, large)
+	}
+	if def := DefaultLAN(); def.Base <= 0 || def.PerByte <= 0 {
+		t.Fatalf("default LAN not positive: %+v", def)
+	}
+}
+
+func TestLossyRate(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	l := Lossy{Inner: Fixed{Delay: time.Millisecond}, P: 0.3}
+	dropped := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if _, drop := l.Latency(0, 1, 0, r); drop {
+			dropped++
+		}
+	}
+	frac := float64(dropped) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("drop rate %.3f, want ~0.3", frac)
+	}
+}
+
+func TestPairOverride(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := PairOverride{
+		Inner: Fixed{Delay: time.Millisecond},
+		Overrides: map[[2]message.SiteID]time.Duration{
+			{0, 1}: 50 * time.Millisecond,
+		},
+	}
+	if d, _ := p.Latency(0, 1, 0, r); d != 50*time.Millisecond {
+		t.Fatalf("override not applied: %v", d)
+	}
+	if d, _ := p.Latency(1, 0, 0, r); d != time.Millisecond {
+		t.Fatalf("reverse direction should use inner: %v", d)
+	}
+}

@@ -1,0 +1,392 @@
+// Package sgraph checks one-copy serializability (1SR) of executions
+// recorded from a replicated-database run, using the multiversion
+// serialization-graph test over one-copy serialization graphs [BG87,
+// BHG87]: given the per-key version order actually produced by the
+// replicas, the execution is 1SR if the graph with write-write,
+// write-read, and read-write (anti-dependency) edges is acyclic.
+//
+// The recorder also cross-checks replica consistency: every site must apply
+// each key's committed versions in the same order (a lagging site may have
+// applied a prefix).
+package sgraph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/message"
+)
+
+// ReadObs records one read: the key and the transaction whose version was
+// observed (zero TxnID for the initial, never-written version).
+type ReadObs struct {
+	Key  message.Key
+	From message.TxnID
+}
+
+// TxnRec is the footprint of one committed transaction.
+type TxnRec struct {
+	ID       message.TxnID
+	Home     message.SiteID
+	ReadOnly bool
+	Reads    []ReadObs
+	Writes   []message.Key
+}
+
+// Recorder accumulates commit footprints and per-site apply orders.
+// It is safe for concurrent use, so the TCP runtime can share one.
+type Recorder struct {
+	mu      sync.Mutex
+	txns    map[message.TxnID]TxnRec
+	applies map[message.SiteID]map[message.Key][]message.TxnID
+	// versioned holds apply records keyed by an explicit, globally
+	// comparable version number (quorum engines apply at sparse subsets of
+	// sites, so per-site sequences are not comparable; the version numbers
+	// are). versioned[key][ver][site] = writer.
+	versioned map[message.Key]map[uint64]map[message.SiteID]message.TxnID
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		txns:      make(map[message.TxnID]TxnRec),
+		applies:   make(map[message.SiteID]map[message.Key][]message.TxnID),
+		versioned: make(map[message.Key]map[uint64]map[message.SiteID]message.TxnID),
+	}
+}
+
+// RecordCommit stores a committed transaction's footprint (once, from its
+// home site).
+func (r *Recorder) RecordCommit(rec TxnRec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.txns[rec.ID] = rec
+}
+
+// RecordApply notes that site applied writer's version of key, in apply
+// order.
+func (r *Recorder) RecordApply(site message.SiteID, key message.Key, writer message.TxnID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.applies[site]
+	if m == nil {
+		m = make(map[message.Key][]message.TxnID)
+		r.applies[site] = m
+	}
+	m[key] = append(m[key], writer)
+}
+
+// RecordVersionedApply notes that site applied writer's version of key at
+// an explicit, globally comparable version number. Used by replica-control
+// protocols (quorum) whose writes reach only a subset of sites, where
+// per-site apply sequences are not mutually comparable.
+func (r *Recorder) RecordVersionedApply(site message.SiteID, key message.Key, writer message.TxnID, ver uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vm := r.versioned[key]
+	if vm == nil {
+		vm = make(map[uint64]map[message.SiteID]message.TxnID)
+		r.versioned[key] = vm
+	}
+	sm := vm[ver]
+	if sm == nil {
+		sm = make(map[message.SiteID]message.TxnID)
+		vm[ver] = sm
+	}
+	sm[site] = writer
+}
+
+// DropSite discards a site's apply records. A site that resynchronized by
+// state transfer replays from the snapshot rather than the message stream,
+// so its pre-transfer apply history would otherwise show a hole that is not
+// a real divergence; after dropping, its post-transfer applies are checked
+// as a fresh (suffix) sequence.
+func (r *Recorder) DropSite(site message.SiteID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.applies, site)
+}
+
+// Committed returns the number of recorded commits.
+func (r *Recorder) Committed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.txns)
+}
+
+// Check validates replica consistency and 1SR; it returns nil when the
+// execution is one-copy serializable.
+func (r *Recorder) Check() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	order, err := r.versionOrders()
+	if err != nil {
+		return err
+	}
+	g := buildGraph(r.txns, order)
+	if cycle := g.findCycle(); cycle != nil {
+		return &NotSerializableError{Cycle: cycle}
+	}
+	return nil
+}
+
+// VersionOrders exposes the consolidated per-key commit orders (longest
+// consistent apply sequence per key), for diagnostics.
+func (r *Recorder) VersionOrders() (map[message.Key][]message.TxnID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.versionOrders()
+}
+
+// ReplicaDivergenceError reports two sites applying a key's versions in
+// different orders — a violated one-copy equivalence.
+type ReplicaDivergenceError struct {
+	Key      message.Key
+	SiteA    message.SiteID
+	SiteB    message.SiteID
+	Position int
+	A, B     message.TxnID
+}
+
+// Error implements error.
+func (e *ReplicaDivergenceError) Error() string {
+	return fmt.Sprintf("replica divergence on %q: site %v applied %v at position %d where site %v applied %v",
+		e.Key, e.SiteA, e.A, e.Position, e.SiteB, e.B)
+}
+
+// NotSerializableError reports a cycle in the one-copy serialization graph.
+type NotSerializableError struct {
+	Cycle []message.TxnID
+}
+
+// Error implements error.
+func (e *NotSerializableError) Error() string {
+	return fmt.Sprintf("execution not one-copy serializable: cycle %v", e.Cycle)
+}
+
+func (r *Recorder) versionOrders() (map[message.Key][]message.TxnID, error) {
+	longest := make(map[message.Key][]message.TxnID)
+	owner := make(map[message.Key]message.SiteID)
+	sites := make([]message.SiteID, 0, len(r.applies))
+	for s := range r.applies {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	// First pass: pick the longest sequence per key as the reference order.
+	for _, site := range sites {
+		for key, seq := range r.applies[site] {
+			if len(seq) > len(longest[key]) {
+				longest[key] = seq
+				owner[key] = site
+			}
+		}
+	}
+	// Second pass: every site's sequence must appear as a contiguous
+	// substring of the reference. A lagging site matches as a prefix; a
+	// site that resynchronized by state transfer matches mid-stream.
+	// (Each transaction commits a key at most once, so matches are
+	// unambiguous.)
+	for _, site := range sites {
+		for key, seq := range r.applies[site] {
+			ref := longest[key]
+			if site == owner[key] || len(seq) == 0 {
+				continue
+			}
+			if !isSubstring(seq, ref) {
+				return nil, &ReplicaDivergenceError{
+					Key: key, SiteA: site, SiteB: owner[key],
+					Position: 0, A: seq[0], B: first(ref),
+				}
+			}
+		}
+	}
+	// Versioned applies: all sites that recorded a (key, ver) must agree on
+	// the writer; the version order is the numeric order.
+	for key, vm := range r.versioned {
+		if len(longest[key]) > 0 {
+			return nil, fmt.Errorf("sgraph: key %q recorded both sequentially and versioned", key)
+		}
+		vers := make([]uint64, 0, len(vm))
+		for v := range vm {
+			vers = append(vers, v)
+		}
+		sort.Slice(vers, func(i, j int) bool { return vers[i] < vers[j] })
+		order := make([]message.TxnID, 0, len(vers))
+		for _, v := range vers {
+			var writer message.TxnID
+			var ownerSite message.SiteID
+			firstSeen := true
+			for site, w := range vm[v] {
+				if firstSeen {
+					writer, ownerSite, firstSeen = w, site, false
+					continue
+				}
+				if w != writer {
+					return nil, &ReplicaDivergenceError{
+						Key: key, SiteA: site, SiteB: ownerSite,
+						Position: int(v), A: w, B: writer,
+					}
+				}
+			}
+			order = append(order, writer)
+		}
+		longest[key] = order
+	}
+	return longest, nil
+}
+
+func first(seq []message.TxnID) message.TxnID {
+	if len(seq) == 0 {
+		return message.TxnID{}
+	}
+	return seq[0]
+}
+
+// isSubstring reports whether needle occurs contiguously within hay.
+func isSubstring(needle, hay []message.TxnID) bool {
+	if len(needle) > len(hay) {
+		return false
+	}
+	for off := 0; off+len(needle) <= len(hay); off++ {
+		match := true
+		for i := range needle {
+			if hay[off+i] != needle[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// graph is an adjacency-list digraph over transaction ids.
+type graph struct {
+	adj map[message.TxnID]map[message.TxnID]bool
+}
+
+func (g *graph) edge(a, b message.TxnID) {
+	if a == b {
+		return
+	}
+	m := g.adj[a]
+	if m == nil {
+		m = make(map[message.TxnID]bool)
+		g.adj[a] = m
+	}
+	m[b] = true
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[message.TxnID]bool)
+	}
+}
+
+func buildGraph(txns map[message.TxnID]TxnRec, order map[message.Key][]message.TxnID) *graph {
+	g := &graph{adj: make(map[message.TxnID]map[message.TxnID]bool)}
+	// Position of each committed version in its key's order.
+	pos := make(map[message.Key]map[message.TxnID]int, len(order))
+	for key, seq := range order {
+		pm := make(map[message.TxnID]int, len(seq))
+		for i, t := range seq {
+			pm[t] = i
+		}
+		pos[key] = pm
+		// WW edges: the version order itself.
+		for i := 1; i < len(seq); i++ {
+			g.edge(seq[i-1], seq[i])
+		}
+	}
+	for _, rec := range txns {
+		for _, rd := range rec.Reads {
+			seq := order[rd.Key]
+			pm := pos[rd.Key]
+			if rd.From.IsZero() {
+				// Read the initial version: anti-dependency on the first
+				// writer, if any.
+				if len(seq) > 0 {
+					g.edge(rec.ID, seq[0])
+				}
+				continue
+			}
+			if rd.From == rec.ID {
+				continue // own write
+			}
+			// WR edge from the version's writer.
+			g.edge(rd.From, rec.ID)
+			// RW edge to the next writer after the observed version.
+			if i, ok := pm[rd.From]; ok && i+1 < len(seq) {
+				g.edge(rec.ID, seq[i+1])
+			}
+		}
+	}
+	return g
+}
+
+// findCycle returns one cycle, or nil. Iterative DFS so deep graphs cannot
+// overflow the stack.
+func (g *graph) findCycle() []message.TxnID {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[message.TxnID]int, len(g.adj))
+	parent := make(map[message.TxnID]message.TxnID)
+
+	nodes := make([]message.TxnID, 0, len(g.adj))
+	for t := range g.adj {
+		nodes = append(nodes, t)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Less(nodes[j]) })
+
+	type frame struct {
+		node message.TxnID
+		next []message.TxnID
+	}
+	sortedAdj := func(t message.TxnID) []message.TxnID {
+		out := make([]message.TxnID, 0, len(g.adj[t]))
+		for u := range g.adj[t] {
+			out = append(out, u)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		return out
+	}
+
+	for _, start := range nodes {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start, next: sortedAdj(start)}}
+		color[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if len(f.next) == 0 {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			u := f.next[0]
+			f.next = f.next[1:]
+			switch color[u] {
+			case grey:
+				// Reconstruct the cycle from f.node back to u.
+				cycle := []message.TxnID{u}
+				for v := f.node; v != u; v = parent[v] {
+					cycle = append(cycle, v)
+				}
+				// Reverse into forward edge order.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return cycle
+			case white:
+				parent[u] = f.node
+				color[u] = grey
+				stack = append(stack, frame{node: u, next: sortedAdj(u)})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package sgraph
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/message"
+)
+
+func txn(site, seq int) message.TxnID {
+	return message.TxnID{Site: message.SiteID(site), Seq: uint64(seq)}
+}
+
+func TestEmptyIsSerializable(t *testing.T) {
+	if err := NewRecorder().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialHistoryPasses(t *testing.T) {
+	r := NewRecorder()
+	t1, t2 := txn(0, 1), txn(1, 1)
+	// T1 writes x; T2 reads T1's x and writes y.
+	r.RecordCommit(TxnRec{ID: t1, Writes: []message.Key{"x"}})
+	r.RecordCommit(TxnRec{ID: t2, Reads: []ReadObs{{Key: "x", From: t1}}, Writes: []message.Key{"y"}})
+	for site := 0; site < 2; site++ {
+		r.RecordApply(message.SiteID(site), "x", t1)
+		r.RecordApply(message.SiteID(site), "y", t2)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSkewCycleDetected(t *testing.T) {
+	r := NewRecorder()
+	t1, t2 := txn(0, 1), txn(1, 1)
+	// Classic write skew: T1 reads x(initial), writes y; T2 reads y(initial),
+	// writes x. RW edges both ways -> cycle.
+	r.RecordCommit(TxnRec{ID: t1, Reads: []ReadObs{{Key: "x"}}, Writes: []message.Key{"y"}})
+	r.RecordCommit(TxnRec{ID: t2, Reads: []ReadObs{{Key: "y"}}, Writes: []message.Key{"x"}})
+	r.RecordApply(0, "x", t2)
+	r.RecordApply(0, "y", t1)
+	err := r.Check()
+	var nse *NotSerializableError
+	if !errors.As(err, &nse) {
+		t.Fatalf("err = %v, want NotSerializableError", err)
+	}
+	if len(nse.Cycle) < 2 {
+		t.Fatalf("cycle too short: %v", nse.Cycle)
+	}
+}
+
+func TestLostUpdateCycleDetected(t *testing.T) {
+	r := NewRecorder()
+	t1, t2 := txn(0, 1), txn(1, 1)
+	// Both read initial x, both write x: T1 before T2 in version order, but
+	// T2 read the initial version -> T2 must precede T1 too.
+	r.RecordCommit(TxnRec{ID: t1, Reads: []ReadObs{{Key: "x"}}, Writes: []message.Key{"x"}})
+	r.RecordCommit(TxnRec{ID: t2, Reads: []ReadObs{{Key: "x"}}, Writes: []message.Key{"x"}})
+	r.RecordApply(0, "x", t1)
+	r.RecordApply(0, "x", t2)
+	var nse *NotSerializableError
+	if err := r.Check(); !errors.As(err, &nse) {
+		t.Fatalf("err = %v, want NotSerializableError", err)
+	}
+}
+
+func TestReadOwnWriteOK(t *testing.T) {
+	r := NewRecorder()
+	t1 := txn(0, 1)
+	r.RecordCommit(TxnRec{ID: t1, Reads: []ReadObs{{Key: "x", From: t1}}, Writes: []message.Key{"x"}})
+	r.RecordApply(0, "x", t1)
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaDivergenceDetected(t *testing.T) {
+	r := NewRecorder()
+	t1, t2 := txn(0, 1), txn(1, 1)
+	r.RecordCommit(TxnRec{ID: t1, Writes: []message.Key{"x"}})
+	r.RecordCommit(TxnRec{ID: t2, Writes: []message.Key{"x"}})
+	r.RecordApply(0, "x", t1)
+	r.RecordApply(0, "x", t2)
+	r.RecordApply(1, "x", t2) // site 1 applied in the opposite order
+	r.RecordApply(1, "x", t1)
+	var div *ReplicaDivergenceError
+	if err := r.Check(); !errors.As(err, &div) {
+		t.Fatalf("err = %v, want ReplicaDivergenceError", err)
+	}
+	if div.Key != "x" {
+		t.Fatalf("divergence key %q", div.Key)
+	}
+}
+
+func TestPrefixLagIsFine(t *testing.T) {
+	r := NewRecorder()
+	t1, t2 := txn(0, 1), txn(1, 1)
+	r.RecordCommit(TxnRec{ID: t1, Writes: []message.Key{"x"}})
+	r.RecordCommit(TxnRec{ID: t2, Reads: []ReadObs{{Key: "x", From: t1}}, Writes: []message.Key{"x"}})
+	r.RecordApply(0, "x", t1)
+	r.RecordApply(0, "x", t2)
+	r.RecordApply(1, "x", t1) // site 1 lags: prefix only
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFromStaleVersionAntiDependency(t *testing.T) {
+	r := NewRecorder()
+	w1, w2, rd := txn(0, 1), txn(0, 2), txn(1, 1)
+	// Version order x: w1, w2. Reader observed w1's version, so reader must
+	// precede w2 — consistent, acyclic.
+	r.RecordCommit(TxnRec{ID: w1, Writes: []message.Key{"x"}})
+	r.RecordCommit(TxnRec{ID: w2, Writes: []message.Key{"x"}})
+	r.RecordCommit(TxnRec{ID: rd, ReadOnly: true, Reads: []ReadObs{{Key: "x", From: w1}}})
+	r.RecordApply(0, "x", w1)
+	r.RecordApply(0, "x", w2)
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// But if the reader ALSO observed w2's y-version while w2 read the
+	// reader's... build an explicit 3-cycle: rd -> w2 (RW on x),
+	// w2 -> w3 (WW y), w3 -> rd (WR z)... simpler: make rd read z from w3
+	// and w3 read x from w2's version — then rd->w2->? no edge back.
+	// Covered by the write-skew test; nothing further here.
+}
+
+func TestThreeTxnCycle(t *testing.T) {
+	r := NewRecorder()
+	a, b, c := txn(0, 1), txn(1, 1), txn(2, 1)
+	// a reads x(initial); b writes x; so a -> b. b reads y(initial); c
+	// writes y; so b -> c. c reads z(initial); a writes z; so c -> a.
+	r.RecordCommit(TxnRec{ID: a, Reads: []ReadObs{{Key: "x"}}, Writes: []message.Key{"z"}})
+	r.RecordCommit(TxnRec{ID: b, Reads: []ReadObs{{Key: "y"}}, Writes: []message.Key{"x"}})
+	r.RecordCommit(TxnRec{ID: c, Reads: []ReadObs{{Key: "z"}}, Writes: []message.Key{"y"}})
+	r.RecordApply(0, "x", b)
+	r.RecordApply(0, "y", c)
+	r.RecordApply(0, "z", a)
+	var nse *NotSerializableError
+	if err := r.Check(); !errors.As(err, &nse) {
+		t.Fatalf("err = %v, want cycle", err)
+	}
+	if len(nse.Cycle) != 3 {
+		t.Fatalf("cycle %v, want length 3", nse.Cycle)
+	}
+}
+
+func TestCommittedCount(t *testing.T) {
+	r := NewRecorder()
+	r.RecordCommit(TxnRec{ID: txn(0, 1)})
+	r.RecordCommit(TxnRec{ID: txn(0, 2)})
+	if r.Committed() != 2 {
+		t.Fatalf("committed = %d", r.Committed())
+	}
+}
+
+func TestVersionedAppliesAgree(t *testing.T) {
+	r := NewRecorder()
+	t1, t2 := txn(0, 1), txn(1, 1)
+	r.RecordCommit(TxnRec{ID: t1, Writes: []message.Key{"x"}})
+	r.RecordCommit(TxnRec{ID: t2, Reads: []ReadObs{{Key: "x", From: t1}}, Writes: []message.Key{"x"}})
+	// A quorum-style sparse apply pattern: different subsets per version.
+	r.RecordVersionedApply(0, "x", t1, 1)
+	r.RecordVersionedApply(1, "x", t1, 1)
+	r.RecordVersionedApply(1, "x", t2, 2)
+	r.RecordVersionedApply(2, "x", t2, 2)
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	orders, err := r.VersionOrders()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := orders["x"]; len(got) != 2 || got[0] != t1 || got[1] != t2 {
+		t.Fatalf("versioned order %v", got)
+	}
+}
+
+func TestVersionedDivergenceDetected(t *testing.T) {
+	r := NewRecorder()
+	t1, t2 := txn(0, 1), txn(1, 1)
+	r.RecordCommit(TxnRec{ID: t1, Writes: []message.Key{"x"}})
+	r.RecordCommit(TxnRec{ID: t2, Writes: []message.Key{"x"}})
+	r.RecordVersionedApply(0, "x", t1, 1)
+	r.RecordVersionedApply(1, "x", t2, 1) // same version, different writer
+	var div *ReplicaDivergenceError
+	if err := r.Check(); !errors.As(err, &div) {
+		t.Fatalf("err = %v, want divergence", err)
+	}
+}
+
+func TestMixedModesRejected(t *testing.T) {
+	r := NewRecorder()
+	t1 := txn(0, 1)
+	r.RecordCommit(TxnRec{ID: t1, Writes: []message.Key{"x"}})
+	r.RecordApply(0, "x", t1)
+	r.RecordVersionedApply(1, "x", t1, 1)
+	if err := r.Check(); err == nil {
+		t.Fatal("mixed sequential+versioned recording for one key must be rejected")
+	}
+}
+
+func TestResyncSuffixAccepted(t *testing.T) {
+	r := NewRecorder()
+	a, b, c := txn(0, 1), txn(0, 2), txn(0, 3)
+	for _, id := range []message.TxnID{a, b, c} {
+		r.RecordCommit(TxnRec{ID: id, Writes: []message.Key{"x"}})
+	}
+	// Site 0 has the full history; site 1 resynced mid-stream and only
+	// applied the suffix.
+	r.RecordApply(0, "x", a)
+	r.RecordApply(0, "x", b)
+	r.RecordApply(0, "x", c)
+	r.RecordApply(1, "x", b)
+	r.RecordApply(1, "x", c)
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// But a non-contiguous subsequence is a divergence.
+	r.RecordApply(2, "x", a)
+	r.RecordApply(2, "x", c) // skipped b without a resync drop
+	var div *ReplicaDivergenceError
+	if err := r.Check(); !errors.As(err, &div) {
+		t.Fatalf("err = %v, want divergence for a gap", err)
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	div := &ReplicaDivergenceError{Key: "x", SiteA: 1, SiteB: 0, Position: 2, A: txn(1, 1), B: txn(0, 1)}
+	if s := div.Error(); s == "" || s[0] == 0 {
+		t.Fatal("empty divergence message")
+	}
+	nse := &NotSerializableError{Cycle: []message.TxnID{txn(0, 1), txn(1, 1)}}
+	if s := nse.Error(); s == "" {
+		t.Fatal("empty cycle message")
+	}
+}
+
+func TestDropSite(t *testing.T) {
+	r := NewRecorder()
+	t1 := txn(0, 1)
+	r.RecordCommit(TxnRec{ID: t1, Writes: []message.Key{"x"}})
+	r.RecordApply(0, "x", t1)
+	r.RecordApply(1, "x", txn(9, 9)) // bogus divergence at site 1
+	if err := r.Check(); err == nil {
+		t.Fatal("expected divergence before drop")
+	}
+	r.DropSite(1)
+	if err := r.Check(); err != nil {
+		t.Fatalf("after drop: %v", err)
+	}
+}

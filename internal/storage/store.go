@@ -1,0 +1,164 @@
+// Package storage implements each site's local database: a multiversion
+// key-value store with an optional write-ahead log and snapshot/restore for
+// state transfer to recovering sites.
+//
+// Versions are tagged with the commit index that installed them. Protocols
+// R and C use a per-site commit sequence; protocol A uses the global
+// total-order index, which is what makes its snapshot reads and
+// certification deterministic across sites.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/message"
+)
+
+// ErrVersionGone is returned when a read at an old snapshot index reaches
+// below the garbage-collection horizon of a key's version chain. Callers
+// abort and restart the reading transaction.
+var ErrVersionGone = errors.New("storage: version before GC horizon")
+
+// ErrStaleIndex is returned when Apply is called with a commit index not
+// greater than the key's newest version, which would reorder committed
+// writes.
+var ErrStaleIndex = errors.New("storage: apply index not monotone")
+
+// Store is one site's versioned database. It is owned by the site's event
+// loop and performs no internal locking.
+type Store struct {
+	versions  map[message.Key][]message.VersionRec
+	truncated map[message.Key]bool // keys whose old versions were GC'd
+	applied   uint64
+	wal       *WAL
+	// MaxVersions caps each key's version chain; older versions are
+	// discarded. Zero means unbounded.
+	MaxVersions int
+}
+
+// New creates an empty store. A nil wal disables logging.
+func New(wal *WAL) *Store {
+	return &Store{
+		versions:    make(map[message.Key][]message.VersionRec),
+		truncated:   make(map[message.Key]bool),
+		wal:         wal,
+		MaxVersions: 64,
+	}
+}
+
+// Get returns the newest committed version of key.
+func (s *Store) Get(key message.Key) (message.VersionRec, bool) {
+	vs := s.versions[key]
+	if len(vs) == 0 {
+		return message.VersionRec{}, false
+	}
+	return vs[len(vs)-1], true
+}
+
+// GetAt returns the newest version of key with Index <= at. A missing key
+// yields (zero, false, nil); a GC'd version yields ErrVersionGone.
+func (s *Store) GetAt(key message.Key, at uint64) (message.VersionRec, bool, error) {
+	vs := s.versions[key]
+	if len(vs) == 0 {
+		return message.VersionRec{}, false, nil
+	}
+	// Binary search for the last version with Index <= at.
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].Index > at })
+	if i == 0 {
+		// The chain starts above the requested snapshot: either the key was
+		// created after the snapshot (not visible — fine) or GC removed the
+		// version the snapshot needs.
+		if s.truncated[key] {
+			return message.VersionRec{}, false, ErrVersionGone
+		}
+		return message.VersionRec{}, false, nil
+	}
+	return vs[i-1], true, nil
+}
+
+// Apply installs a committed transaction's writes at the given commit
+// index. The index must exceed every written key's current newest version.
+func (s *Store) Apply(txn message.TxnID, writes []message.KV, index uint64) error {
+	for _, w := range writes {
+		if vs := s.versions[w.Key]; len(vs) > 0 && vs[len(vs)-1].Index >= index {
+			return fmt.Errorf("%w: key %q has version %d, apply at %d", ErrStaleIndex, w.Key, vs[len(vs)-1].Index, index)
+		}
+	}
+	if s.wal != nil {
+		if err := s.wal.Append(Record{Index: index, Txn: txn, Writes: writes}); err != nil {
+			return fmt.Errorf("wal append: %w", err)
+		}
+	}
+	for _, w := range writes {
+		vs := append(s.versions[w.Key], message.VersionRec{Index: index, Writer: txn, Value: w.Value})
+		if s.MaxVersions > 0 && len(vs) > s.MaxVersions {
+			vs = append([]message.VersionRec(nil), vs[len(vs)-s.MaxVersions:]...)
+			s.truncated[w.Key] = true
+		}
+		s.versions[w.Key] = vs
+	}
+	if index > s.applied {
+		s.applied = index
+	}
+	return nil
+}
+
+// Applied returns the highest commit index applied so far.
+func (s *Store) Applied() uint64 { return s.applied }
+
+// Len returns the number of keys present.
+func (s *Store) Len() int { return len(s.versions) }
+
+// VersionCount returns the total number of retained versions, a memory
+// metric.
+func (s *Store) VersionCount() int {
+	n := 0
+	for _, vs := range s.versions {
+		n += len(vs)
+	}
+	return n
+}
+
+// Snapshot serializes the full committed state for transfer to a
+// recovering site, keys in sorted order.
+func (s *Store) Snapshot() []message.SnapshotEntry {
+	keys := make([]message.Key, 0, len(s.versions))
+	for k := range s.versions {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]message.SnapshotEntry, 0, len(keys))
+	for _, k := range keys {
+		src := s.versions[k]
+		vs := make([]message.VersionRec, len(src))
+		copy(vs, src)
+		out = append(out, message.SnapshotEntry{Key: k, Versions: vs})
+	}
+	return out
+}
+
+// Restore replaces the store's contents with a snapshot.
+func (s *Store) Restore(entries []message.SnapshotEntry, applied uint64) {
+	s.versions = make(map[message.Key][]message.VersionRec, len(entries))
+	s.truncated = make(map[message.Key]bool)
+	for _, e := range entries {
+		vs := make([]message.VersionRec, len(e.Versions))
+		copy(vs, e.Versions)
+		s.versions[e.Key] = vs
+	}
+	s.applied = applied
+}
+
+// VersionOrder returns the writer transactions of key's retained versions
+// in commit order. The replica-consistency checker compares these across
+// sites.
+func (s *Store) VersionOrder(key message.Key) []message.TxnID {
+	vs := s.versions[key]
+	out := make([]message.TxnID, len(vs))
+	for i, v := range vs {
+		out[i] = v.Writer
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/message"
+)
+
+func txn(site, seq int) message.TxnID {
+	return message.TxnID{Site: message.SiteID(site), Seq: uint64(seq)}
+}
+
+func kv(k string, v string) message.KV {
+	return message.KV{Key: message.Key(k), Value: message.Value(v)}
+}
+
+func TestGetLatestAndAt(t *testing.T) {
+	s := New(nil)
+	if _, ok := s.Get("x"); ok {
+		t.Fatal("empty store returned a value")
+	}
+	mustApply(t, s, txn(0, 1), 1, kv("x", "v1"))
+	mustApply(t, s, txn(0, 2), 5, kv("x", "v5"))
+	got, ok := s.Get("x")
+	if !ok || string(got.Value) != "v5" || got.Index != 5 {
+		t.Fatalf("Get = %+v ok=%v", got, ok)
+	}
+	at, ok, err := s.GetAt("x", 3)
+	if err != nil || !ok || string(at.Value) != "v1" {
+		t.Fatalf("GetAt(3) = %+v ok=%v err=%v", at, ok, err)
+	}
+	if _, ok, err := s.GetAt("y", 3); ok || err != nil {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := s.GetAt("x", 0); ok || err != nil {
+		t.Fatalf("before first version: ok=%v err=%v", ok, err)
+	}
+}
+
+func mustApply(t *testing.T, s *Store, id message.TxnID, idx uint64, writes ...message.KV) {
+	t.Helper()
+	if err := s.Apply(id, writes, idx); err != nil {
+		t.Fatalf("apply %v@%d: %v", id, idx, err)
+	}
+}
+
+func TestApplyMonotoneEnforced(t *testing.T) {
+	s := New(nil)
+	mustApply(t, s, txn(0, 1), 5, kv("x", "a"))
+	err := s.Apply(txn(0, 2), []message.KV{kv("x", "b")}, 5)
+	if !errors.Is(err, ErrStaleIndex) {
+		t.Fatalf("err = %v, want ErrStaleIndex", err)
+	}
+	err = s.Apply(txn(0, 2), []message.KV{kv("x", "b")}, 4)
+	if !errors.Is(err, ErrStaleIndex) {
+		t.Fatalf("err = %v, want ErrStaleIndex", err)
+	}
+	// Different key at an older index is fine (per-key monotonicity).
+	mustApply(t, s, txn(0, 3), 3, kv("y", "c"))
+	if s.Applied() != 5 {
+		t.Fatalf("applied = %d", s.Applied())
+	}
+}
+
+func TestGCHorizon(t *testing.T) {
+	s := New(nil)
+	s.MaxVersions = 4
+	for i := 1; i <= 10; i++ {
+		mustApply(t, s, txn(0, i), uint64(i), kv("x", fmt.Sprintf("v%d", i)))
+	}
+	if s.VersionCount() != 4 {
+		t.Fatalf("versions = %d, want 4", s.VersionCount())
+	}
+	// Reading below the horizon reports ErrVersionGone, not a silent miss.
+	if _, _, err := s.GetAt("x", 2); !errors.Is(err, ErrVersionGone) {
+		t.Fatalf("err = %v, want ErrVersionGone", err)
+	}
+	// Reading within the retained window still works.
+	v, ok, err := s.GetAt("x", 9)
+	if err != nil || !ok || string(v.Value) != "v9" {
+		t.Fatalf("GetAt(9) = %+v ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New(nil)
+	mustApply(t, s, txn(0, 1), 1, kv("b", "1"), kv("a", "1"))
+	mustApply(t, s, txn(1, 1), 2, kv("a", "2"))
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].Key != "a" || snap[1].Key != "b" {
+		t.Fatalf("snapshot keys wrong: %+v", snap)
+	}
+	r := New(nil)
+	r.Restore(snap, s.Applied())
+	if r.Applied() != 2 {
+		t.Fatalf("restored applied = %d", r.Applied())
+	}
+	v, ok := r.Get("a")
+	if !ok || string(v.Value) != "2" || v.Writer != txn(1, 1) {
+		t.Fatalf("restored a = %+v", v)
+	}
+	order := r.VersionOrder("a")
+	if len(order) != 2 || order[0] != txn(0, 1) || order[1] != txn(1, 1) {
+		t.Fatalf("version order %v", order)
+	}
+	// Restore deep-copies: mutating the snapshot must not affect the store.
+	snap[0].Versions[0].Value = message.Value("mutated")
+	if v, _, _ := r.GetAt("a", 1); string(v.Value) == "mutated" {
+		t.Fatal("restore aliases snapshot memory")
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	recs := []Record{
+		{Index: 1, Txn: txn(0, 1), Writes: []message.KV{kv("x", "a"), kv("y", "b")}},
+		{Index: 2, Txn: txn(1, 1), Writes: []message.KV{kv("x", "c")}},
+		{Index: 3, Txn: txn(2, 9), Writes: nil},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Record
+	if err := Replay(bytes.NewReader(buf.Bytes()), func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Index != recs[i].Index || got[i].Txn != recs[i].Txn || len(got[i].Writes) != len(recs[i].Writes) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+		for j := range recs[i].Writes {
+			if got[i].Writes[j].Key != recs[i].Writes[j].Key ||
+				!bytes.Equal(got[i].Writes[j].Value, recs[i].Writes[j].Value) {
+				t.Fatalf("record %d write %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestWALTornTailIgnored(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	if err := w.Append(Record{Index: 1, Txn: txn(0, 1), Writes: []message.KV{kv("x", "a")}}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Len()
+	if err := w.Append(Record{Index: 2, Txn: txn(0, 2), Writes: []message.KV{kv("x", "b")}}); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:whole+5] // cut mid-record
+	n := 0
+	if err := Replay(bytes.NewReader(torn), func(Record) error { n++; return nil }); err != nil {
+		t.Fatalf("torn tail should not error: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d, want 1", n)
+	}
+}
+
+func TestWALCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	if err := w.Append(Record{Index: 1, Txn: txn(0, 1), Writes: []message.KV{kv("x", "a")}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] ^= 0xFF // flip a byte in the body
+	err := Replay(bytes.NewReader(b), func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRecoverRebuildsStore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "site0.wal")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWAL(f)
+	s := New(w)
+	mustApply(t, s, txn(0, 1), 1, kv("x", "a"))
+	mustApply(t, s, txn(0, 2), 2, kv("x", "b"), kv("y", "c"))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	r, err := Recover(rf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Applied() != 2 {
+		t.Fatalf("recovered applied = %d", r.Applied())
+	}
+	v, ok := r.Get("x")
+	if !ok || string(v.Value) != "b" {
+		t.Fatalf("recovered x = %+v", v)
+	}
+	if got := r.VersionOrder("x"); len(got) != 2 {
+		t.Fatalf("recovered chain %v", got)
+	}
+}
+
+// Property: random apply sequences — Get always returns the
+// highest-indexed write, GetAt the highest <= the requested index.
+func TestRandomAppliesProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := func() bool {
+		s := New(nil)
+		s.MaxVersions = 0 // unbounded so the model matches exactly
+		model := map[message.Key][]message.VersionRec{}
+		idx := uint64(0)
+		for step := 0; step < 60; step++ {
+			idx += uint64(1 + r.Intn(3))
+			k := message.Key([]byte{'a' + byte(r.Intn(4))})
+			val := message.Value(fmt.Sprintf("%d", idx))
+			id := txn(r.Intn(3), step+1)
+			if err := s.Apply(id, []message.KV{{Key: k, Value: val}}, idx); err != nil {
+				return false
+			}
+			model[k] = append(model[k], message.VersionRec{Index: idx, Writer: id, Value: val})
+		}
+		for k, versions := range model {
+			got, ok := s.Get(k)
+			want := versions[len(versions)-1]
+			if !ok || got.Index != want.Index || string(got.Value) != string(want.Value) {
+				return false
+			}
+			probe := versions[r.Intn(len(versions))].Index
+			gotAt, ok, err := s.GetAt(k, probe)
+			if err != nil || !ok || gotAt.Index != probe {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

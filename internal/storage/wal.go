@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/message"
+)
+
+// Record is one committed transaction in the write-ahead log.
+type Record struct {
+	Index  uint64
+	Txn    message.TxnID
+	Writes []message.KV
+}
+
+// ErrCorrupt is returned by Replay when a record fails its checksum; the
+// valid prefix before it has already been surfaced.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// WAL is an append-only write-ahead log with per-record CRC32 checksums.
+// The format is a simple length-prefixed binary encoding so recovery can
+// stop cleanly at a torn tail.
+type WAL struct {
+	w io.Writer
+	// Sync is called after each append when non-nil (e.g. (*os.File).Sync
+	// for durability).
+	Sync func() error
+	buf  []byte
+}
+
+// NewWAL creates a log that appends to w.
+func NewWAL(w io.Writer) *WAL { return &WAL{w: w} }
+
+// Append writes one record.
+func (l *WAL) Append(r Record) error {
+	l.buf = l.buf[:0]
+	l.buf = appendRecord(l.buf, r)
+	if _, err := l.w.Write(l.buf); err != nil {
+		return err
+	}
+	if l.Sync != nil {
+		return l.Sync()
+	}
+	return nil
+}
+
+func appendRecord(b []byte, r Record) []byte {
+	body := appendBody(nil, r)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	b = append(b, hdr[:]...)
+	return append(b, body...)
+}
+
+func appendBody(b []byte, r Record) []byte {
+	b = binary.LittleEndian.AppendUint64(b, r.Index)
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Txn.Site))
+	b = binary.LittleEndian.AppendUint64(b, r.Txn.Seq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Writes)))
+	for _, w := range r.Writes {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(w.Key)))
+		b = append(b, w.Key...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(w.Value)))
+		b = append(b, w.Value...)
+	}
+	return b
+}
+
+func decodeBody(b []byte) (Record, error) {
+	var r Record
+	rd := reader{b: b}
+	r.Index = rd.u64()
+	r.Txn.Site = message.SiteID(rd.u32())
+	r.Txn.Seq = rd.u64()
+	n := int(rd.u32())
+	if rd.err != nil || n < 0 || n > 1<<20 {
+		return r, fmt.Errorf("%w: bad write count", ErrCorrupt)
+	}
+	r.Writes = make([]message.KV, 0, n)
+	for i := 0; i < n; i++ {
+		k := rd.bytes(int(rd.u32()))
+		v := rd.bytes(int(rd.u32()))
+		if rd.err != nil {
+			return r, fmt.Errorf("%w: truncated write", ErrCorrupt)
+		}
+		r.Writes = append(r.Writes, message.KV{Key: message.Key(k), Value: append(message.Value(nil), v...)})
+	}
+	if rd.err != nil {
+		return r, rd.err
+	}
+	return r, nil
+}
+
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || len(r.b) < n {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+// Replay reads records from rd in order, invoking fn for each. A torn tail
+// (clean EOF mid-record) ends replay without error; a checksum mismatch
+// returns ErrCorrupt after the valid prefix was delivered.
+func Replay(rd io.Reader, fn func(Record) error) error {
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn or clean tail
+			}
+			return err
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if size > 1<<28 {
+			return fmt.Errorf("%w: implausible record size %d", ErrCorrupt, size)
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(rd, body); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn tail
+			}
+			return err
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return ErrCorrupt
+		}
+		rec, err := decodeBody(body)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Recover rebuilds a store from a log, returning the recovered store.
+func Recover(rd io.Reader, wal *WAL) (*Store, error) {
+	s := New(nil) // do not re-log while replaying
+	err := Replay(rd, func(r Record) error {
+		return s.Apply(r.Txn, r.Writes, r.Index)
+	})
+	s.wal = wal
+	if err != nil {
+		return s, err
+	}
+	return s, nil
+}

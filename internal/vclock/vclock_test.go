@@ -1,0 +1,166 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b VC
+		want Ordering
+	}{
+		{"both empty", VC{}, VC{}, Equal},
+		{"equal", VC{1, 2}, VC{1, 2}, Equal},
+		{"before", VC{1, 2}, VC{1, 3}, Before},
+		{"after", VC{2, 2}, VC{1, 2}, After},
+		{"concurrent", VC{2, 1}, VC{1, 2}, Concurrent},
+		{"width mismatch equal", VC{1, 0}, VC{1}, Equal},
+		{"width mismatch before", VC{1}, VC{1, 4}, Before},
+		{"nil vs zero", nil, VC{0, 0}, Equal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Fatalf("Compare(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTickSetGet(t *testing.T) {
+	v := New(3)
+	v = v.Tick(1)
+	v = v.Tick(1)
+	v = v.Tick(4) // grows
+	if got := v.Get(1); got != 2 {
+		t.Fatalf("Get(1) = %d, want 2", got)
+	}
+	if got := v.Get(4); got != 1 {
+		t.Fatalf("Get(4) = %d, want 1", got)
+	}
+	if got := v.Get(99); got != 0 {
+		t.Fatalf("Get(99) = %d, want 0", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := VC{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+	if nilClone := (VC)(nil).Clone(); nilClone != nil {
+		t.Fatal("nil clone should stay nil")
+	}
+}
+
+func randVC(r *rand.Rand) VC {
+	n := 1 + r.Intn(6)
+	v := New(n)
+	for i := range v {
+		v[i] = uint64(r.Intn(5))
+	}
+	return v
+}
+
+// Property: Compare is antisymmetric — swapping arguments flips
+// Before/After and preserves Equal/Concurrent.
+func TestCompareAntisymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randVC(r), randVC(r)
+		x, y := a.Compare(b), b.Compare(a)
+		switch x {
+		case Equal:
+			return y == Equal
+		case Concurrent:
+			return y == Concurrent
+		case Before:
+			return y == After
+		case After:
+			return y == Before
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a merged clock dominates both inputs.
+func TestMergeDominates(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randVC(r), randVC(r)
+		m := a.Clone().Merge(b)
+		return a.DominatedBy(m) && b.DominatedBy(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge is the least upper bound — any clock dominating both
+// inputs dominates the merge.
+func TestMergeIsLUB(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b := randVC(r), randVC(r)
+		m := a.Clone().Merge(b)
+		u := a.Clone().Merge(b).Merge(randVC(r)) // some upper bound of both
+		return m.DominatedBy(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DominatedBy is transitive.
+func TestDominatedByTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		a := randVC(r)
+		b := a.Clone().Merge(randVC(r))
+		c := b.Clone().Merge(randVC(r))
+		return a.DominatedBy(b) && b.DominatedBy(c) && a.DominatedBy(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLamport(t *testing.T) {
+	var l Lamport
+	if l.Tick() != 1 || l.Tick() != 2 {
+		t.Fatal("tick sequence wrong")
+	}
+	if got := l.Observe(10); got != 11 {
+		t.Fatalf("Observe(10) = %d, want 11", got)
+	}
+	if got := l.Observe(3); got != 12 {
+		t.Fatalf("Observe(3) = %d, want 12", got)
+	}
+	if l.Now() != 12 {
+		t.Fatalf("Now() = %d, want 12", l.Now())
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{
+		Equal: "equal", Before: "before", After: "after", Concurrent: "concurrent",
+	} {
+		if o.String() != want {
+			t.Fatalf("%d.String() = %q", o, o.String())
+		}
+	}
+}
+
+func TestVCString(t *testing.T) {
+	if got := (VC{1, 0, 3}).String(); got != "[1 0 3]" {
+		t.Fatalf("String() = %q", got)
+	}
+}

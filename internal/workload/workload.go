@@ -1,0 +1,159 @@
+// Package workload generates transaction mixes for the experiment harness:
+// uniform or skewed (Zipf / hotspot) key access, tunable read-only
+// fraction, transaction shapes, and arrival schedules. Generation is
+// deterministic under a seed so every experiment is reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/message"
+)
+
+// Spec describes a workload.
+type Spec struct {
+	// Sites is the cluster size; transactions are assigned home sites
+	// round-robin with random jitter.
+	Sites int
+	// Count is the total number of transactions.
+	Count int
+	// Window is the virtual-time span over which arrivals are spread.
+	Window time.Duration
+	// Keys is the size of the key space (keys "k0".."k<Keys-1>").
+	Keys int
+	// ZipfS is the Zipf skew parameter; values > 1 skew access toward low
+	// keys. Zero or less selects uniform access.
+	ZipfS float64
+	// HotKeys/HotProb direct a fraction of accesses to a small hot set:
+	// with probability HotProb an access picks uniformly from the first
+	// HotKeys keys. Composes with uniform access only (ignored with Zipf).
+	HotKeys int
+	HotProb float64
+	// ReadOnlyFraction is the probability a transaction is read-only.
+	ReadOnlyFraction float64
+	// ReadsPerTxn and WritesPerTxn set the operation counts of update
+	// transactions; read-only transactions perform ReadsPerTxn reads.
+	ReadsPerTxn  int
+	WritesPerTxn int
+	// ValueSize is the write payload size in bytes.
+	ValueSize int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Validate fills defaults and rejects nonsense.
+func (s *Spec) Validate() error {
+	if s.Sites <= 0 {
+		return fmt.Errorf("workload: Sites must be positive, got %d", s.Sites)
+	}
+	if s.Count <= 0 {
+		return fmt.Errorf("workload: Count must be positive, got %d", s.Count)
+	}
+	if s.Keys <= 0 {
+		s.Keys = 64
+	}
+	if s.Window <= 0 {
+		s.Window = 10 * time.Second
+	}
+	if s.ReadsPerTxn < 0 || s.WritesPerTxn < 0 {
+		return fmt.Errorf("workload: negative operation counts")
+	}
+	if s.ReadsPerTxn == 0 && s.WritesPerTxn == 0 {
+		s.ReadsPerTxn, s.WritesPerTxn = 2, 2
+	}
+	if s.ValueSize <= 0 {
+		s.ValueSize = 32
+	}
+	if s.HotKeys > s.Keys {
+		s.HotKeys = s.Keys
+	}
+	return nil
+}
+
+// Txn is one generated transaction.
+type Txn struct {
+	At       time.Duration
+	Site     message.SiteID
+	ReadOnly bool
+	Reads    []message.Key
+	Writes   []message.KV
+}
+
+// keyPicker selects keys under the spec's distribution.
+type keyPicker struct {
+	spec Spec
+	r    *rand.Rand
+	zipf *rand.Zipf
+}
+
+func newKeyPicker(spec Spec, r *rand.Rand) *keyPicker {
+	p := &keyPicker{spec: spec, r: r}
+	if spec.ZipfS > 1 {
+		p.zipf = rand.NewZipf(r, spec.ZipfS, 1, uint64(spec.Keys-1))
+	}
+	return p
+}
+
+func (p *keyPicker) pick() message.Key {
+	var idx int
+	switch {
+	case p.zipf != nil:
+		idx = int(p.zipf.Uint64())
+	case p.spec.HotKeys > 0 && p.r.Float64() < p.spec.HotProb:
+		idx = p.r.Intn(p.spec.HotKeys)
+	default:
+		idx = p.r.Intn(p.spec.Keys)
+	}
+	return message.Key(fmt.Sprintf("k%d", idx))
+}
+
+// pickDistinct returns n distinct keys (or fewer if the key space is
+// smaller).
+func (p *keyPicker) pickDistinct(n int) []message.Key {
+	if n > p.spec.Keys {
+		n = p.spec.Keys
+	}
+	seen := make(map[message.Key]bool, n)
+	out := make([]message.Key, 0, n)
+	for tries := 0; len(out) < n && tries < 20*n+20; tries++ {
+		k := p.pick()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Generate produces the transaction schedule.
+func Generate(spec Spec) ([]Txn, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	picker := newKeyPicker(spec, r)
+	val := make(message.Value, spec.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	out := make([]Txn, 0, spec.Count)
+	for i := 0; i < spec.Count; i++ {
+		t := Txn{
+			At:       time.Duration(r.Int63n(int64(spec.Window))),
+			Site:     message.SiteID(r.Intn(spec.Sites)),
+			ReadOnly: r.Float64() < spec.ReadOnlyFraction,
+		}
+		t.Reads = picker.pickDistinct(spec.ReadsPerTxn)
+		if !t.ReadOnly {
+			for _, k := range picker.pickDistinct(spec.WritesPerTxn) {
+				v := make(message.Value, len(val))
+				copy(v, val)
+				t.Writes = append(t.Writes, message.KV{Key: k, Value: v})
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

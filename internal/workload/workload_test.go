@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/message"
+)
+
+func baseSpec() Spec {
+	return Spec{
+		Sites: 4, Count: 500, Window: 10 * time.Second,
+		Keys: 32, ReadOnlyFraction: 0.3, ReadsPerTxn: 2, WritesPerTxn: 2,
+		Seed: 1,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	txns, err := Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 500 {
+		t.Fatalf("count = %d", len(txns))
+	}
+	ro := 0
+	for i, tx := range txns {
+		if tx.At < 0 || tx.At >= 10*time.Second {
+			t.Fatalf("txn %d arrival %v out of window", i, tx.At)
+		}
+		if tx.Site < 0 || tx.Site >= 4 {
+			t.Fatalf("txn %d site %v", i, tx.Site)
+		}
+		if len(tx.Reads) == 0 || len(tx.Reads) > 2 {
+			t.Fatalf("txn %d reads %d", i, len(tx.Reads))
+		}
+		if tx.ReadOnly {
+			ro++
+			if len(tx.Writes) != 0 {
+				t.Fatalf("read-only txn %d has writes", i)
+			}
+			continue
+		}
+		if len(tx.Writes) == 0 || len(tx.Writes) > 2 {
+			t.Fatalf("txn %d writes %d", i, len(tx.Writes))
+		}
+		seen := map[message.Key]bool{}
+		for _, w := range tx.Writes {
+			if seen[w.Key] {
+				t.Fatalf("txn %d repeats write key %q", i, w.Key)
+			}
+			seen[w.Key] = true
+			if len(w.Value) != 32 {
+				t.Fatalf("txn %d value size %d", i, len(w.Value))
+			}
+		}
+	}
+	if ro < 100 || ro > 200 {
+		t.Fatalf("read-only count %d not near 30%% of 500", ro)
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	a, err := Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Site != b[i].Site || a[i].ReadOnly != b[i].ReadOnly {
+			t.Fatalf("txn %d differs across identical seeds", i)
+		}
+	}
+	spec := baseSpec()
+	spec.Seed = 2
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].At == c[i].At {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	spec := baseSpec()
+	spec.HotKeys = 2
+	spec.HotProb = 0.8
+	spec.ReadOnlyFraction = 0
+	txns, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	total := 0
+	for _, tx := range txns {
+		for _, w := range tx.Writes {
+			total++
+			if w.Key == "k0" || w.Key == "k1" {
+				hot++
+			}
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if frac < 0.6 {
+		t.Fatalf("hot fraction %.2f, want >= 0.6 under HotProb=0.8", frac)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	spec := baseSpec()
+	spec.ZipfS = 1.8
+	spec.ReadOnlyFraction = 0
+	txns, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[message.Key]int{}
+	total := 0
+	for _, tx := range txns {
+		for _, w := range tx.Writes {
+			counts[w.Key]++
+			total++
+		}
+	}
+	if float64(counts["k0"])/float64(total) < 0.3 {
+		t.Fatalf("zipf head k0 only %.2f of accesses", float64(counts["k0"])/float64(total))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Spec{
+		{Sites: 0, Count: 10},
+		{Sites: 2, Count: 0},
+		{Sites: 2, Count: 10, ReadsPerTxn: -1},
+	}
+	for i, spec := range bad {
+		if _, err := Generate(spec); err == nil {
+			t.Fatalf("spec %d should be rejected", i)
+		}
+	}
+	// Defaults fill in.
+	min := Spec{Sites: 2, Count: 10}
+	txns, err := Generate(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 10 {
+		t.Fatalf("defaults generate %d", len(txns))
+	}
+}
