@@ -15,7 +15,7 @@
 //
 //	GET k1 [k2 ...]          read-only transaction
 //	SET k1=v1 [k2=v2 ...]    update transaction
-//	STATS                    engine counters
+//	STATS                    engine counters plus per-peer transport counters
 package main
 
 import (
@@ -52,6 +52,8 @@ func run() error {
 		client    = flag.String("client", "", "client listen address (host:port)")
 		walPath   = flag.String("wal", "", "write-ahead log file (optional)")
 		heartbeat = flag.Duration("heartbeat", 25*time.Millisecond, "protocol C null-broadcast interval")
+		dialRetry = flag.Duration("dial-retry", 500*time.Millisecond, "initial peer reconnect backoff (doubles with jitter)")
+		sendQueue = flag.Int("send-queue", 1024, "per-peer outgoing message buffer")
 		member    = flag.Bool("membership", false, "enable failure detection and majority views")
 		verbose   = flag.Bool("v", false, "log runtime diagnostics")
 	)
@@ -70,9 +72,11 @@ func run() error {
 		logger = log.New(os.Stderr, "", log.Lmicroseconds)
 	}
 	host, err := livenet.New(livenet.Config{
-		ID:     message.SiteID(*id),
-		Addrs:  addrs,
-		Logger: logger,
+		ID:        message.SiteID(*id),
+		Addrs:     addrs,
+		Logger:    logger,
+		DialRetry: *dialRetry,
+		SendQueue: *sendQueue,
 	})
 	if err != nil {
 		return err
@@ -245,8 +249,9 @@ func execute(host *livenet.Host, engine core.Engine, line string) string {
 			keys = engine.Store().Len()
 		})
 		sent, recv, dropped := host.Counters()
-		return fmt.Sprintf("OK begun=%d committed=%d ro=%d aborted=%d keys=%d sent=%d recv=%d dropped=%d",
-			s.Begun, s.Committed, s.ReadOnlyCommitted, s.Aborted, keys, sent, recv, dropped)
+		return fmt.Sprintf("OK begun=%d committed=%d ro=%d aborted=%d keys=%d sent=%d recv=%d dropped=%d %s",
+			s.Begun, s.Committed, s.ReadOnlyCommitted, s.Aborted, keys, sent, recv, dropped,
+			host.TransportSummary())
 	default:
 		return fmt.Sprintf("ERR unknown command %q", fields[0])
 	}

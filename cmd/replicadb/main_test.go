@@ -80,8 +80,15 @@ func TestClientProtocolExecute(t *testing.T) {
 	if resp := execute(hosts[0], engines[0], "GET a b missing"); resp != "OK a=1 b=2 missing=<nil>" {
 		t.Fatalf("GET: %q", resp)
 	}
-	if resp := execute(hosts[0], engines[0], "STATS"); !strings.HasPrefix(resp, "OK begun=") {
+	resp := execute(hosts[0], engines[0], "STATS")
+	if !strings.HasPrefix(resp, "OK begun=") {
 		t.Fatalf("STATS: %q", resp)
+	}
+	// Per-peer transport counters for every site (loopback included).
+	for _, want := range []string{"peer0=[", "peer1=[", "peer2=[", "connects=", "queue=", "batch=("} {
+		if !strings.Contains(resp, want) {
+			t.Fatalf("STATS %q missing transport token %q", resp, want)
+		}
 	}
 	// Replication: the value becomes readable at another site.
 	deadline := time.Now().Add(10 * time.Second)

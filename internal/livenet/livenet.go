@@ -5,10 +5,23 @@
 // networked process.
 //
 // Concurrency model: every callback into the node (message receipt, timer
-// expiry) is serialized by one mutex, preserving the engines'
-// single-threaded assumptions. Outgoing messages are queued per peer and
-// written by one sender goroutine per peer, which redials with backoff, so
-// Send never blocks the event loop.
+// expiry) is serialized by one mutex — the "event loop" — preserving the
+// engines' single-threaded assumptions. The locking contract is:
+//
+//   - SetTimer, CancelTimer, Rand, and all env.Node callbacks run on the
+//     event loop; they must not be called from arbitrary goroutines.
+//     External code reaches the loop through Do.
+//   - Send, Counters, PeerStats, Addr, ID, Peers, Now, Logf, and Close are
+//     safe from any goroutine once Start has returned. Send is also safe
+//     from the event loop itself (engines call it inside callbacks).
+//
+// Outgoing messages are queued per peer and written by one sender goroutine
+// per peer (see sender.go), which performs a peer handshake, redials with
+// jittered exponential backoff, and coalesces queue drains into single
+// buffered writes. Sends to self are delivered through an in-process
+// loopback queue, matching the simulator's semantics. Delivery attributes
+// messages to the handshake identity of the connection, never to the wire
+// envelope, so a peer cannot spoof another site's id.
 package livenet
 
 import (
@@ -27,6 +40,31 @@ import (
 	"repro/internal/message"
 )
 
+// Wire protocol constants.
+const (
+	// helloMagic guards against cross-protocol connections (a stray HTTP
+	// client, an old binary) being mistaken for peers.
+	helloMagic = 0x52444231 // "RDB1"
+	// handshakeTimeout bounds how long an inbound connection may stall
+	// before sending its hello; protects the accept path from idle
+	// connections holding goroutines.
+	handshakeTimeout = 10 * time.Second
+	// dialTimeout bounds one outbound connection attempt.
+	dialTimeout = 2 * time.Second
+	// acceptRetryMin/Max bound the accept loop's backoff on transient
+	// Accept errors (EMFILE, ECONNABORTED, ...).
+	acceptRetryMin = 5 * time.Millisecond
+	acceptRetryMax = 1 * time.Second
+)
+
+// hello is the first frame on every outbound connection: it authenticates
+// the stream as a peer of this cluster and identifies the dialer. All
+// envelopes that follow are attributed to this identity.
+type hello struct {
+	Magic uint32
+	From  message.SiteID
+}
+
 // Config describes one site of a TCP cluster.
 type Config struct {
 	// ID is this site's identifier.
@@ -38,8 +76,12 @@ type Config struct {
 	Listener net.Listener
 	// Logger receives diagnostics; nil silences them.
 	Logger *log.Logger
-	// DialRetry is the reconnect backoff (default 500ms).
+	// DialRetry is the initial reconnect backoff (default 500ms). Each
+	// failed attempt doubles it, with ±50% jitter, up to MaxDialRetry;
+	// a successful connection resets it.
 	DialRetry time.Duration
+	// MaxDialRetry caps backoff growth (default 16× DialRetry).
+	MaxDialRetry time.Duration
 	// SendQueue is the per-peer outgoing buffer (default 1024). When full,
 	// messages are dropped — the protocols tolerate loss like a lossy link.
 	SendQueue int
@@ -48,7 +90,8 @@ type Config struct {
 	Seed int64
 }
 
-// envelope is the wire frame.
+// envelope is the wire frame for one message. From is informational only:
+// delivery attributes messages to the connection's handshake identity.
 type envelope struct {
 	From message.SiteID
 	Msg  message.Message
@@ -60,6 +103,8 @@ type Host struct {
 	peers []message.SiteID
 	start time.Time
 
+	// mu is the event loop: it serializes node callbacks and guards node,
+	// nextTimer, timers, and closed.
 	mu        sync.Mutex
 	node      env.Node
 	rng       *rand.Rand
@@ -69,22 +114,23 @@ type Host struct {
 
 	ln      net.Listener
 	senders map[message.SiteID]*sender
+	loop    chan message.Message // self-delivery queue
 	stop    chan struct{}
 	wg      sync.WaitGroup
 
-	// Counters (atomic enough under mu for our purposes).
-	sent, received, dropped int64
+	// connMu guards conns, the set of live inbound connections; Close
+	// closes them all, which unblocks their read loops without needing a
+	// watcher goroutine per connection.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// stats holds one counter block per site (including self, for the
+	// loopback link). Built in New and immutable afterwards, so lookups
+	// are lock-free; the counters themselves are atomic.
+	stats map[message.SiteID]*peerCounters
 }
 
 var _ env.Runtime = (*Host)(nil)
-
-// sender owns the outgoing connection to one peer.
-type sender struct {
-	host *Host
-	to   message.SiteID
-	addr string
-	out  chan envelope
-}
 
 // New creates a host; construct the node against it, Bind it, then Start.
 func New(cfg Config) (*Host, error) {
@@ -93,6 +139,9 @@ func New(cfg Config) (*Host, error) {
 	}
 	if cfg.DialRetry <= 0 {
 		cfg.DialRetry = 500 * time.Millisecond
+	}
+	if cfg.MaxDialRetry <= 0 {
+		cfg.MaxDialRetry = 16 * cfg.DialRetry
 	}
 	if cfg.SendQueue <= 0 {
 		cfg.SendQueue = 1024
@@ -108,9 +157,16 @@ func New(cfg Config) (*Host, error) {
 		timers:  make(map[env.TimerID]*time.Timer),
 		senders: make(map[message.SiteID]*sender),
 		stop:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+		stats:   make(map[message.SiteID]*peerCounters),
 	}
 	for id := range cfg.Addrs {
 		h.peers = append(h.peers, id)
+		h.stats[id] = newPeerCounters()
+	}
+	if _, ok := h.stats[cfg.ID]; !ok { // Listener-only config without own addr
+		h.peers = append(h.peers, cfg.ID)
+		h.stats[cfg.ID] = newPeerCounters()
 	}
 	sort.Slice(h.peers, func(i, j int) bool { return h.peers[i] < h.peers[j] })
 	return h, nil
@@ -135,11 +191,21 @@ func (h *Host) Start() error {
 	h.ln = ln
 	h.wg.Add(1)
 	go h.acceptLoop()
+	h.loop = make(chan message.Message, h.cfg.SendQueue)
+	h.wg.Add(1)
+	go h.loopbackLoop()
 	for _, id := range h.peers {
 		if id == h.cfg.ID {
 			continue
 		}
-		s := &sender{host: h, to: id, addr: h.cfg.Addrs[id], out: make(chan envelope, h.cfg.SendQueue)}
+		s := &sender{
+			host:  h,
+			to:    id,
+			addr:  h.cfg.Addrs[id],
+			out:   make(chan envelope, h.cfg.SendQueue),
+			rng:   rand.New(rand.NewSource(h.cfg.Seed*31 + int64(id))),
+			stats: h.stats[id],
+		}
 		h.senders[id] = s
 		h.wg.Add(1)
 		go s.run()
@@ -158,7 +224,8 @@ func (h *Host) Addr() string {
 	return h.ln.Addr().String()
 }
 
-// Close shuts the host down and waits for its goroutines.
+// Close shuts the host down and waits for its goroutines. It is idempotent
+// and safe from any goroutine.
 func (h *Host) Close() {
 	h.mu.Lock()
 	if h.closed {
@@ -175,7 +242,22 @@ func (h *Host) Close() {
 	if h.ln != nil {
 		h.ln.Close()
 	}
+	// Closing tracked inbound connections unblocks their decoders.
+	h.connMu.Lock()
+	for c := range h.conns {
+		c.Close()
+	}
+	h.connMu.Unlock()
 	h.wg.Wait()
+}
+
+func (h *Host) stopped() bool {
+	select {
+	case <-h.stop:
+		return true
+	default:
+		return false
+	}
 }
 
 func (h *Host) logf(format string, args ...any) {
@@ -184,18 +266,53 @@ func (h *Host) logf(format string, args ...any) {
 	}
 }
 
-// acceptLoop admits inbound connections; each runs a decode loop.
+// track registers an inbound connection for shutdown; it reports false (and
+// the caller must close the connection) when the host is already stopping.
+func (h *Host) track(conn net.Conn) bool {
+	h.connMu.Lock()
+	defer h.connMu.Unlock()
+	if h.stopped() {
+		return false
+	}
+	h.conns[conn] = struct{}{}
+	return true
+}
+
+// untrack removes and closes an inbound connection; idempotent.
+func (h *Host) untrack(conn net.Conn) {
+	h.connMu.Lock()
+	delete(h.conns, conn)
+	h.connMu.Unlock()
+	conn.Close()
+}
+
+// acceptLoop admits inbound connections; each runs a decode loop. Transient
+// Accept errors (EMFILE, ECONNABORTED, ...) are retried with backoff — the
+// loop exits only on shutdown or when the listener itself is gone.
 func (h *Host) acceptLoop() {
 	defer h.wg.Done()
+	backoff := acceptRetryMin
 	for {
 		conn, err := h.ln.Accept()
 		if err != nil {
+			if h.stopped() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			h.logf("accept: %v (retrying in %v)", err, backoff)
 			select {
 			case <-h.stop:
 				return
-			default:
+			case <-time.After(backoff):
 			}
-			h.logf("accept: %v", err)
+			backoff *= 2
+			if backoff > acceptRetryMax {
+				backoff = acceptRetryMax
+			}
+			continue
+		}
+		backoff = acceptRetryMin
+		if !h.track(conn) {
+			conn.Close()
 			return
 		}
 		h.wg.Add(1)
@@ -203,27 +320,53 @@ func (h *Host) acceptLoop() {
 	}
 }
 
+// readLoop validates the peer handshake, then decodes and delivers
+// envelopes until the connection dies or the host shuts down (Close closes
+// tracked connections, which unblocks the decoder — no watcher goroutine).
 func (h *Host) readLoop(conn net.Conn) {
 	defer h.wg.Done()
-	defer conn.Close()
-	go func() { // unblock the decoder on shutdown
-		<-h.stop
-		conn.Close()
-	}()
+	defer h.untrack(conn)
 	dec := gob.NewDecoder(conn)
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	var hi hello
+	if err := dec.Decode(&hi); err != nil {
+		h.logf("handshake from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	st, known := h.stats[hi.From]
+	if hi.Magic != helloMagic || !known {
+		h.logf("rejecting %v: bad handshake (magic=%#x from=%v)", conn.RemoteAddr(), hi.Magic, hi.From)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
 	for {
 		var e envelope
 		if err := dec.Decode(&e); err != nil {
-			if !errors.Is(err, io.EOF) {
-				select {
-				case <-h.stop:
-				default:
-					h.logf("decode from %v: %v", conn.RemoteAddr(), err)
-				}
+			if !errors.Is(err, io.EOF) && !h.stopped() {
+				h.logf("decode from site %v (%v): %v", hi.From, conn.RemoteAddr(), err)
 			}
 			return
 		}
-		h.deliver(e.From, e.Msg)
+		// Attribute to the authenticated connection identity, not the
+		// envelope's From field, which a buggy or hostile peer controls.
+		st.received.Add(1)
+		h.deliver(hi.From, e.Msg)
+	}
+}
+
+// loopbackLoop drains the self-delivery queue. The indirection (rather than
+// calling the node inline from Send) keeps Send non-reentrant: engines call
+// Send while the event-loop mutex is held.
+func (h *Host) loopbackLoop() {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case m := <-h.loop:
+			h.stats[h.cfg.ID].received.Add(1)
+			h.deliver(h.cfg.ID, m)
+		}
 	}
 }
 
@@ -233,49 +376,7 @@ func (h *Host) deliver(from message.SiteID, m message.Message) {
 	if h.closed || h.node == nil {
 		return
 	}
-	h.received++
 	h.node.Receive(from, m)
-}
-
-// run dials (with retry) and drains the outgoing queue.
-func (s *sender) run() {
-	defer s.host.wg.Done()
-	var conn net.Conn
-	var enc *gob.Encoder
-	defer func() {
-		if conn != nil {
-			conn.Close()
-		}
-	}()
-	for {
-		select {
-		case <-s.host.stop:
-			return
-		case e := <-s.out:
-			for {
-				if conn == nil {
-					c, err := net.DialTimeout("tcp", s.addr, 2*time.Second)
-					if err != nil {
-						select {
-						case <-s.host.stop:
-							return
-						case <-time.After(s.host.cfg.DialRetry):
-							continue
-						}
-					}
-					conn = c
-					enc = gob.NewEncoder(conn)
-				}
-				if err := enc.Encode(e); err != nil {
-					s.host.logf("send to %v: %v", s.to, err)
-					conn.Close()
-					conn, enc = nil, nil
-					continue // redial and retry this envelope once connected
-				}
-				break
-			}
-		}
-	}
 }
 
 // --- env.Runtime ----------------------------------------------------------
@@ -286,23 +387,39 @@ func (h *Host) ID() message.SiteID { return h.cfg.ID }
 // Peers implements env.Runtime.
 func (h *Host) Peers() []message.SiteID { return h.peers }
 
-// Send implements env.Runtime: enqueue to the peer's sender, dropping when
-// the queue is full (the protocols treat that as network loss).
+// Send implements env.Runtime: enqueue to the peer's sender (or the
+// loopback queue for self-sends), dropping when the queue is full (the
+// protocols treat that as network loss). Safe from any goroutine once
+// Start has returned.
 func (h *Host) Send(to message.SiteID, m message.Message) {
-	s, ok := h.senders[to]
+	st, ok := h.stats[to]
 	if !ok {
+		h.logf("send to unknown site %v, dropping %v", to, m.Kind())
 		return
 	}
+	if to == h.cfg.ID {
+		select {
+		case h.loop <- m:
+			st.sent.Add(1)
+		default:
+			st.dropped.Add(1)
+			h.logf("loopback queue full, dropping %v", m.Kind())
+		}
+		return
+	}
+	s := h.senders[to]
 	select {
 	case s.out <- envelope{From: h.cfg.ID, Msg: m}:
-		h.sent++
+		// Counted as sent by the sender goroutine once actually written;
+		// nothing to do here.
 	default:
-		h.dropped++
+		st.dropped.Add(1)
 		h.logf("queue to %v full, dropping %v", to, m.Kind())
 	}
 }
 
-// SetTimer implements env.Runtime.
+// SetTimer implements env.Runtime. Event-loop only: callers must hold the
+// loop (i.e. be inside a node callback or a Do closure).
 func (h *Host) SetTimer(d time.Duration, fn func()) env.TimerID {
 	h.nextTimer++
 	id := h.nextTimer
@@ -321,7 +438,7 @@ func (h *Host) SetTimer(d time.Duration, fn func()) env.TimerID {
 	return id
 }
 
-// CancelTimer implements env.Runtime.
+// CancelTimer implements env.Runtime. Event-loop only, like SetTimer.
 func (h *Host) CancelTimer(id env.TimerID) {
 	if t, ok := h.timers[id]; ok {
 		t.Stop()
@@ -332,7 +449,7 @@ func (h *Host) CancelTimer(id env.TimerID) {
 // Now implements env.Runtime.
 func (h *Host) Now() time.Duration { return time.Since(h.start) }
 
-// Rand implements env.Runtime.
+// Rand implements env.Runtime. Event-loop only.
 func (h *Host) Rand() *rand.Rand { return h.rng }
 
 // Logf implements env.Runtime.
@@ -347,13 +464,6 @@ func (h *Host) Do(fn func()) {
 		return
 	}
 	fn()
-}
-
-// Counters returns (sent, received, dropped) message counts.
-func (h *Host) Counters() (sent, received, dropped int64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sent, h.received, h.dropped
 }
 
 // newEncoder and newDecoder expose the wire codec for tests.

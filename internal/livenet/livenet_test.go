@@ -3,6 +3,7 @@ package livenet
 import (
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -164,6 +165,28 @@ func TestTCPCountersAndClose(t *testing.T) {
 	sent, _, _ := hosts[0].Counters()
 	if sent == 0 {
 		t.Fatal("no messages sent")
+	}
+	// Per-peer stats cover every site (loopback included), consistently
+	// with the host totals.
+	stats := hosts[0].PeerStats()
+	if len(stats) != 2 {
+		t.Fatalf("PeerStats entries = %d, want 2", len(stats))
+	}
+	var perPeerSent int64
+	for _, ps := range stats {
+		perPeerSent += ps.Sent
+		if ps.QueueCap == 0 {
+			t.Fatalf("peer %v has no queue capacity: %s", ps.Peer, ps)
+		}
+		if ps.Peer != hosts[0].ID() && ps.Connects == 0 {
+			t.Fatalf("peer %v never connected: %s", ps.Peer, ps)
+		}
+	}
+	if perPeerSent != sent {
+		t.Fatalf("per-peer sent sum %d != total %d", perPeerSent, sent)
+	}
+	if s := hosts[0].TransportSummary(); !strings.Contains(s, "peer1=[") {
+		t.Fatalf("transport summary %q missing peer token", s)
 	}
 	hosts[0].Close()
 	hosts[0].Close() // idempotent

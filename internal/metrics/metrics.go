@@ -1,25 +1,49 @@
 // Package metrics provides the small set of instruments the experiment
-// harness needs: counters and latency histograms with percentile summaries.
-// Everything is plain data owned by one goroutine (the simulator), so there
-// is no internal synchronization.
+// harness and the live transport need: counters and latency histograms
+// with percentile summaries.
+//
+// Histogram is plain data owned by one goroutine (the simulator) with no
+// internal synchronization. Counter and SyncHistogram are safe for
+// concurrent use; the TCP transport (internal/livenet) updates them from
+// its sender and reader goroutines while status endpoints read them.
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotone counter safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Histogram records durations and reports order statistics. It keeps raw
 // samples up to a cap, then switches to reservoir sampling so long
 // benchmark runs stay O(1) in memory while percentiles remain unbiased.
+// Not safe for concurrent use; wrap in SyncHistogram when multiple
+// goroutines observe or read.
 type Histogram struct {
 	samples []time.Duration
-	count   int64
-	sum     time.Duration
-	max     time.Duration
-	cap     int
+	// sorted caches an ordered copy of samples so repeated Quantile calls
+	// (every Summary makes several) sort once per mutation instead of
+	// once per call.
+	sorted []time.Duration
+	dirty  bool
+	count  int64
+	sum    time.Duration
+	max    time.Duration
+	cap    int
 	// rnd is a tiny xorshift state for the reservoir; deterministic.
 	rnd uint64
 }
@@ -42,6 +66,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	if len(h.samples) < h.cap {
 		h.samples = append(h.samples, d)
+		h.dirty = true
 		return
 	}
 	// Reservoir: replace a random slot with probability cap/count.
@@ -50,6 +75,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.rnd ^= h.rnd << 17
 	if idx := h.rnd % uint64(h.count); idx < uint64(h.cap) {
 		h.samples[idx] = d
+		h.dirty = true
 	}
 }
 
@@ -72,17 +98,19 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	s := make([]time.Duration, len(h.samples))
-	copy(s, h.samples)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if h.dirty || len(h.sorted) != len(h.samples) {
+		h.sorted = append(h.sorted[:0], h.samples...)
+		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
+		h.dirty = false
+	}
+	idx := int(math.Ceil(q*float64(len(h.sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
+	if idx >= len(h.sorted) {
+		idx = len(h.sorted) - 1
 	}
-	return s[idx]
+	return h.sorted[idx]
 }
 
 // Summary renders count/mean/p50/p99/max on one line.
@@ -90,4 +118,65 @@ func (h *Histogram) Summary() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
 		h.count, h.Mean().Round(time.Microsecond), h.Quantile(0.50).Round(time.Microsecond),
 		h.Quantile(0.99).Round(time.Microsecond), h.max.Round(time.Microsecond))
+}
+
+// ScalarSummary renders the same statistics for dimensionless observations
+// recorded as raw time.Duration units (e.g. batch sizes), formatting the
+// values as plain integers instead of durations.
+func (h *Histogram) ScalarSummary() string {
+	mean := 0.0
+	if h.count > 0 {
+		mean = float64(h.sum) / float64(h.count)
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d max=%d",
+		h.count, mean, int64(h.Quantile(0.50)), int64(h.Quantile(0.99)), int64(h.max))
+}
+
+// SyncHistogram is a Histogram safe for concurrent use: writers Observe
+// from any goroutine while readers take summaries.
+type SyncHistogram struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// NewSyncHistogram creates a concurrent-safe histogram retaining up to
+// capSamples samples (default 8192 when <= 0).
+func NewSyncHistogram(capSamples int) *SyncHistogram {
+	return &SyncHistogram{h: NewHistogram(capSamples)}
+}
+
+// Observe records one duration.
+func (s *SyncHistogram) Observe(d time.Duration) {
+	s.mu.Lock()
+	s.h.Observe(d)
+	s.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (s *SyncHistogram) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Count()
+}
+
+// Quantile returns the q-quantile of the retained samples.
+func (s *SyncHistogram) Quantile(q float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Quantile(q)
+}
+
+// Summary renders count/mean/p50/p99/max on one line.
+func (s *SyncHistogram) Summary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Summary()
+}
+
+// ScalarSummary renders the statistics as plain integers; see
+// Histogram.ScalarSummary.
+func (s *SyncHistogram) ScalarSummary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.ScalarSummary()
 }

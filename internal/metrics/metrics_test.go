@@ -3,6 +3,7 @@ package metrics
 import (
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -104,6 +105,97 @@ func TestQuantilesMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Interleaving observations and quantile reads must not let the sorted
+// cache go stale (a regression test for the sort-once optimization).
+func TestQuantileCacheInvalidation(t *testing.T) {
+	h := NewHistogram(16)
+	h.Observe(5 * time.Millisecond)
+	if got := h.Quantile(1.0); got != 5*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	h.Observe(9 * time.Millisecond)
+	if got := h.Quantile(1.0); got != 9*time.Millisecond {
+		t.Fatalf("p100 after new observation = %v", got)
+	}
+	h.Observe(1 * time.Millisecond)
+	if got := h.Quantile(0); got != 1*time.Millisecond {
+		t.Fatalf("p0 after new observation = %v", got)
+	}
+	// Reservoir replacement must also invalidate the cache.
+	h2 := NewHistogram(4)
+	for i := 0; i < 4; i++ {
+		h2.Observe(time.Hour)
+	}
+	if got := h2.Quantile(0); got != time.Hour {
+		t.Fatalf("p0 = %v", got)
+	}
+	for i := 0; i < 10_000; i++ {
+		h2.Observe(time.Millisecond)
+	}
+	if got := h2.Quantile(0); got != time.Millisecond {
+		t.Fatalf("p0 after reservoir churn = %v (cache went stale)", got)
+	}
+}
+
+func TestScalarSummary(t *testing.T) {
+	h := NewHistogram(8)
+	if s := h.ScalarSummary(); !strings.Contains(s, "n=0") {
+		t.Fatalf("empty scalar summary %q", s)
+	}
+	for _, n := range []int{2, 4, 6} {
+		h.Observe(time.Duration(n))
+	}
+	s := h.ScalarSummary()
+	for _, want := range []string{"n=3", "mean=4.0", "p50=4", "max=6"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("scalar summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestSyncHistogramConcurrent(t *testing.T) {
+	h := NewSyncHistogram(128)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+				_ = h.Quantile(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 2000 {
+		t.Fatalf("count = %d, want 2000", got)
+	}
+	if s := h.Summary(); !strings.Contains(s, "n=2000") {
+		t.Fatalf("summary %q", s)
+	}
+	if s := h.ScalarSummary(); !strings.Contains(s, "n=2000") {
+		t.Fatalf("scalar summary %q", s)
 	}
 }
 
