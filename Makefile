@@ -1,0 +1,41 @@
+# Developer entry points. CI runs the same targets; see
+# docs/STATIC_ANALYSIS.md for what the linters enforce.
+
+GO ?= go
+BIN := bin
+
+.PHONY: all build test race lint lint-reprolint fuzz clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs everything CI's lint job runs. staticcheck and govulncheck are
+# skipped with a note when not installed (they need network to install; the
+# project analyzers in cmd/reprolint always run).
+lint: lint-reprolint
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; skipping"
+	@command -v govulncheck >/dev/null 2>&1 && govulncheck ./... || echo "govulncheck not installed; skipping"
+
+# lint-reprolint builds the project's own analyzer suite and runs it over
+# every package via the go vet driver.
+lint-reprolint:
+	$(GO) build -o $(BIN)/reprolint ./cmd/reprolint
+	$(GO) vet -vettool=$(CURDIR)/$(BIN)/reprolint ./...
+
+# fuzz mirrors CI's advisory fuzz sweep: 30s per storage fuzz target.
+fuzz:
+	@for target in $$($(GO) test -list 'Fuzz.*' ./internal/storage/ | grep '^Fuzz'); do \
+		echo "=== $$target"; \
+		$(GO) test -run "^$$target$$" -fuzz "^$$target$$" -fuzztime=30s ./internal/storage/ || exit 1; \
+	done
+
+clean:
+	rm -rf $(BIN)

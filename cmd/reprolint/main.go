@@ -1,0 +1,109 @@
+// Command reprolint runs the repro static-analysis suite (see
+// internal/analysis): detrand, maporder, and looponly.
+//
+// It speaks the `go vet -vettool` unit-checker protocol, so the canonical
+// invocation is
+//
+//	go build -o bin/reprolint ./cmd/reprolint
+//	go vet -vettool=$PWD/bin/reprolint ./...
+//
+// Run standalone it re-execs itself under go vet:
+//
+//	reprolint ./...
+//
+// The protocol (mirroring golang.org/x/tools/go/analysis/unitchecker, which
+// is deliberately not vendored here): the go command probes the tool with
+// -V=full for a build ID, then invokes it once per package with a single
+// JSON config-file argument describing the type-checked unit. Facts —
+// looponly markers — travel between packages through the .vetx files the go
+// command threads from dependency to dependent.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags: the go command passes only the cfg file.
+			fmt.Println("[]")
+			return
+		case "-h", "-help", "--help":
+			usage()
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		unitcheck(args[0])
+		return
+	}
+	standalone(args)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `reprolint: static analysis for the repro replication engine
+
+usage:
+  reprolint [packages]            run all analyzers (default ./...)
+  go vet -vettool=reprolint pkgs  same, explicitly under go vet
+
+analyzers:
+  detrand   forbid wall-clock time, global math/rand, os.Getenv in engine packages
+  maporder  flag order-sensitive iteration over maps in engine packages
+  looponly  flag calls to reprolint:looponly methods from goroutines
+
+suppress a finding with a trailing comment:
+  //reprolint:allow <analyzer> <reason>
+`)
+}
+
+// printVersion answers the go command's -V=full probe. The build ID must
+// change whenever the tool's behavior does, so vet's result cache does not
+// serve stale findings; hashing the executable achieves that.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", name, h.Sum(nil)[:16])
+}
+
+// standalone re-execs under go vet so the go command handles package
+// loading, export data, and fact threading.
+func standalone(args []string) {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: cannot locate own executable: %v\n", err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the JSON the go command writes for each package unit. Field
+// names and meanings follow cmd/go's internal vet config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// unitcheck analyzes one package unit described by the cfg file and exits:
+// 0 clean, 1 tool/typecheck error, 2 findings reported.
+func unitcheck(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing config %s: %v", cfgPath, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports from the export data the go command staged for us:
+	// ImportMap canonicalizes the path as written, PackageFile locates the
+	// compiled export data for the canonical path.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		return compImp.(types.ImporterFrom).ImportFrom(path, cfg.Dir, 0)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	imported := readFacts(cfg.PackageVetx)
+	path := analysis.TrimTestVariant(cfg.ImportPath)
+
+	var diags []analysis.Diagnostic
+	var markers []string
+	for _, a := range analysis.All() {
+		pass := analysis.NewPass(a, fset, files, pkg, info, path, imported)
+		if err := a.Run(pass); err != nil {
+			fatalf("%s: %v", a.Name, err)
+		}
+		diags = append(diags, pass.Diagnostics()...)
+		markers = append(markers, pass.ExportedMarkers()...)
+	}
+	diags = append(diags, analysis.CheckAllowComments(fset, files)...)
+
+	if cfg.VetxOutput != "" {
+		if err := writeFacts(cfg.VetxOutput, markers); err != nil {
+			fatalf("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
+		os.Exit(0)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	os.Exit(2)
+}
+
+// readFacts loads looponly markers exported by dependencies. A missing or
+// unreadable vetx (e.g. a package vetted before facts existed) contributes
+// nothing rather than failing the run.
+func readFacts(vetx map[string]string) map[string]bool {
+	out := make(map[string]bool)
+	for _, file := range vetx {
+		f, err := os.Open(file)
+		if err != nil {
+			continue
+		}
+		var keys []string
+		if err := gob.NewDecoder(f).Decode(&keys); err == nil {
+			for _, k := range keys {
+				out[k] = true
+			}
+		}
+		f.Close()
+	}
+	return out
+}
+
+// writeFacts persists this unit's markers (own plus re-exported imports, so
+// facts flow transitively) for dependents.
+func writeFacts(path string, markers []string) error {
+	sort.Strings(markers)
+	markers = dedup(markers)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(markers)
+}
+
+func dedup(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "reprolint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,259 @@
+// Package analysis implements reprolint, a static-analysis suite that
+// machine-checks the determinism and event-loop contracts the replication
+// protocols depend on. The engines run as deterministic event-driven state
+// machines against env.Runtime; every correctness claim (1SR certification,
+// FIFO/causal/total delivery order) assumes replicas make identical
+// decisions from identical inputs. Three analyzers enforce that:
+//
+//   - detrand: engine packages must not read wall-clock time, the global
+//     math/rand source, or the process environment — all nondeterministic
+//     inputs; use env.Runtime's Now/SetTimer/Rand instead.
+//   - maporder: a range over a map has nondeterministic iteration order;
+//     in engine packages the loop body must not emit messages, accumulate
+//     into an escaping slice, or send on a channel unless the result is
+//     sorted before it can influence protocol decisions.
+//   - looponly: methods marked `// reprolint:looponly` (env.Runtime's
+//     timers/rand, livenet's restricted set) are serialized by the event
+//     loop and must not be called from go statements or functions only
+//     reachable from goroutines.
+//
+// A finding can be suppressed with a trailing or immediately preceding
+// comment of the form
+//
+//	//reprolint:allow <analyzer> <reason>
+//
+// naming the analyzer and giving a non-empty reason. The framework is a
+// deliberately small subset of golang.org/x/tools/go/analysis (which is not
+// vendored here): an Analyzer holds a Run function over a Pass, the Pass
+// carries the type-checked package and reports Diagnostics, and cmd/reprolint
+// drives it under `go vet -vettool`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// All returns the full reprolint suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, MapOrder, LoopOnly}
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the import path under analysis with any test-variant suffix
+	// (" [pkg.test]") stripped; engine-package gating keys off it.
+	Path string
+	// ImportedMarkers holds looponly marker keys exported by the package's
+	// dependencies (see MarkerKey).
+	ImportedMarkers map[string]bool
+
+	exported map[string]bool
+	diags    []Diagnostic
+	allow    map[suppressKey]bool
+}
+
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// NewPass assembles a pass, pre-indexing allow comments.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, path string, imported map[string]bool) *Pass {
+	p := &Pass{
+		Analyzer:        a,
+		Fset:            fset,
+		Files:           files,
+		Pkg:             pkg,
+		TypesInfo:       info,
+		Path:            path,
+		ImportedMarkers: imported,
+		exported:        make(map[string]bool),
+		allow:           make(map[suppressKey]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, _, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				p.allow[suppressKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return p
+}
+
+// parseAllow decodes a `//reprolint:allow <analyzer> <reason>` comment. The
+// reason is mandatory: a suppression with no justification is not honored.
+func parseAllow(text string) (analyzer, reason string, ok bool) {
+	rest, found := strings.CutPrefix(strings.TrimSpace(text), "//reprolint:allow")
+	if !found {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return "", "", false
+	}
+	return fields[0], strings.Join(fields[1:], " "), true
+}
+
+// Reportf records a finding unless an allow comment on the same or the
+// preceding line suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	at := p.Fset.Position(pos)
+	if p.allow[suppressKey{at.Filename, at.Line, p.Analyzer.Name}] ||
+		p.allow[suppressKey{at.Filename, at.Line - 1, p.Analyzer.Name}] {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings reported so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// ExportMarker records a looponly marker for downstream packages.
+func (p *Pass) ExportMarker(key string) { p.exported[key] = true }
+
+// ExportedMarkers returns this pass's markers joined with everything
+// imported, so facts propagate transitively through the build graph.
+func (p *Pass) ExportedMarkers() []string {
+	out := make([]string, 0, len(p.exported)+len(p.ImportedMarkers))
+	for k := range p.exported {
+		out = append(out, k)
+	}
+	for k := range p.ImportedMarkers {
+		if !p.exported[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Marked reports whether key carries a looponly marker, either from this
+// package or from a dependency.
+func (p *Pass) Marked(key string) bool {
+	return p.exported[key] || p.ImportedMarkers[key]
+}
+
+// IsTestFile reports whether the file is a _test.go file. The determinism
+// contracts bind production engine code; tests drive wall clocks and seeds
+// freely.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// enginePackages names the packages whose code must be a deterministic
+// state machine: everything that computes protocol decisions.
+var enginePackages = map[string]bool{
+	"core":       true,
+	"broadcast":  true,
+	"membership": true,
+	"lockmgr":    true,
+	"sgraph":     true,
+	"storage":    true,
+	"message":    true,
+	"vclock":     true,
+	"sim":        true,
+}
+
+// IsEnginePackage reports whether the import path denotes one of the
+// deterministic engine packages. Bare names are accepted so analyzer tests
+// can synthesize packages without the module prefix.
+func IsEnginePackage(path string) bool {
+	if rest, ok := strings.CutPrefix(path, "repro/internal/"); ok {
+		return enginePackages[rest]
+	}
+	return enginePackages[path]
+}
+
+// TrimTestVariant strips go vet's test-variant suffix from an import path:
+// "repro/internal/core [repro/internal/core.test]" -> "repro/internal/core".
+func TrimTestVariant(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// MarkerKey names a function or method for looponly marker matching:
+// "pkgpath.Func" for package functions, "pkgpath.Type.Method" for methods
+// (including interface methods), with any pointer receiver stripped.
+func MarkerKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		if iface, isIface := t.(*types.Interface); isIface {
+			_ = iface // unnamed interface receiver: fall through to pkg.Func form
+		}
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// CheckAllowComments reports reprolint:allow comments that are malformed
+// (no analyzer name or no reason) or name an unknown analyzer, so a typo
+// does not silently fail to suppress. The driver runs it once per package.
+func CheckAllowComments(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, found := strings.CutPrefix(strings.TrimSpace(c.Text), "//reprolint:allow")
+				if !found {
+					continue
+				}
+				name, _, ok := parseAllow(c.Text)
+				switch {
+				case !ok:
+					diags = append(diags, Diagnostic{Pos: c.Pos(), Analyzer: "reprolint",
+						Message: fmt.Sprintf("malformed reprolint:allow comment %q: want //reprolint:allow <analyzer> <reason>", strings.TrimSpace(rest))})
+				case !known[name]:
+					diags = append(diags, Diagnostic{Pos: c.Pos(), Analyzer: "reprolint",
+						Message: fmt.Sprintf("reprolint:allow names unknown analyzer %q", name)})
+				}
+			}
+		}
+	}
+	return diags
+}

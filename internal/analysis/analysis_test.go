@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text                 string
+		wantOK               bool
+		wantName, wantReason string
+	}{
+		{"//reprolint:allow detrand boot-time banner", true, "detrand", "boot-time banner"},
+		{"//reprolint:allow maporder x", true, "maporder", "x"},
+		{"//reprolint:allow detrand", false, "", ""},         // reason mandatory
+		{"//reprolint:allow", false, "", ""},                 // analyzer mandatory
+		{"// plain comment", false, "", ""},
+	}
+	for _, c := range cases {
+		name, reason, ok := parseAllow(c.text)
+		if ok != c.wantOK || name != c.wantName || reason != c.wantReason {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, reason, ok, c.wantName, c.wantReason, c.wantOK)
+		}
+	}
+}
+
+func TestCheckAllowComments(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //reprolint:allow detrand justified reason
+	_ = 2 //reprolint:allow detrand
+	_ = 3 //reprolint:allow nosuchanalyzer some reason
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := CheckAllowComments(fset, []*ast.File{f})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "malformed") {
+		t.Errorf("first diagnostic should flag the missing reason, got %q", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "unknown analyzer") {
+		t.Errorf("second diagnostic should flag the unknown analyzer, got %q", diags[1].Message)
+	}
+}
+
+func TestIsEnginePackage(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/core":      true,
+		"repro/internal/broadcast": true,
+		"repro/internal/livenet":   false,
+		"repro/internal/workload":  false,
+		"repro/cmd/reprolint":      false,
+		"core":                     true,
+		"util":                     false,
+	} {
+		if got := IsEnginePackage(path); got != want {
+			t.Errorf("IsEnginePackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestTrimTestVariant(t *testing.T) {
+	if got := TrimTestVariant("repro/internal/core [repro/internal/core.test]"); got != "repro/internal/core" {
+		t.Errorf("got %q", got)
+	}
+	if got := TrimTestVariant("repro/internal/core"); got != "repro/internal/core" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation comments: // want "regexp"
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// testAnalyzer loads every .go file under testdata/<dir> as one package
+// with import path pkgpath, runs the analyzer, and compares diagnostics
+// against `// want "regexp"` comments golden-style: every diagnostic must
+// match a want on its line, and every want must be hit.
+func testAnalyzer(t *testing.T, a *Analyzer, dir, pkgpath string, imported map[string]bool) {
+	t.Helper()
+	root := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var srcs [][]byte
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(root, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		srcs = append(srcs, src)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no sources in %s", root)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", root, err)
+	}
+	pass := NewPass(a, fset, files, pkg, info, pkgpath, imported)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	// Collect expectations: file:line -> regexp.
+	type want struct {
+		re  *regexp.Regexp
+		hit bool
+	}
+	wants := make(map[string]*want)
+	for i, f := range files {
+		filename := fset.Position(f.Pos()).Filename
+		for li, line := range strings.Split(string(srcs[i]), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pat := strings.ReplaceAll(m[1], `\"`, `"`)
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern: %v", filename, li+1, err)
+			}
+			wants[fmt.Sprintf("%s:%d", filename, li+1)] = &want{re: re}
+		}
+	}
+	var unexpected []string
+	for _, d := range pass.Diagnostics() {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		w := wants[key]
+		if w == nil || !w.re.MatchString(d.Message) {
+			unexpected = append(unexpected, fmt.Sprintf("%s: unexpected diagnostic: %s", key, d.Message))
+			continue
+		}
+		w.hit = true
+	}
+	sort.Strings(unexpected)
+	for _, u := range unexpected {
+		t.Error(u)
+	}
+	var missing []string
+	for key, w := range wants {
+		if !w.hit {
+			missing = append(missing, fmt.Sprintf("%s: expected diagnostic matching %q, got none", key, w.re))
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}

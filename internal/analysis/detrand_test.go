@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestDetRandEngine(t *testing.T) {
+	testAnalyzer(t, DetRand, "detrand", "core", nil)
+}
+
+func TestDetRandNonEngine(t *testing.T) {
+	testAnalyzer(t, DetRand, "detrand_nonengine", "util", nil)
+}

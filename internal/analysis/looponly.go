@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LoopOnly enforces the event-loop serialization contract. A method whose
+// doc comment contains the marker
+//
+//	// reprolint:looponly
+//
+// may only run serialized with the runtime's event loop (env.Runtime's
+// timers/rand, livenet's restricted set). The analyzer flags calls to
+// marked functions
+//
+//   - as the direct callee of a go statement,
+//   - inside a function literal launched directly by a go statement,
+//   - inside a named function whose only references in the package are as
+//     a go-statement callee, i.e. one reachable only from goroutines.
+//
+// Any other function literal resets the context: a literal handed to another
+// call runs wherever the callee chooses (SetTimer callbacks and Host.Do
+// thunks run back on the loop), so the analyzer stays conservative there.
+//
+// Markers cross package boundaries: the driver carries them as facts, so
+// calling env.Runtime.SetTimer from a goroutine in internal/core is caught
+// even though the marker lives in internal/env.
+var LoopOnly = &Analyzer{
+	Name: "looponly",
+	Doc:  "flag calls to event-loop-only methods from goroutines",
+	Run:  runLoopOnly,
+}
+
+// looponlyMarker is matched against doc-comment lines.
+const looponlyMarker = "reprolint:looponly"
+
+func runLoopOnly(pass *Pass) error {
+	collectMarkers(pass)
+	goOnly := goOnlyFuncs(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inGo := false
+			if obj, isDef := pass.TypesInfo.Defs[fd.Name].(*types.Func); isDef && goOnly[obj] {
+				inGo = true
+			}
+			scanLoopOnly(pass, fd.Body, inGo)
+		}
+	}
+	return nil
+}
+
+// collectMarkers records every function, method, and interface method in
+// this package whose doc comment carries the looponly marker.
+func collectMarkers(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !hasMarker(d.Doc) {
+					continue
+				}
+				if fn, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok {
+					pass.ExportMarker(MarkerKey(fn))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					iface, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, m := range iface.Methods.List {
+						if len(m.Names) == 0 || !(hasMarker(m.Doc) || hasMarker(m.Comment)) {
+							continue
+						}
+						for _, name := range m.Names {
+							if fn, ok := pass.TypesInfo.Defs[name].(*types.Func); ok {
+								pass.ExportMarker(MarkerKey(fn))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, looponlyMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// goOnlyFuncs finds package-level functions referenced exclusively as go
+// statement callees: their bodies execute only on goroutines.
+func goOnlyFuncs(pass *Pass) map[*types.Func]bool {
+	goUses := make(map[*types.Func]int)
+	allUses := make(map[*types.Func]int)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.GoStmt:
+				if id, ok := t.Call.Fun.(*ast.Ident); ok {
+					if fn, isFn := pass.TypesInfo.Uses[id].(*types.Func); isFn {
+						goUses[fn]++
+					}
+				}
+			case *ast.Ident:
+				if fn, ok := pass.TypesInfo.Uses[t].(*types.Func); ok {
+					allUses[fn]++
+				}
+			}
+			return true
+		})
+	}
+	out := make(map[*types.Func]bool)
+	for fn, n := range goUses {
+		if n > 0 && allUses[fn] == n {
+			out[fn] = true
+		}
+	}
+	return out
+}
+
+// scanLoopOnly walks a body tracking whether execution is on a goroutine.
+// Entering `go f(...)` or `go func(){...}()` switches to goroutine context;
+// entering any other function literal (a callback whose execution context
+// is the callee's business) resets it.
+func scanLoopOnly(pass *Pass, n ast.Node, inGo bool) {
+	switch t := n.(type) {
+	case nil:
+		return
+	case *ast.GoStmt:
+		if fn := calleeFunc(pass, t.Call); fn != nil && pass.Marked(MarkerKey(fn)) {
+			pass.Reportf(t.Pos(), "%s is event-loop-only (reprolint:looponly) but is launched on a goroutine", fn.Name())
+		}
+		// Arguments of the go call are evaluated on the calling goroutine;
+		// the function body runs on the new one.
+		for _, arg := range t.Call.Args {
+			scanLoopOnly(pass, arg, inGo)
+		}
+		if lit, ok := t.Call.Fun.(*ast.FuncLit); ok {
+			scanLoopOnly(pass, lit.Body, true)
+		}
+		return
+	case *ast.FuncLit:
+		scanLoopOnly(pass, t.Body, false)
+		return
+	case *ast.CallExpr:
+		if inGo {
+			if fn := calleeFunc(pass, t); fn != nil && pass.Marked(MarkerKey(fn)) {
+				pass.Reportf(t.Pos(), "%s is event-loop-only (reprolint:looponly) but is called from a goroutine", fn.Name())
+			}
+		}
+	}
+	// Generic descent preserving the inGo flag.
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return c == n
+		}
+		scanLoopOnly(pass, c, inGo)
+		return false
+	})
+}
+
+// calleeFunc resolves a call's target to its function object, if static.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestLoopOnly(t *testing.T) {
+	testAnalyzer(t, LoopOnly, "looponly", "core", nil)
+}
+
+func TestLoopOnlyImportedFacts(t *testing.T) {
+	testAnalyzer(t, LoopOnly, "looponly_imported", "core", map[string]bool{
+		"core.RT2.Tick": true,
+	})
+}

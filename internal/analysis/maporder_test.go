@@ -1,0 +1,12 @@
+package analysis
+
+import "testing"
+
+func TestMapOrder(t *testing.T) {
+	testAnalyzer(t, MapOrder, "maporder", "core", nil)
+}
+
+func TestMapOrderNonEngine(t *testing.T) {
+	// Same sources under a non-engine path: nothing may fire.
+	testAnalyzer(t, MapOrder, "maporder_nonengine", "util", nil)
+}

@@ -1,0 +1,44 @@
+// Package core mimics an engine package for detrand tests.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func badClock() time.Duration {
+	t := time.Now()       // want "nondeterministic time.Now in engine package core: use env.Runtime.Now"
+	return time.Since(t)  // want "nondeterministic time.Since in engine package core: use env.Runtime.Now"
+}
+
+func badTimers() {
+	time.Sleep(time.Millisecond) // want "nondeterministic time.Sleep in engine package core: use env.Runtime.SetTimer"
+	<-time.After(time.Second)    // want "nondeterministic time.After in engine package core: use env.Runtime.SetTimer"
+	_ = time.AfterFunc(0, nil)   // want "nondeterministic time.AfterFunc in engine package core: use env.Runtime.SetTimer"
+}
+
+func badRand() int {
+	rand.Shuffle(2, func(i, j int) {}) // want "nondeterministic math/rand.Shuffle in engine package core: use env.Runtime.Rand"
+	return rand.Intn(10)               // want "nondeterministic math/rand.Intn in engine package core: use env.Runtime.Rand"
+}
+
+func badEnv() string {
+	return os.Getenv("REPRO_SEED") // want "nondeterministic os.Getenv in engine package core: use explicit configuration"
+}
+
+// goodSeeded draws from an explicitly seeded source: deterministic, legal.
+func goodSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// goodDurations does pure duration arithmetic: no clock read.
+func goodDurations(d time.Duration) time.Duration {
+	return 3*d + time.Millisecond
+}
+
+// goodAllowed carries a justified suppression.
+func goodAllowed() time.Time {
+	return time.Now() //reprolint:allow detrand startup banner only, never reaches protocol state
+}

@@ -1,0 +1,16 @@
+// Package util mimics a non-engine package: detrand does not apply here.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockIsFine() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}
+
+func globalRandIsFine() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,91 @@
+// Package core mimics an engine package for looponly tests.
+package core
+
+// RT is a stand-in for a runtime handle with loop-affine methods.
+type RT struct{}
+
+// SetTimer must run on the event loop.
+//
+// reprolint:looponly
+func (r *RT) SetTimer(f func()) {}
+
+// Rand must run on the event loop.
+//
+// reprolint:looponly
+func (r *RT) Rand() int { return 0 }
+
+// Do is the sanctioned bridge from foreign goroutines onto the loop.
+func (r *RT) Do(f func()) {}
+
+// Runtime carries a marker on an interface method.
+type Runtime interface {
+	// SetTimer arms a timer.
+	//
+	// reprolint:looponly
+	SetTimer(f func())
+}
+
+// badGoCall calls a marked method inside a go literal.
+func badGoCall(r *RT) {
+	go func() {
+		_ = r.Rand() // want "Rand is event-loop-only .reprolint:looponly. but is called from a goroutine"
+	}()
+}
+
+// badGoDirect launches a marked method as the goroutine body.
+func badGoDirect(r *RT) {
+	go r.SetTimer(nil) // want "SetTimer is event-loop-only .reprolint:looponly. but is launched on a goroutine"
+}
+
+// nestedLiteral is a known analyzer limitation, not a diagnostic: a literal
+// that is not the direct go callee resets context, because in general a
+// literal's execution context belongs to whoever it is handed to.
+func nestedLiteral(r *RT) {
+	go func() {
+		f := func() {
+			_ = r.Rand()
+		}
+		f()
+	}()
+}
+
+// badIface calls a marked interface method from a goroutine.
+func badIface(rt Runtime) {
+	go func() {
+		rt.SetTimer(nil) // want "SetTimer is event-loop-only .reprolint:looponly. but is called from a goroutine"
+	}()
+}
+
+// worker is referenced only as a go-statement callee, so its body is
+// goroutine-only.
+func worker(r *RT) {
+	_ = r.Rand() // want "Rand is event-loop-only .reprolint:looponly. but is called from a goroutine"
+}
+
+func spawnWorker(r *RT) {
+	go worker(r)
+}
+
+// goodLoopCall runs on the loop: marked calls are fine.
+func goodLoopCall(r *RT) {
+	r.SetTimer(func() {
+		_ = r.Rand()
+	})
+}
+
+// goodBridge hops back onto the loop via Do before touching marked methods:
+// the callback literal is not goroutine context.
+func goodBridge(r *RT) {
+	go func() {
+		r.Do(func() {
+			_ = r.Rand()
+		})
+	}()
+}
+
+// goodAllowed carries a justified suppression.
+func goodAllowed(r *RT) {
+	go func() {
+		_ = r.Rand() //reprolint:allow looponly startup path, loop not running yet
+	}()
+}

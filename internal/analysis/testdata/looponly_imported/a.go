@@ -1,0 +1,20 @@
+// Package core exercises looponly markers arriving as imported facts: RT2.Tick
+// carries no marker comment here; the test injects "core.RT2.Tick" as if a
+// dependency had exported it.
+package core
+
+// RT2 is a stand-in whose marker comes from another package's facts.
+type RT2 struct{}
+
+// Tick has no local marker.
+func (r *RT2) Tick() {}
+
+func badImported(r *RT2) {
+	go func() {
+		r.Tick() // want "Tick is event-loop-only .reprolint:looponly. but is called from a goroutine"
+	}()
+}
+
+func goodImported(r *RT2) {
+	r.Tick()
+}

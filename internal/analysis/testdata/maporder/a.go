@@ -1,0 +1,68 @@
+// Package core mimics an engine package for maporder tests.
+package core
+
+import "sort"
+
+type peer struct{}
+
+func (p *peer) sendMsg(v int)   {}
+func (p *peer) observe(v int)   {}
+func deliverUp(v int)           {}
+func recordLocally(m map[int]int, k int) { m[k] = 1 }
+
+// badEmit puts messages on the wire in map order.
+func badEmit(p *peer, pend map[int]int) {
+	for _, v := range pend {
+		p.sendMsg(v) // want "sendMsg called inside range over map: message order is nondeterministic"
+	}
+}
+
+// badDeliver hands deliveries up in map order.
+func badDeliver(pend map[int]int) {
+	for _, v := range pend {
+		deliverUp(v) // want "deliverUp called inside range over map: message order is nondeterministic"
+	}
+}
+
+// badChannel sends on a channel in map order.
+func badChannel(pend map[int]int, ch chan int) {
+	for _, v := range pend {
+		ch <- v // want "channel send inside range over map: iteration order is nondeterministic"
+	}
+}
+
+// badAccumulate lets map order escape through an unsorted slice.
+func badAccumulate(pend map[int]int) []int {
+	var out []int
+	for k := range pend {
+		out = append(out, k) // want "out accumulates map iteration order and escapes the loop unsorted"
+	}
+	return out
+}
+
+// goodCollectThenSort is the prescribed fix: the sort launders the order.
+func goodCollectThenSort(pend map[int]int) []int {
+	var keys []int
+	for k := range pend {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// goodLocalEffects only counts and writes per-key state: order free.
+func goodLocalEffects(pend map[int]int, acc map[int]int) int {
+	n := 0
+	for k := range pend {
+		n++
+		recordLocally(acc, k)
+	}
+	return n
+}
+
+// goodAllowed carries a justified suppression.
+func goodAllowed(p *peer, pend map[int]int) {
+	for _, v := range pend {
+		p.sendMsg(v) //reprolint:allow maporder fan-out is commutative, receiver dedups by seq
+	}
+}

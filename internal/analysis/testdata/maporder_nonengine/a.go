@@ -1,0 +1,14 @@
+// Package util mimics a non-engine package: maporder does not apply here.
+package util
+
+func sendOut(v int) {}
+
+func fanOut(pend map[int]int, ch chan int) []int {
+	var out []int
+	for _, v := range pend {
+		sendOut(v)
+		ch <- v
+		out = append(out, v)
+	}
+	return out
+}

@@ -83,7 +83,10 @@ func (is *isisState) handlePropose(pm *message.IsisPropose) {
 // member set, so in-flight orderings by this origin can finalize without
 // the departed sites.
 func (is *isisState) Recheck() {
-	for p, m := range is.pend {
+	// Iterate in stable order: maybeFinalize broadcasts IsisFinal, and the
+	// finalization order must not depend on map iteration order.
+	for _, p := range is.pendingKeys() {
+		m := is.pend[p]
 		if m.b != nil && m.b.Origin == is.s.rt.ID() && !m.final {
 			is.maybeFinalize(p, m)
 		}

@@ -71,6 +71,10 @@ type Stack struct {
 
 	sendSeq map[message.Class]uint64
 	seen    map[dedupKey]bool
+	// highSeq tracks the highest broadcast sequence seen per class and
+	// origin, exported in state transfers so a restarted origin resumes its
+	// numbering instead of reusing sequences its peers will discard.
+	highSeq map[message.Class]map[message.SiteID]uint64
 
 	// FIFO: next expected per-origin sequence and held-back messages.
 	fifoNext map[message.SiteID]uint64
@@ -135,6 +139,7 @@ func New(rt env.Runtime, cfg Config) *Stack {
 		cfg:        cfg,
 		sendSeq:    make(map[message.Class]uint64),
 		seen:       make(map[dedupKey]bool),
+		highSeq:    make(map[message.Class]map[message.SiteID]uint64),
 		fifoNext:   make(map[message.SiteID]uint64),
 		fifoHold:   make(map[message.SiteID]map[uint64]*message.Bcast),
 		cvc:        vclock.New(n),
@@ -176,6 +181,7 @@ func (s *Stack) Broadcast(class message.Class, payload message.Message) uint64 {
 	s.sendSeq[class]++
 	seq := s.sendSeq[class]
 	b := &message.Bcast{Class: class, Origin: s.rt.ID(), Seq: seq, Payload: payload}
+	s.noteSeq(class, b.Origin, seq)
 	if class == message.ClassCausal {
 		// Stamp with the sender's causal history: entries for peers reflect
 		// deliveries, the own entry is the send sequence number.
@@ -229,6 +235,7 @@ func Handles(m message.Message) bool {
 }
 
 func (s *Stack) handleBcast(from message.SiteID, b *message.Bcast) {
+	s.noteSeq(b.Class, b.Origin, b.Seq)
 	k := dedupKey{b.Class, b.Origin, b.Seq}
 	if s.seen[k] {
 		return
@@ -571,6 +578,108 @@ func (s *Stack) AtomicPending() int { return len(s.apayload) }
 // NextAtomicIndex returns the next total-order index this site will
 // deliver.
 func (s *Stack) NextAtomicIndex() uint64 { return s.anext }
+
+// --- State transfer -------------------------------------------------------
+
+// noteSeq records the highest broadcast sequence seen from an origin. It
+// runs before deduplication: duplicates still carry authoritative sequence
+// numbers.
+func (s *Stack) noteSeq(class message.Class, origin message.SiteID, seq uint64) {
+	m := s.highSeq[class]
+	if m == nil {
+		m = make(map[message.SiteID]uint64)
+		s.highSeq[class] = m
+	}
+	if seq > m[origin] {
+		m[origin] = seq
+	}
+}
+
+// ExportSync captures this stack's delivery frontiers and undelivered
+// buffers for a state transfer. The held messages are sorted so the export
+// is deterministic.
+func (s *Stack) ExportSync() *message.StackSync {
+	sync := &message.StackSync{
+		CausalVC: s.cvc.Clone(),
+		FifoNext: make(map[message.SiteID]uint64, len(s.fifoNext)),
+		HighSeq:  make(map[message.Class]map[message.SiteID]uint64, len(s.highSeq)),
+	}
+	for o, n := range s.fifoNext {
+		sync.FifoNext[o] = n
+	}
+	for c, m := range s.highSeq {
+		cp := make(map[message.SiteID]uint64, len(m))
+		for o, n := range m {
+			cp[o] = n
+		}
+		sync.HighSeq[c] = cp
+	}
+	var held []*message.Bcast
+	held = append(held, s.cpend...)
+	for _, hold := range s.fifoHold {
+		for _, b := range hold {
+			held = append(held, b)
+		}
+	}
+	for _, b := range s.apayload {
+		held = append(held, b)
+	}
+	sort.Slice(held, func(i, j int) bool {
+		a, b := held[i], held[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		return a.Seq < b.Seq
+	})
+	sync.Held = held
+	return sync
+}
+
+// ImportSync merges a donor's frontiers into this stack. Every merge is
+// monotone (max), so importing is safe for a healthy site and idempotent
+// for a restarted one: delivery of messages the accompanying snapshot
+// already covers is skipped, this site's send sequences resume above
+// everything the cluster has seen from it, and the donor's undelivered
+// buffers are replayed so nothing waits on a message no peer will resend.
+func (s *Stack) ImportSync(sync *message.StackSync) {
+	if sync == nil {
+		return
+	}
+	for i := range sync.CausalVC {
+		if v := sync.CausalVC.Get(i); v > s.cvc.Get(i) {
+			s.cvc = s.cvc.Set(i, v)
+		}
+	}
+	for o, n := range sync.FifoNext {
+		if n > s.fifoNext[o] {
+			s.fifoNext[o] = n
+		}
+	}
+	self := s.rt.ID()
+	for c, m := range sync.HighSeq {
+		for o, n := range m {
+			s.noteSeq(c, o, n)
+		}
+		if n := m[self]; n > s.sendSeq[c] {
+			s.sendSeq[c] = n
+		}
+	}
+	// The causal clock's own entry counts this site's sends too: peers have
+	// delivered that many of our causal broadcasts.
+	if n := sync.CausalVC.Get(int(self)); n > s.sendSeq[message.ClassCausal] {
+		s.sendSeq[message.ClassCausal] = n
+	}
+	for _, b := range sync.Held {
+		replay := *b
+		replay.Relayed = true // already cluster-wide; do not re-relay
+		s.handleBcast(self, &replay)
+	}
+	s.drainCausal()
+	s.drainAtomic()
+}
 
 // String implements fmt.Stringer.
 func (s *Stack) String() string {

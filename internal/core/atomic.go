@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"repro/internal/broadcast"
@@ -42,6 +43,7 @@ type AtomicEngine struct {
 	stale       bool
 	syncPending bool
 	lastGap     uint64
+	lastStall   uint64
 }
 
 type certItem struct {
@@ -92,26 +94,58 @@ func (e *AtomicEngine) Start() {
 const gapProbeInterval = 200 * time.Millisecond
 
 // gapProbe requests retransmission when the same total-order gap persists
-// across two probes (a young gap is usually just in-flight traffic).
+// across two probes (a young gap is usually just in-flight traffic), and
+// escalates to a full state transfer when retransmission cannot help: a
+// certification stall (see below) only a snapshot can clear.
 func (e *AtomicEngine) gapProbe() {
 	defer e.rt.SetTimer(gapProbeInterval, e.gapProbe)
 	if e.stale {
 		return
 	}
-	idx, ok := e.stack.Gap()
-	if !ok {
-		e.lastGap = 0
+	if idx, ok := e.stack.Gap(); ok {
+		e.lastStall = 0
+		if idx != e.lastGap {
+			e.lastGap = idx
+			return
+		}
+		donor := e.donor()
+		if donor == e.rt.ID() {
+			return
+		}
+		e.rt.Send(donor, &message.RetransmitReq{From: e.rt.ID(), FromIndex: idx})
 		return
 	}
-	if idx != e.lastGap {
-		e.lastGap = idx
+	e.lastGap = 0
+	e.checkCertStall()
+}
+
+// checkCertStall escalates a persistent certification stall to a snapshot
+// request. Normally the queue head waiting for disseminated writes is a
+// transient condition — causal broadcast eventually delivers them. But a
+// site that restarts after its peers certified an index holds a
+// retransmitted commit request whose WriteReqs were consumed cluster-wide
+// before it rejoined: no peer will ever resend them, and retransmission of
+// the ordered stream cannot supply them. Only a state transfer covers that
+// index. The stall must persist across two probes before escalating so an
+// ordinary in-flight dissemination is not mistaken for a lost one.
+func (e *AtomicEngine) checkCertStall() {
+	if len(e.queue) == 0 || e.cfg.PiggybackWrites {
+		e.lastStall = 0
 		return
 	}
-	donor := e.donor()
-	if donor == e.rt.ID() {
+	head := e.queue[0]
+	if len(e.pendingWrites[head.req.Txn]) >= head.req.NWrites {
+		e.lastStall = 0
+		return // deliverable; drain will handle it
+	}
+	if head.idx != e.lastStall {
+		e.lastStall = head.idx
 		return
 	}
-	e.rt.Send(donor, &message.RetransmitReq{From: e.rt.ID(), FromIndex: idx})
+	if !e.syncPending {
+		e.rt.Logf("atomic: certification stalled at index %d awaiting unrecoverable writes; requesting state transfer", head.idx)
+		e.requestState()
+	}
 }
 
 // donor picks the peer to resynchronize from: the lowest other member of
@@ -145,6 +179,8 @@ func (e *AtomicEngine) Receive(from message.SiteID, m message.Message) {
 			e.onStateSnapshot(t)
 		case *message.RetransmitReq:
 			e.onRetransmitReq(t)
+		case *message.SyncState:
+			e.onSyncState(t)
 		default:
 			e.rt.Logf("atomic: unexpected %v from %v", m.Kind(), from)
 		}
@@ -371,9 +407,11 @@ func (e *AtomicEngine) requestState() {
 	e.syncPending = true
 	e.rt.Send(donor, &message.StateRequest{From: e.rt.ID()})
 	e.rt.SetTimer(time.Second, func() {
-		if e.stale && e.syncPending {
+		if e.syncPending {
+			// No snapshot arrived: clear the guard so the next trigger (view
+			// change or stall probe) can re-request from a fresh donor.
 			e.syncPending = false
-			if e.inPrimary() {
+			if e.stale && e.inPrimary() {
 				e.requestState()
 			}
 		}
@@ -386,11 +424,51 @@ func (e *AtomicEngine) onStateRequest(req *message.StateRequest) {
 	if e.stale {
 		return
 	}
-	e.rt.Send(req.From, &message.StateSnapshot{
+	e.rt.Send(req.From, e.snapshotMsg())
+}
+
+// snapshotMsg builds a full state transfer: store contents, broadcast-stack
+// frontiers, and in-flight write dissemination. The pending map is copied so
+// later local mutation cannot race an in-flight message.
+func (e *AtomicEngine) snapshotMsg() *message.StateSnapshot {
+	return &message.StateSnapshot{
 		From:    e.rt.ID(),
 		Applied: e.certIndex,
 		Entries: e.store.Snapshot(),
-	})
+		Stack:   e.stack.ExportSync(),
+		Pending: e.clonePending(),
+	}
+}
+
+// clonePending copies the pending-write map (slice headers shared: senders
+// only ever append) for embedding in an outgoing message.
+func (e *AtomicEngine) clonePending() map[message.TxnID][]message.KV {
+	p := make(map[message.TxnID][]message.KV, len(e.pendingWrites))
+	for id, kvs := range e.pendingWrites {
+		p[id] = kvs
+	}
+	return p
+}
+
+// mergePending adopts the donor's in-flight write dissemination. A
+// transaction's WriteReqs arrive in a fixed order, so the donor's slice for
+// a shared transaction is a prefix-extension of the local one: the longer
+// slice wins. Slices are copied because in-process transports share backing
+// arrays between sender and receiver.
+func (e *AtomicEngine) mergePending(pending map[message.TxnID][]message.KV) {
+	for id, kvs := range pending {
+		if len(kvs) > len(e.pendingWrites[id]) {
+			e.pendingWrites[id] = append([]message.KV(nil), kvs...)
+		}
+	}
+}
+
+// onSyncState merges frontier state piggybacked on the gap-repair path,
+// then re-drives certification with the adopted writes.
+func (e *AtomicEngine) onSyncState(ss *message.SyncState) {
+	e.mergePending(ss.Pending)
+	e.stack.ImportSync(ss.Stack)
+	e.drain()
 }
 
 // onStateSnapshot installs a transferred state and fast-forwards the
@@ -412,12 +490,16 @@ func (e *AtomicEngine) onStateSnapshot(snap *message.StateSnapshot) {
 	e.certIndex = snap.Applied
 	e.queue = nil
 	e.pendingWrites = make(map[message.TxnID][]message.KV)
+	e.mergePending(snap.Pending)
+	e.stack.ImportSync(snap.Stack)
 	e.stack.SkipTo(snap.Applied + 1)
 	if e.cfg.Recorder != nil {
 		e.cfg.Recorder.DropSite(e.rt.ID())
 	}
 	e.stale = false
 	e.syncPending = false
+	e.lastGap = 0
+	e.lastStall = 0
 	e.rt.Logf("atomic: resynchronized at index %d (%d keys)", snap.Applied, len(snap.Entries))
 }
 
@@ -428,12 +510,18 @@ func (e *AtomicEngine) onRetransmitReq(req *message.RetransmitReq) {
 		return
 	}
 	if n := e.stack.Retransmit(req.From, req.FromIndex); n == 0 {
-		e.rt.Send(req.From, &message.StateSnapshot{
-			From:    e.rt.ID(),
-			Applied: e.certIndex,
-			Entries: e.store.Snapshot(),
-		})
+		e.rt.Send(req.From, e.snapshotMsg())
+		return
 	}
+	// Retransmission alone rebuilds the ordered stream but not the causal
+	// and send-sequence frontiers a restarted site is missing; piggyback
+	// them so it can both deliver peers' ongoing writes and originate new
+	// broadcasts peers will accept.
+	e.rt.Send(req.From, &message.SyncState{
+		From:    e.rt.ID(),
+		Stack:   e.stack.ExportSync(),
+		Pending: e.clonePending(),
+	})
 }
 
 func (e *AtomicEngine) localTxns() []*Tx {
@@ -441,6 +529,7 @@ func (e *AtomicEngine) localTxns() []*Tx {
 	for _, tx := range e.local {
 		out = append(out, tx)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
 	return out
 }
 

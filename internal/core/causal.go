@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/broadcast"
@@ -248,6 +249,7 @@ func (e *CausalEngine) waitingSnapshot() []*Tx {
 	for _, tx := range e.waiting {
 		out = append(out, tx)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
 	return out
 }
 
@@ -390,6 +392,7 @@ func (e *CausalEngine) localTxns() []*Tx {
 	for _, tx := range e.local {
 		out = append(out, tx)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
 	return out
 }
 

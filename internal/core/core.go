@@ -27,6 +27,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/broadcast"
@@ -586,5 +587,6 @@ func (b *base) DebugActive() []string {
 		}
 		out = append(out, line)
 	}
+	sort.Strings(out)
 	return out
 }

@@ -236,9 +236,10 @@ func TestWALRecoveryResume(t *testing.T) {
 // heals, and the returning site resynchronizes by state transfer plus gap
 // repair until it serves reads of the post-partition state.
 func TestAtomicPartitionHealResync(t *testing.T) {
-	cfg := failureCfg("atomic")
-	cfg.PiggybackWrites = true // resync requires the ordered stream to carry the writes
-	tc := newTestCluster(t, 5, "atomic", cfg, 31)
+	// Deliberately NOT piggybacking writes: state transfer must carry the
+	// broadcast-stack frontiers (StackSync) for the causally disseminated
+	// writes to resume at the healed site.
+	tc := newTestCluster(t, 5, "atomic", failureCfg("atomic"), 31)
 	pre := tc.runTxn(100*time.Millisecond, 0, false, nil, []message.KV{kv("epoch", "pre")})
 	tc.c.Schedule(500*time.Millisecond, func() {
 		tc.c.Partition([]message.SiteID{0}, []message.SiteID{1, 2, 3, 4})
@@ -271,7 +272,104 @@ func TestAtomicPartitionHealResync(t *testing.T) {
 	}
 }
 
-// TestAtomicSequencerCrashFailover kills the total-order sequencer itself
+// TestAtomicRestartResync kills a site outright, commits at the survivors
+// while it is down, then restarts the site with a fresh engine (empty
+// store, zeroed broadcast stack). The restarted site must recover the full
+// state transfer — store contents, causal/FIFO frontiers, and its own
+// resumed send sequences — so that (a) commits made after its resync apply
+// at it, and (b) its own new broadcasts are accepted by peers instead of
+// being discarded as replays of its pre-crash sequence numbers.
+//
+// Both donor paths are exercised: with a shrunken retention window the
+// from-index retransmission request misses and the donor answers with a
+// snapshot directly; with the default window the donor retransmits the
+// ordered stream, whose commit requests reference causally disseminated
+// writes the cluster consumed long ago — the restarted site must detect
+// that certification stall and escalate to a snapshot itself.
+func TestAtomicRestartResync(t *testing.T) {
+	t.Run("retention-miss", func(t *testing.T) { testAtomicRestartResync(t, 4) })
+	t.Run("within-retention", func(t *testing.T) { testAtomicRestartResync(t, 0) })
+}
+
+func testAtomicRestartResync(t *testing.T, retention int) {
+	cfg := failureCfg("atomic") // PiggybackWrites off: writes travel causally
+	tc := newTestCluster(t, 3, "atomic", cfg, 37)
+	for _, e := range tc.engines {
+		if retention > 0 {
+			e.(*AtomicEngine).stack.HistoryRetention = retention
+		}
+	}
+	pre1 := tc.runTxn(100*time.Millisecond, 0, false, nil, []message.KV{kv("epoch", "pre")})
+	// The doomed site originates a broadcast first, so its send sequences
+	// are nonzero cluster-wide and a naive restart would reuse them.
+	pre2 := tc.runTxn(200*time.Millisecond, 2, false, nil, []message.KV{kv("pre2", "from-2")})
+	tc.c.Schedule(500*time.Millisecond, func() { tc.c.Crash(2) })
+	// More commits than the retention window while the site is down.
+	var during []*txResult
+	for i := 0; i < 6; i++ {
+		key := message.Key(fmt.Sprintf("k%d", i))
+		during = append(during, tc.runTxn(time.Second+time.Duration(i)*300*time.Millisecond,
+			i%2, false, nil, []message.KV{{Key: key, Value: message.Value("v")}}))
+	}
+	// Restart: fresh engine, fresh stack; state arrives via the protocol's
+	// own gap probe — retransmission miss or certification stall, both
+	// ending in a snapshot transfer.
+	tc.c.Schedule(4*time.Second, func() {
+		tc.c.Recover(2)
+		rcfg := cfg
+		rcfg.Recorder = tc.rec
+		fresh := NewAtomic(tc.c.Runtime(2), rcfg)
+		if retention > 0 {
+			fresh.stack.HistoryRetention = retention
+		}
+		tc.engines[2] = fresh
+		tc.c.Bind(2, fresh)
+		fresh.Start()
+	})
+	// A commit at a survivor after the restart: its atomic traffic is what
+	// exposes the restarted site's gap, and its effects must reach site 2.
+	post := tc.runTxn(7*time.Second, 0, false, nil, []message.KV{kv("epoch", "post")})
+	// A commit originated by the restarted site itself: only possible once
+	// its send sequences resume past its pre-crash numbering.
+	from2 := tc.runTxn(10*time.Second, 2, false, keys("epoch"), []message.KV{kv("from2", "hello")})
+	tc.run(16 * time.Second)
+
+	for _, r := range []*txResult{pre1, pre2, post} {
+		if !r.done || r.outcome != Committed {
+			t.Fatalf("txn at site %d: done=%v outcome=%v reason=%v", r.site, r.done, r.outcome, r.reason)
+		}
+	}
+	for i, r := range during {
+		if !r.done || r.outcome != Committed {
+			t.Fatalf("during[%d]: done=%v outcome=%v reason=%v", i, r.done, r.outcome, r.reason)
+		}
+	}
+	if !from2.done || from2.outcome != Committed {
+		t.Fatalf("restarted site's own txn: done=%v outcome=%v reason=%v readErr=%v writeErr=%v",
+			from2.done, from2.outcome, from2.reason, from2.readErr, from2.writeErr)
+	}
+	if string(from2.vals["epoch"]) != "post" {
+		t.Fatalf("restarted site read epoch=%q, want \"post\"", from2.vals["epoch"])
+	}
+	// Full convergence, including the restarted site's own post-restart
+	// write applying everywhere.
+	allKeys := []string{"epoch", "pre2", "from2", "k0", "k1", "k2", "k3", "k4", "k5"}
+	for _, key := range allKeys {
+		ref, _ := tc.engines[0].Store().Get(message.Key(key))
+		for i := 1; i < 3; i++ {
+			got, _ := tc.engines[i].Store().Get(message.Key(key))
+			if string(got.Value) != string(ref.Value) {
+				t.Fatalf("site %d diverges on %q: %q vs %q", i, key, got.Value, ref.Value)
+			}
+		}
+	}
+	if v, _ := tc.engines[2].Store().Get("from2"); string(v.Value) != "hello" {
+		t.Fatalf("restarted site's own write lost: from2=%q", v.Value)
+	}
+	if err := tc.rec.Check(); err != nil {
+		t.Fatalf("serializability: %v", err)
+	}
+}
 // (the lowest view member). The view change elects the next-lowest site,
 // which re-assigns any orphaned orderings; commits must resume.
 func TestAtomicSequencerCrashFailover(t *testing.T) {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/broadcast"
 	"repro/internal/env"
 	"repro/internal/membership"
@@ -435,6 +437,7 @@ func (e *ReliableEngine) localSnapshot() []*Tx {
 	for _, tx := range e.local {
 		out = append(out, tx)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
 	return out
 }
 
@@ -443,6 +446,7 @@ func (e *ReliableEngine) remoteSnapshot() []*rtxnR {
 	for _, r := range e.remote {
 		out = append(out, r)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id.Less(out[j].id) })
 	return out
 }
 

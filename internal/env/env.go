@@ -31,14 +31,20 @@ type Runtime interface {
 	// fail silently if the destination has crashed or is partitioned away.
 	Send(to message.SiteID, m message.Message)
 	// SetTimer schedules fn to run after d. The returned id can cancel it.
+	//
+	// reprolint:looponly
 	SetTimer(d time.Duration, fn func()) TimerID
 	// CancelTimer cancels a pending timer; expired or unknown ids are
 	// ignored.
+	//
+	// reprolint:looponly
 	CancelTimer(id TimerID)
 	// Now returns the current time. In the simulator this is virtual time
 	// from the start of the run.
 	Now() time.Duration
 	// Rand returns this site's deterministic random source.
+	//
+	// reprolint:looponly
 	Rand() *rand.Rand
 	// Logf records a debug line attributed to this site.
 	Logf(format string, args ...any)

@@ -420,6 +420,8 @@ func (h *Host) Send(to message.SiteID, m message.Message) {
 
 // SetTimer implements env.Runtime. Event-loop only: callers must hold the
 // loop (i.e. be inside a node callback or a Do closure).
+//
+// reprolint:looponly
 func (h *Host) SetTimer(d time.Duration, fn func()) env.TimerID {
 	h.nextTimer++
 	id := h.nextTimer
@@ -439,6 +441,8 @@ func (h *Host) SetTimer(d time.Duration, fn func()) env.TimerID {
 }
 
 // CancelTimer implements env.Runtime. Event-loop only, like SetTimer.
+//
+// reprolint:looponly
 func (h *Host) CancelTimer(id env.TimerID) {
 	if t, ok := h.timers[id]; ok {
 		t.Stop()
@@ -450,6 +454,8 @@ func (h *Host) CancelTimer(id env.TimerID) {
 func (h *Host) Now() time.Duration { return time.Since(h.start) }
 
 // Rand implements env.Runtime. Event-loop only.
+//
+// reprolint:looponly
 func (h *Host) Rand() *rand.Rand { return h.rng }
 
 // Logf implements env.Runtime.

@@ -218,8 +218,13 @@ func (m *Manager) ReleaseAll(txn message.TxnID) {
 		}
 	}
 	delete(m.held, txn)
-	var grants []func()
+	keys := make([]message.Key, 0, len(touched))
 	for key := range touched {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var grants []func()
+	for _, key := range keys {
 		if e := m.entries[key]; e != nil {
 			grants = m.promote(key, e, grants)
 		}

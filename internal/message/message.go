@@ -53,6 +53,10 @@ const (
 	KindQLockReply
 	KindQCommit
 	KindQRelease
+
+	// Broadcast-stack state transfer (appended so existing kind values are
+	// stable).
+	KindSyncState
 )
 
 var kindNames = map[Kind]string{
@@ -88,6 +92,7 @@ var kindNames = map[Kind]string{
 	KindQLockReply:    "QLockReply",
 	KindQCommit:       "QCommit",
 	KindQRelease:      "QRelease",
+	KindSyncState:     "SyncState",
 }
 
 // String implements fmt.Stringer.
@@ -265,15 +270,55 @@ type SnapshotEntry struct {
 	Versions []VersionRec
 }
 
+// StackSync carries a donor's broadcast-stack progress frontiers so a state
+// transfer also resynchronizes the delivery machinery, not just the store.
+// Without it a restarted site re-enters with zeroed per-origin expectations:
+// it would hold back every peer's next causal message forever (expecting
+// seq 1) and reuse its own send sequence numbers, which peers then discard
+// as duplicates.
+type StackSync struct {
+	// CausalVC is the donor's delivered-causal-message vector; the receiver
+	// max-merges it so delivery resumes at the cluster's frontier. The
+	// receiver's own entry doubles as its causal send-sequence floor.
+	CausalVC vclock.VC
+	// FifoNext is the donor's next expected FIFO sequence per origin.
+	FifoNext map[SiteID]uint64
+	// HighSeq records, per class and origin, the highest broadcast sequence
+	// the donor has seen. A rejoining site resumes its own numbering above
+	// its entry so new broadcasts are not mistaken for replays.
+	HighSeq map[Class]map[SiteID]uint64
+	// Held are broadcasts buffered undelivered at the donor (causal holds,
+	// FIFO holds, unordered atomic payloads), replayed at the receiver so it
+	// does not wait on messages peers will never resend.
+	Held []*Bcast
+}
+
 // StateSnapshot transfers committed database state to a rejoining site.
 type StateSnapshot struct {
 	From    SiteID
 	Applied uint64 // commit index the snapshot reflects
 	Entries []SnapshotEntry
+	// Stack resynchronizes the donor's broadcast-stack frontiers alongside
+	// the store contents.
+	Stack *StackSync
+	// Pending is the donor's in-flight write dissemination (writes delivered
+	// but not yet consumed by certification), keyed by transaction.
+	Pending map[TxnID][]KV
 }
 
 // Kind implements Message.
 func (*StateSnapshot) Kind() Kind { return KindStateSnapshot }
+
+// SyncState piggybacks the donor's stack frontiers and in-flight writes on
+// the gap-repair (retransmission) path, where no full snapshot is sent.
+type SyncState struct {
+	From    SiteID
+	Stack   *StackSync
+	Pending map[TxnID][]KV
+}
+
+// Kind implements Message.
+func (*SyncState) Kind() Kind { return KindSyncState }
 
 // RetransmitReq asks a peer to resend the totally ordered atomic
 // broadcasts from the given index: the gap-repair path a resynchronizing
@@ -563,6 +608,7 @@ func RegisterGob() {
 	gob.Register(&QLockReply{})
 	gob.Register(&QCommit{})
 	gob.Register(&QRelease{})
+	gob.Register(&SyncState{})
 }
 
 // EstimateSize approximates the wire size of a message in bytes. The
@@ -597,7 +643,10 @@ func EstimateSize(m Message) int {
 				n += 20 + len(v.Value)
 			}
 		}
+		n += stackSyncSize(t.Stack) + pendingSize(t.Pending)
 		return n
+	case *SyncState:
+		return hdr + 4 + stackSyncSize(t.Stack) + pendingSize(t.Pending)
 	case *WriteReq:
 		return hdr + 16 + len(t.Key) + len(t.Value)
 	case *WriteAck:
@@ -670,4 +719,31 @@ func EstimateSize(m Message) int {
 	default:
 		return hdr
 	}
+}
+
+// stackSyncSize approximates the wire size of an embedded StackSync.
+func stackSyncSize(s *StackSync) int {
+	if s == nil {
+		return 0
+	}
+	n := 8*len(s.CausalVC) + 12*len(s.FifoNext)
+	for _, m := range s.HighSeq {
+		n += 4 + 12*len(m)
+	}
+	for _, b := range s.Held {
+		n += EstimateSize(b)
+	}
+	return n
+}
+
+// pendingSize approximates the wire size of an embedded pending-write map.
+func pendingSize(p map[TxnID][]KV) int {
+	n := 0
+	for _, kvs := range p {
+		n += 12
+		for _, kv := range kvs {
+			n += len(kv.Key) + len(kv.Value)
+		}
+	}
+	return n
 }
