@@ -4,7 +4,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race lint lint-reprolint fuzz clean
+.PHONY: all build test race lint lint-reprolint tracecheck fuzz clean
 
 all: build test lint
 
@@ -29,6 +29,18 @@ lint: lint-reprolint
 lint-reprolint:
 	$(GO) build -o $(BIN)/reprolint ./cmd/reprolint
 	$(GO) vet -vettool=$(CURDIR)/$(BIN)/reprolint ./...
+
+# tracecheck runs a seeded simulated workload per protocol with span
+# tracing on and pipes the export through the offline invariant checker
+# (commit-order agreement, causal precedence, analytical round counts).
+# See docs/TRACING.md.
+tracecheck:
+	$(GO) build -o $(BIN)/simtrace ./cmd/simtrace
+	$(GO) build -o $(BIN)/tracecheck ./cmd/tracecheck
+	$(BIN)/simtrace -proto reliable -sites 3 -txns 25 -seed 7 -export - | $(BIN)/tracecheck
+	$(BIN)/simtrace -proto causal -sites 3 -txns 25 -seed 7 -export - | $(BIN)/tracecheck
+	$(BIN)/simtrace -proto atomic -atomic-mode sequencer -sites 3 -txns 25 -seed 7 -export - | $(BIN)/tracecheck
+	$(BIN)/simtrace -proto atomic -atomic-mode isis -sites 3 -txns 25 -seed 7 -export - | $(BIN)/tracecheck
 
 # fuzz mirrors CI's advisory fuzz sweep: 30s per storage fuzz target.
 fuzz:

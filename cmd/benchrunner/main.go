@@ -2,9 +2,15 @@
 // DESIGN.md) and prints the result tables. Every run is deterministic under
 // its seed; pass -seed to replicate with different randomness.
 //
-//	benchrunner              # full suite
-//	benchrunner -quick       # reduced sweep for a fast look
-//	benchrunner -run E3,E6   # selected experiments
+//	benchrunner                                  # full suite
+//	benchrunner -quick                           # reduced sweep for a fast look
+//	benchrunner -run E3,E6                       # selected experiments
+//	benchrunner -quick -json BENCH_2026-08-05.json
+//
+// The -json document carries, per experiment, the headline metrics plus one
+// record per harness run with throughput, abort rate, and commit-latency
+// percentiles (p50/p90/p99) — the structured counterpart of the printed
+// tables, suitable for CI artifact upload and regression diffing.
 package main
 
 import (
@@ -26,6 +32,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
+}
+
+// benchDoc is the -json output: run metadata, the per-experiment headline
+// metrics, and one RunSummary per harness run.
+type benchDoc struct {
+	Date       string                        `json:"date"`
+	Quick      bool                          `json:"quick"`
+	Seed       int64                         `json:"seed"`
+	Metrics    map[string]map[string]float64 `json:"metrics"`
+	Runs       []experiments.RunSummary      `json:"runs"`
+	Violations []string                      `json:"violations,omitempty"`
 }
 
 // replicationStudy reports headline metrics as mean±stddev across seeds —
@@ -100,7 +117,12 @@ func run() error {
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 
 	violations := 0
-	allMetrics := make(map[string]map[string]float64)
+	doc := benchDoc{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Quick:   *quick,
+		Seed:    *seed,
+		Metrics: make(map[string]map[string]float64),
+	}
 	for _, id := range order {
 		if len(wanted) > 0 && !wanted[id] {
 			continue
@@ -117,10 +139,12 @@ func run() error {
 			violations++
 			fmt.Printf("!! EXPECTATION VIOLATED: %s\n", v)
 		}
-		allMetrics[rep.ID] = rep.Metrics
+		doc.Metrics[rep.ID] = rep.Metrics
+		doc.Runs = append(doc.Runs, rep.Runs...)
+		doc.Violations = append(doc.Violations, rep.Violations...)
 	}
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(allMetrics, "", "  ")
+		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err
 		}

@@ -4,6 +4,10 @@
 //	replicacli -addr :8000 SET user:1=ada balance=100
 //	replicacli -addr :8002 GET user:1 balance
 //	replicacli -addr :8000 STATS
+//	replicacli -addr :8000 TRACE > site0.jsonl
+//
+// Every command gets a single response line except TRACE, whose JSONL dump
+// spans multiple lines and ends with a lone "." (stripped from the output).
 package main
 
 import (
@@ -41,7 +45,24 @@ func run() error {
 	if _, err := fmt.Fprintln(conn, strings.Join(flag.Args(), " ")); err != nil {
 		return err
 	}
-	line, err := bufio.NewReader(conn).ReadString('\n')
+	r := bufio.NewReader(conn)
+	if strings.EqualFold(flag.Arg(0), "TRACE") {
+		// Multi-line response, terminated by a lone ".".
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			if strings.TrimRight(line, "\n") == "." {
+				return nil
+			}
+			fmt.Print(line)
+			if strings.HasPrefix(line, "ERR") {
+				os.Exit(2)
+			}
+		}
+	}
+	line, err := r.ReadString('\n')
 	if err != nil {
 		return err
 	}

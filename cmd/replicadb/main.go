@@ -11,11 +11,13 @@
 //	replicacli -addr :8000 SET user:1=ada
 //	replicacli -addr :8002 GET user:1
 //
-// Client protocol (one request per line, one response line):
+// Client protocol (one request per line, one response line — except TRACE,
+// whose response is multi-line and ends with a lone "."):
 //
 //	GET k1 [k2 ...]          read-only transaction
 //	SET k1=v1 [k2=v2 ...]    update transaction
 //	STATS                    engine counters plus per-peer transport counters
+//	TRACE                    dump this site's span ring as JSONL (see docs/TRACING.md)
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"repro/internal/livenet"
 	"repro/internal/message"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -55,6 +58,7 @@ func run() error {
 		dialRetry = flag.Duration("dial-retry", 500*time.Millisecond, "initial peer reconnect backoff (doubles with jitter)")
 		sendQueue = flag.Int("send-queue", 1024, "per-peer outgoing message buffer")
 		member    = flag.Bool("membership", false, "enable failure detection and majority views")
+		traceBuf  = flag.Int("trace-buf", trace.DefaultCap, "per-site span ring capacity for TRACE (0 disables tracing)")
 		verbose   = flag.Bool("v", false, "log runtime diagnostics")
 	)
 	flag.Parse()
@@ -83,6 +87,12 @@ func run() error {
 	}
 
 	ecfg := core.Config{Membership: *member}
+	var tr *trace.Tracer
+	if *traceBuf > 0 {
+		tr = trace.New(message.SiteID(*id), *traceBuf, host.Now)
+		ecfg.Tracer = tr
+		host.SetTracer(tr)
+	}
 	if *walPath != "" {
 		f, ferr := os.OpenFile(*walPath, os.O_CREATE|os.O_RDWR, 0o644)
 		if ferr != nil {
@@ -134,7 +144,8 @@ func run() error {
 		}
 		defer ln.Close()
 		log.Printf("site %d client port on %s", *id, ln.Addr())
-		go serveClients(ln, host, engine)
+		r := &replica{host: host, engine: engine, tracer: tr, proto: *proto, sites: len(addrs)}
+		go r.serveClients(ln)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -167,22 +178,32 @@ func parsePeers(s string) (map[message.SiteID]string, error) {
 	return out, nil
 }
 
-func serveClients(ln net.Listener, host *livenet.Host, engine core.Engine) {
+// replica bundles what the client protocol needs: the transport, the
+// engine, and the span ring the TRACE command dumps.
+type replica struct {
+	host   *livenet.Host
+	engine core.Engine
+	tracer *trace.Tracer
+	proto  string
+	sites  int
+}
+
+func (r *replica) serveClients(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		go handleClient(conn, host, engine)
+		go r.handleClient(conn)
 	}
 }
 
-func handleClient(conn net.Conn, host *livenet.Host, engine core.Engine) {
+func (r *replica) handleClient(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
-		resp := execute(host, engine, sc.Text())
+		resp := r.execute(sc.Text())
 		if _, err := fmt.Fprintln(conn, resp); err != nil {
 			return
 		}
@@ -190,7 +211,7 @@ func handleClient(conn net.Conn, host *livenet.Host, engine core.Engine) {
 }
 
 // execute runs one client command line against the engine.
-func execute(host *livenet.Host, engine core.Engine, line string) string {
+func (r *replica) execute(line string) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return "ERR empty command"
@@ -204,7 +225,7 @@ func execute(host *livenet.Host, engine core.Engine, line string) string {
 		for _, k := range fields[1:] {
 			spec.Reads = append(spec.Reads, message.Key(k))
 		}
-		res, err := livenet.ExecuteTxn(host, engine, spec, 10*time.Second)
+		res, err := livenet.ExecuteTxn(r.host, r.engine, spec, 10*time.Second)
 		if err != nil {
 			return "ERR " + err.Error()
 		}
@@ -233,7 +254,7 @@ func execute(host *livenet.Host, engine core.Engine, line string) string {
 			}
 			spec.Writes = append(spec.Writes, message.KV{Key: message.Key(k), Value: message.Value(v)})
 		}
-		res, err := livenet.ExecuteTxn(host, engine, spec, 10*time.Second)
+		res, err := livenet.ExecuteTxn(r.host, r.engine, spec, 10*time.Second)
 		if err != nil {
 			return "ERR " + err.Error()
 		}
@@ -244,14 +265,25 @@ func execute(host *livenet.Host, engine core.Engine, line string) string {
 	case "STATS":
 		var s *core.Stats
 		var keys int
-		host.Do(func() {
-			s = engine.Stats()
-			keys = engine.Store().Len()
+		r.host.Do(func() {
+			s = r.engine.Stats()
+			keys = r.engine.Store().Len()
 		})
-		sent, recv, dropped := host.Counters()
+		sent, recv, dropped := r.host.Counters()
 		return fmt.Sprintf("OK begun=%d committed=%d ro=%d aborted=%d keys=%d sent=%d recv=%d dropped=%d %s",
 			s.Begun, s.Committed, s.ReadOnlyCommitted, s.Aborted, keys, sent, recv, dropped,
-			host.TransportSummary())
+			r.host.TransportSummary())
+	case "TRACE":
+		if r.tracer == nil {
+			return "ERR tracing disabled (-trace-buf 0)"
+		}
+		var sb strings.Builder
+		meta := trace.Meta{Proto: r.proto, Sites: r.sites}
+		if err := trace.WriteTracer(&sb, meta, r.tracer); err != nil {
+			return "ERR " + err.Error()
+		}
+		// Multi-line response: JSONL dump terminated by a lone ".".
+		return sb.String() + "."
 	default:
 		return fmt.Sprintf("ERR unknown command %q", fields[0])
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/livenet"
 	"repro/internal/message"
+	"repro/internal/trace"
 )
 
 func TestParsePeers(t *testing.T) {
@@ -32,9 +33,9 @@ func TestParsePeers(t *testing.T) {
 	}
 }
 
-// newTestReplica boots an in-process single-host cluster backing the client
-// protocol handler.
-func newTestReplica(t *testing.T, n int) ([]*livenet.Host, []core.Engine) {
+// newTestReplica boots an in-process cluster backing the client protocol
+// handler, with tracing enabled at every site.
+func newTestReplica(t *testing.T, n int) []*replica {
 	t.Helper()
 	listeners := make([]net.Listener, n)
 	addrs := make(map[message.SiteID]string, n)
@@ -46,41 +47,42 @@ func newTestReplica(t *testing.T, n int) ([]*livenet.Host, []core.Engine) {
 		listeners[i] = ln
 		addrs[message.SiteID(i)] = ln.Addr().String()
 	}
-	hosts := make([]*livenet.Host, n)
-	engines := make([]core.Engine, n)
+	replicas := make([]*replica, n)
 	for i := 0; i < n; i++ {
 		h, err := livenet.New(livenet.Config{ID: message.SiteID(i), Addrs: addrs, Listener: listeners[i]})
 		if err != nil {
 			t.Fatal(err)
 		}
-		e := core.NewCausal(h, core.Config{CausalHeartbeat: 20 * time.Millisecond})
+		tr := trace.New(message.SiteID(i), 1<<12, h.Now)
+		h.SetTracer(tr)
+		e := core.NewCausal(h, core.Config{CausalHeartbeat: 20 * time.Millisecond, Tracer: tr})
 		h.Bind(e)
-		hosts[i] = h
-		engines[i] = e
+		replicas[i] = &replica{host: h, engine: e, tracer: tr, proto: "causal", sites: n}
 	}
-	for _, h := range hosts {
-		if err := h.Start(); err != nil {
+	for _, r := range replicas {
+		if err := r.host.Start(); err != nil {
 			t.Fatal(err)
 		}
 	}
 	t.Cleanup(func() {
-		for _, h := range hosts {
-			h.Close()
+		for _, r := range replicas {
+			r.host.Close()
 		}
 	})
-	return hosts, engines
+	return replicas
 }
 
 func TestClientProtocolExecute(t *testing.T) {
-	hosts, engines := newTestReplica(t, 3)
+	rs := newTestReplica(t, 3)
+	r0, r2 := rs[0], rs[2]
 
-	if resp := execute(hosts[0], engines[0], "SET a=1 b=2"); resp != "OK committed" {
+	if resp := r0.execute("SET a=1 b=2"); resp != "OK committed" {
 		t.Fatalf("SET: %q", resp)
 	}
-	if resp := execute(hosts[0], engines[0], "GET a b missing"); resp != "OK a=1 b=2 missing=<nil>" {
+	if resp := r0.execute("GET a b missing"); resp != "OK a=1 b=2 missing=<nil>" {
 		t.Fatalf("GET: %q", resp)
 	}
-	resp := execute(hosts[0], engines[0], "STATS")
+	resp := r0.execute("STATS")
 	if !strings.HasPrefix(resp, "OK begun=") {
 		t.Fatalf("STATS: %q", resp)
 	}
@@ -93,7 +95,7 @@ func TestClientProtocolExecute(t *testing.T) {
 	// Replication: the value becomes readable at another site.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		resp := execute(hosts[2], engines[2], "GET a")
+		resp := r2.execute("GET a")
 		if resp == "OK a=1" {
 			break
 		}
@@ -102,9 +104,38 @@ func TestClientProtocolExecute(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	// TRACE dumps the span ring as JSONL terminated by a lone ".".
+	dump := r0.execute("TRACE")
+	if !strings.HasSuffix(dump, "\n.") {
+		t.Fatalf("TRACE response not terminated by lone '.': ...%q", dump[max(0, len(dump)-40):])
+	}
+	dumps, err := trace.ReadJSONL(strings.NewReader(strings.TrimSuffix(dump, ".")))
+	if err != nil {
+		t.Fatalf("TRACE output unparseable: %v", err)
+	}
+	if len(dumps) != 1 || dumps[0].Meta.Proto != "causal" || dumps[0].Meta.Sites != 3 {
+		t.Fatalf("TRACE meta: %+v", dumps[0].Meta)
+	}
+	if len(dumps[0].Spans) == 0 {
+		t.Fatal("TRACE dump has no spans")
+	}
+	// The committed SET's trace must include an outcome span at the home site.
+	found := false
+	for _, s := range dumps[0].Spans {
+		if s.Kind == trace.KindOutcome && s.Extra == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("TRACE dump missing committed outcome span")
+	}
+	// Tracing disabled → clean error, not a panic.
+	if resp := (&replica{}).execute("TRACE"); !strings.HasPrefix(resp, "ERR tracing disabled") {
+		t.Fatalf("TRACE without tracer: %q", resp)
+	}
 	// Error paths.
 	for _, bad := range []string{"", "GET", "SET", "SET noequals", "NOPE x"} {
-		if resp := execute(hosts[0], engines[0], bad); !strings.HasPrefix(resp, "ERR") {
+		if resp := r0.execute(bad); !strings.HasPrefix(resp, "ERR") {
 			t.Fatalf("execute(%q) = %q, want ERR", bad, resp)
 		}
 	}

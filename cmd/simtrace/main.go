@@ -1,21 +1,32 @@
-// Command simtrace runs a small simulated workload with per-site event
-// logging enabled and dumps the trace — the fastest way to watch the
-// protocols exchange messages, or to debug a change to one of them.
+// Command simtrace runs a small simulated workload with per-site span
+// tracing enabled and renders the collected trace — the fastest way to
+// watch the protocols exchange messages, or to debug a change to one of
+// them. All three output modes (chronological text, Mermaid sequence
+// diagram, JSONL export) are derived from the same span stream that
+// internal/trace records, so what simtrace shows is exactly what
+// cmd/tracecheck analyzes.
 //
 //	simtrace -proto causal -sites 3 -txns 4
+//	simtrace -proto atomic -atomic-mode isis -mermaid
+//	simtrace -proto reliable -txns 25 -seed 7 -export - | tracecheck
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"time"
 
+	"repro/internal/broadcast"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/message"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -26,49 +37,96 @@ func main() {
 	}
 }
 
+// simOpts parameterizes one traced simulation run.
+type simOpts struct {
+	proto      string
+	sites      int
+	txns       int
+	seed       int64
+	atomicMode string
+	traceCap   int
+}
+
 func run() error {
 	proto := flag.String("proto", "causal", "protocol: reliable|causal|atomic|baseline|quorum")
 	sites := flag.Int("sites", 3, "cluster size")
 	txns := flag.Int("txns", 4, "transactions to run")
 	seed := flag.Int64("seed", 1, "seed")
+	atomicMode := flag.String("atomic-mode", "sequencer", "atomic broadcast mode: sequencer|isis")
 	mermaid := flag.Bool("mermaid", false, "emit a Mermaid sequence diagram instead of a text trace")
 	maxMsgs := flag.Int("max-msgs", 120, "cap on diagram messages")
+	export := flag.String("export", "", "write the span stream as JSONL to this path ('-' for stdout) instead of rendering")
+	traceCap := flag.Int("trace-cap", trace.DefaultCap, "per-site span ring capacity")
 	flag.Parse()
 
-	cluster := sim.NewCluster(*sites, netsim.Fixed{Delay: time.Millisecond}, *seed)
-	var diagram []string
-	if *mermaid {
-		cluster.OnDeliver = func(from, to message.SiteID, m message.Message, at time.Duration) {
-			if len(diagram) >= *maxMsgs {
-				return
-			}
-			diagram = append(diagram, fmt.Sprintf("    s%d->>s%d: %s", from, to, describe(m)))
-		}
-	} else {
-		cluster.LogWriter = os.Stdout
+	o := simOpts{proto: *proto, sites: *sites, txns: *txns, seed: *seed,
+		atomicMode: *atomicMode, traceCap: *traceCap}
+	tracers, stats, err := simulate(o)
+	if err != nil {
+		return err
 	}
 
+	if *export != "" {
+		var w io.Writer = os.Stdout
+		if *export != "-" {
+			f, err := os.Create(*export)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return exportJSONL(w, o, tracers)
+	}
+
+	spans := gather(tracers)
+	if *mermaid {
+		renderMermaid(os.Stdout, *sites, spans, *maxMsgs)
+		return nil
+	}
+	renderText(os.Stdout, spans, tracers)
+	fmt.Printf("\ntotal: %d messages, %d bytes\n", stats.Messages, stats.Bytes)
+	return nil
+}
+
+// simulate runs the traced workload and returns every site's tracer. The
+// whole run is deterministic under (opts.seed, opts) — the golden-export
+// test depends on that.
+func simulate(o simOpts) ([]*trace.Tracer, sim.NetStats, error) {
+	cluster := sim.NewCluster(o.sites, netsim.Fixed{Delay: time.Millisecond}, o.seed)
 	cfg := core.Config{}
-	if *proto == harness.ProtoCausal {
+	switch o.atomicMode {
+	case "sequencer":
+		cfg.AtomicMode = broadcast.AtomicSequencer
+	case "isis":
+		cfg.AtomicMode = broadcast.AtomicIsis
+	default:
+		return nil, sim.NetStats{}, fmt.Errorf("unknown atomic mode %q", o.atomicMode)
+	}
+	if o.proto == harness.ProtoCausal {
 		cfg.CausalHeartbeat = 50 * time.Millisecond
 	}
-	engines := make([]core.Engine, *sites)
-	for i := 0; i < *sites; i++ {
+	engines := make([]core.Engine, o.sites)
+	tracers := make([]*trace.Tracer, o.sites)
+	for i := 0; i < o.sites; i++ {
 		rt := cluster.Runtime(message.SiteID(i))
+		scfg := cfg
+		scfg.Tracer = trace.New(message.SiteID(i), o.traceCap, rt.Now)
+		tracers[i] = scfg.Tracer
 		var e core.Engine
-		switch *proto {
+		switch o.proto {
 		case harness.ProtoReliable:
-			e = core.NewReliable(rt, cfg)
+			e = core.NewReliable(rt, scfg)
 		case harness.ProtoCausal:
-			e = core.NewCausal(rt, cfg)
+			e = core.NewCausal(rt, scfg)
 		case harness.ProtoAtomic:
-			e = core.NewAtomic(rt, cfg)
+			e = core.NewAtomic(rt, scfg)
 		case harness.ProtoBaseline:
-			e = core.NewBaseline(rt, cfg)
-		case "quorum":
-			e = core.NewQuorum(rt, cfg)
+			e = core.NewBaseline(rt, scfg)
+		case harness.ProtoQuorum:
+			e = core.NewQuorum(rt, scfg)
 		default:
-			return fmt.Errorf("unknown protocol %q", *proto)
+			return nil, sim.NetStats{}, fmt.Errorf("unknown protocol %q", o.proto)
 		}
 		engines[i] = e
 		cluster.Bind(message.SiteID(i), e)
@@ -76,94 +134,159 @@ func run() error {
 	cluster.Start()
 
 	txs, err := workload.Generate(workload.Spec{
-		Sites: *sites, Count: *txns, Window: time.Duration(*txns) * 100 * time.Millisecond,
-		Keys: 8, ReadsPerTxn: 1, WritesPerTxn: 1, Seed: *seed,
+		Sites: o.sites, Count: o.txns, Window: time.Duration(o.txns) * 100 * time.Millisecond,
+		Keys: 8, ReadsPerTxn: 1, WritesPerTxn: 1, Seed: o.seed,
 	})
 	if err != nil {
-		return err
+		return nil, sim.NetStats{}, err
 	}
-	narrate := func(format string, args ...any) {
-		if !*mermaid {
-			fmt.Printf(format, args...)
-		}
-	}
-	for i, wt := range txs {
-		i, wt := i, wt
+	for _, wt := range txs {
+		wt := wt
 		cluster.Schedule(wt.At, func() {
 			e := engines[wt.Site]
 			tx := e.Begin(false)
-			narrate("%10v %v | client: begin txn %d (%v)\n", cluster.Now(), wt.Site, i, tx.ID)
-			if *mermaid {
-				diagram = append(diagram, fmt.Sprintf("    Note over s%d: begin %v", wt.Site, tx.ID))
-			}
 			for _, w := range wt.Writes {
 				if err := e.Write(tx, w.Key, w.Value); err != nil {
-					narrate("%10v %v | client: txn %d write error: %v\n", cluster.Now(), wt.Site, i, err)
 					return
 				}
-				narrate("%10v %v | client: txn %d write %s\n", cluster.Now(), wt.Site, i, w.Key)
 			}
-			e.Commit(tx, func(o core.Outcome, r core.AbortReason) {
-				narrate("%10v %v | client: txn %d %v (%v)\n", cluster.Now(), wt.Site, i, o, r)
-				if *mermaid && len(diagram) < *maxMsgs+8 {
-					diagram = append(diagram, fmt.Sprintf("    Note over s%d: %v %v", wt.Site, tx.ID, o))
-				}
-			})
+			e.Commit(tx, func(core.Outcome, core.AbortReason) {})
 		})
 	}
 	if _, err := cluster.Run(30 * time.Second); err != nil {
-		return err
+		return nil, sim.NetStats{}, err
 	}
-	if *mermaid {
-		fmt.Println("sequenceDiagram")
-		for i := 0; i < *sites; i++ {
-			fmt.Printf("    participant s%d\n", i)
-		}
-		for _, line := range diagram {
-			fmt.Println(line)
-		}
-		return nil
-	}
-	st := cluster.Stats()
-	fmt.Printf("\ntotal: %d messages, %d bytes\n", st.Messages, st.Bytes)
-	for kind, n := range st.ByKind {
-		fmt.Printf("  %-14v %d\n", kind, n)
-	}
-	return nil
+	return tracers, cluster.Stats(), nil
 }
 
-// describe renders a message for the sequence diagram, unwrapping
-// broadcast envelopes.
-func describe(m message.Message) string {
-	if b, ok := m.(*message.Bcast); ok {
-		tag := ""
-		if b.Relayed {
-			tag = " (relay)"
-		}
-		return fmt.Sprintf("%s[%v %d]%s: %s", b.Class, b.Origin, b.Seq, tag, describe(b.Payload))
+// gather merges every site's spans into one slice ordered by start time
+// (site, then sequence break ties) — the global timeline the renderers walk.
+func gather(tracers []*trace.Tracer) []trace.Span {
+	var all []trace.Span
+	for _, t := range tracers {
+		all = append(all, t.Spans()...)
 	}
-	switch t := m.(type) {
-	case *message.WriteReq:
-		return fmt.Sprintf("WriteReq %v %s", t.Txn, t.Key)
-	case *message.WriteAck:
-		if t.OK {
-			return fmt.Sprintf("WriteAck %v ok", t.Txn)
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Start != all[j].Start {
+			return all[i].Start < all[j].Start
 		}
-		return fmt.Sprintf("WriteAck %v NACK", t.Txn)
-	case *message.Vote:
-		return fmt.Sprintf("Vote %v %v", t.Txn, t.Yes)
-	case *message.VoteReq:
-		return fmt.Sprintf("VoteReq %v", t.Txn)
-	case *message.Decision:
-		if t.Commit {
-			return fmt.Sprintf("Decision %v commit", t.Txn)
+		if all[i].Site != all[j].Site {
+			return all[i].Site < all[j].Site
 		}
-		return fmt.Sprintf("Decision %v abort", t.Txn)
-	case *message.CommitReq:
-		return fmt.Sprintf("CommitReq %v", t.Txn)
-	case *message.SeqOrder:
-		return fmt.Sprintf("SeqOrder %d entries", len(t.Entries))
+		return all[i].Kind < all[j].Kind
+	})
+	return all
+}
+
+// exportJSONL writes one site's meta line followed by its spans, per site —
+// the concatenated multi-site form cmd/tracecheck consumes.
+func exportJSONL(w io.Writer, o simOpts, tracers []*trace.Tracer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range tracers {
+		meta := trace.Meta{Proto: o.proto, Sites: o.sites, AtomicMode: o.atomicMode, Seed: o.seed}
+		if err := trace.WriteTracer(bw, meta, t); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// renderText prints the chronological span listing.
+func renderText(w io.Writer, spans []trace.Span, tracers []*trace.Tracer) {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	for _, s := range spans {
+		dur := ""
+		if d := s.Duration(); d > 0 {
+			dur = fmt.Sprintf(" (+%v)", d)
+		}
+		peer := ""
+		if s.Peer != trace.NoPeer && s.Peer != s.Site {
+			peer = fmt.Sprintf(" peer=s%d", s.Peer)
+		}
+		fmt.Fprintf(bw, "%12v  s%d  %-14s %-8v seq=%-4d extra=%d%s%s\n",
+			s.Start, s.Site, s.Kind, s.Trace, s.Seq, s.Extra, peer, dur)
+	}
+	dropped := 0
+	for _, t := range tracers {
+		dropped += int(t.Dropped())
+	}
+	if dropped > 0 {
+		fmt.Fprintf(bw, "\n(ring overflow: %d spans dropped; raise -trace-cap)\n", dropped)
+	}
+}
+
+// renderMermaid derives a sequence diagram from the span stream: span kinds
+// that record a remote arrival become arrows from the peer site, local
+// milestones become notes.
+func renderMermaid(w io.Writer, sites int, spans []trace.Span, maxMsgs int) {
+	fmt.Fprintln(w, "sequenceDiagram")
+	for i := 0; i < sites; i++ {
+		fmt.Fprintf(w, "    participant s%d\n", i)
+	}
+	n := 0
+	for _, s := range spans {
+		if n >= maxMsgs {
+			fmt.Fprintf(w, "    Note over s0: (truncated at %d messages)\n", maxMsgs)
+			return
+		}
+		line := mermaidLine(s)
+		if line == "" {
+			continue
+		}
+		fmt.Fprintln(w, line)
+		n++
+	}
+}
+
+// mermaidLine renders one span, or "" for kinds the diagram omits.
+func mermaidLine(s trace.Span) string {
+	remote := func(label string) string {
+		if s.Peer == trace.NoPeer || s.Peer == s.Site {
+			return fmt.Sprintf("    Note over s%d: %s", s.Site, label)
+		}
+		return fmt.Sprintf("    s%d->>s%d: %s", s.Peer, s.Site, label)
+	}
+	switch s.Kind {
+	case trace.KindBegin:
+		return fmt.Sprintf("    Note over s%d: begin %v", s.Site, s.Trace)
+	case trace.KindBcastSend:
+		return fmt.Sprintf("    Note over s%d: bcast %v (class %d, seq %d)", s.Site, s.Trace, s.Extra, s.Seq)
+	case trace.KindBcastDeliver:
+		return remote(fmt.Sprintf("deliver %v seq %d", s.Trace, s.Seq))
+	case trace.KindAck:
+		return remote(fmt.Sprintf("ack %v op %d", s.Trace, s.Seq))
+	case trace.KindNack:
+		return remote(fmt.Sprintf("NACK %v", s.Trace))
+	case trace.KindVote:
+		yes := "no"
+		if s.Extra == 1 {
+			yes = "yes"
+		}
+		return remote(fmt.Sprintf("vote %v %s", s.Trace, yes))
+	case trace.KindReadReply:
+		return remote(fmt.Sprintf("read-reply %v op %d", s.Trace, s.Seq))
+	case trace.KindLockGrant:
+		return remote(fmt.Sprintf("lock-grant %v", s.Trace))
+	case trace.KindIsisPropose:
+		return fmt.Sprintf("    Note over s%d: propose ts %d for %v", s.Site, s.Seq, s.Trace)
+	case trace.KindIsisFinal:
+		return fmt.Sprintf("    Note over s%d: final ts %d for %v", s.Site, s.Seq, s.Trace)
+	case trace.KindSeqOrder:
+		return fmt.Sprintf("    Note over s%d: sequencer orders %v at %d", s.Site, s.Trace, s.Seq)
+	case trace.KindCert:
+		verdict := "abort"
+		if s.Extra == 1 {
+			verdict = "commit"
+		}
+		return fmt.Sprintf("    Note over s%d: certify %v at %d: %s", s.Site, s.Trace, s.Seq, verdict)
+	case trace.KindOutcome:
+		verdict := "aborted"
+		if s.Extra == 1 {
+			verdict = "committed"
+		}
+		return fmt.Sprintf("    Note over s%d: %v %s", s.Site, s.Trace, verdict)
 	default:
-		return t.Kind().String()
+		return ""
 	}
 }

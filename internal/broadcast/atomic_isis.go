@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/message"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -46,11 +47,13 @@ func (is *isisState) accept(b *message.Bcast) {
 	m.b = b
 	if m.final {
 		// The final timestamp outran the payload; now deliverable.
+		is.s.cfg.Tracer.Point(b.Trace, trace.KindIsisFinal, m.ts, b.Origin, 0)
 		is.drain()
 		return
 	}
 	prop := is.clock.Tick()
 	m.myProp = prop
+	is.s.cfg.Tracer.Point(b.Trace, trace.KindIsisPropose, prop, b.Origin, 0)
 	pm := &message.IsisPropose{Origin: b.Origin, Seq: b.Seq, Proposer: is.s.rt.ID(), TS: prop}
 	if b.Origin == is.s.rt.ID() {
 		is.handlePropose(pm)
@@ -131,6 +134,9 @@ func (is *isisState) handleFinal(fm *message.IsisFinal) {
 	}
 	m.final = true
 	m.ts = fm.TS
+	if m.b != nil {
+		is.s.cfg.Tracer.Point(m.b.Trace, trace.KindIsisFinal, fm.TS, fm.Origin, 0)
+	}
 	is.clock.Observe(fm.TS)
 	is.drain()
 }
@@ -202,6 +208,7 @@ func (is *isisState) drain() {
 			Seq:     best.seq,
 			Index:   idx,
 			Payload: m.b.Payload,
+			Trace:   m.b.Trace,
 		})
 	}
 }

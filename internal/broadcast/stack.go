@@ -19,9 +19,11 @@ package broadcast
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/env"
 	"repro/internal/message"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -33,6 +35,9 @@ type Delivery struct {
 	VC      vclock.VC
 	Index   uint64 // total-order index; atomic class only
 	Payload message.Message
+	// Trace is the transaction the payload belongs to, copied from the
+	// envelope (zero for non-transactional traffic).
+	Trace message.TxnID
 }
 
 // AtomicMode selects the total-order broadcast implementation.
@@ -62,6 +67,10 @@ type Config struct {
 	// Members returns the current view membership. The sequencer identity
 	// and the ISIS proposal quorum follow it. Defaults to all peers.
 	Members func() []message.SiteID
+	// Tracer, when non-nil, records the primitive's internal rounds
+	// (send/deliver, FIFO and causal holds, sequencer and ISIS ordering)
+	// as spans.
+	Tracer *trace.Tracer
 }
 
 // Stack is one site's broadcast endpoint.
@@ -78,11 +87,11 @@ type Stack struct {
 
 	// FIFO: next expected per-origin sequence and held-back messages.
 	fifoNext map[message.SiteID]uint64
-	fifoHold map[message.SiteID]map[uint64]*message.Bcast
+	fifoHold map[message.SiteID]map[uint64]heldBcast
 
 	// Causal: delivered-count vector and pending queue.
 	cvc   vclock.VC
-	cpend []*message.Bcast
+	cpend []heldBcast
 
 	// Atomic, shared: buffered payloads and the assigned global order.
 	apayload  map[pair]*message.Bcast
@@ -122,6 +131,16 @@ type pair struct {
 	seq    uint64
 }
 
+// heldBcast is a buffered undeliverable broadcast plus when it arrived
+// (tracer clock), so hold durations can be reported as spans. waited marks
+// messages that failed their delivery condition on arrival; only those emit
+// hold spans.
+type heldBcast struct {
+	b      *message.Bcast
+	at     time.Duration
+	waited bool
+}
+
 // New creates a broadcast stack on rt.
 func New(rt env.Runtime, cfg Config) *Stack {
 	if cfg.Deliver == nil {
@@ -141,7 +160,7 @@ func New(rt env.Runtime, cfg Config) *Stack {
 		seen:       make(map[dedupKey]bool),
 		highSeq:    make(map[message.Class]map[message.SiteID]uint64),
 		fifoNext:   make(map[message.SiteID]uint64),
-		fifoHold:   make(map[message.SiteID]map[uint64]*message.Bcast),
+		fifoHold:   make(map[message.SiteID]map[uint64]heldBcast),
 		cvc:        vclock.New(n),
 		apayload:   make(map[pair]*message.Bcast),
 		aorder:     make(map[uint64]pair),
@@ -181,6 +200,10 @@ func (s *Stack) Broadcast(class message.Class, payload message.Message) uint64 {
 	s.sendSeq[class]++
 	seq := s.sendSeq[class]
 	b := &message.Bcast{Class: class, Origin: s.rt.ID(), Seq: seq, Payload: payload}
+	if id, ok := message.TxnOf(payload); ok {
+		b.Trace = id
+	}
+	s.cfg.Tracer.Point(b.Trace, trace.KindBcastSend, seq, s.rt.ID(), int64(class))
 	s.noteSeq(class, b.Origin, seq)
 	if class == message.ClassCausal {
 		// Stamp with the sender's causal history: entries for peers reflect
@@ -253,7 +276,7 @@ func (s *Stack) handleBcast(from message.SiteID, b *message.Bcast) {
 	}
 	switch b.Class {
 	case message.ClassReliable:
-		s.deliver(Delivery{Class: b.Class, Origin: b.Origin, Seq: b.Seq, Payload: b.Payload})
+		s.deliver(Delivery{Class: b.Class, Origin: b.Origin, Seq: b.Seq, Payload: b.Payload, Trace: b.Trace})
 	case message.ClassFIFO:
 		s.acceptFIFO(b)
 	case message.ClassCausal:
@@ -269,7 +292,7 @@ func (s *Stack) handleBcast(from message.SiteID, b *message.Bcast) {
 func (s *Stack) deliverLocal(b *message.Bcast) {
 	switch b.Class {
 	case message.ClassReliable:
-		s.deliver(Delivery{Class: b.Class, Origin: b.Origin, Seq: b.Seq, Payload: b.Payload})
+		s.deliver(Delivery{Class: b.Class, Origin: b.Origin, Seq: b.Seq, Payload: b.Payload, Trace: b.Trace})
 	case message.ClassFIFO:
 		s.acceptFIFO(b)
 	case message.ClassCausal:
@@ -279,6 +302,7 @@ func (s *Stack) deliverLocal(b *message.Bcast) {
 
 func (s *Stack) deliver(d Delivery) {
 	s.Deliveries[d.Class]++
+	s.cfg.Tracer.Point(d.Trace, trace.KindBcastDeliver, d.Seq, d.Origin, int64(d.Class))
 	s.cfg.Deliver(d)
 }
 
@@ -295,18 +319,21 @@ func (s *Stack) acceptFIFO(b *message.Bcast) {
 	if b.Seq > next {
 		hold := s.fifoHold[b.Origin]
 		if hold == nil {
-			hold = make(map[uint64]*message.Bcast)
+			hold = make(map[uint64]heldBcast)
 			s.fifoHold[b.Origin] = hold
 		}
-		hold[b.Seq] = b
+		hold[b.Seq] = heldBcast{b: b, at: s.cfg.Tracer.Now(), waited: true}
 		return
 	}
-	cur := b
+	cur := heldBcast{b: b}
 	for {
-		s.deliver(Delivery{Class: message.ClassFIFO, Origin: cur.Origin, Seq: cur.Seq, Payload: cur.Payload})
-		next = cur.Seq + 1
-		s.fifoNext[cur.Origin] = next
-		hold := s.fifoHold[cur.Origin]
+		if cur.waited {
+			s.cfg.Tracer.Interval(cur.b.Trace, trace.KindFifoHold, cur.at, cur.b.Seq, cur.b.Origin, 0)
+		}
+		s.deliver(Delivery{Class: message.ClassFIFO, Origin: cur.b.Origin, Seq: cur.b.Seq, Payload: cur.b.Payload, Trace: cur.b.Trace})
+		next = cur.b.Seq + 1
+		s.fifoNext[cur.b.Origin] = next
+		hold := s.fifoHold[cur.b.Origin]
 		nb, ok := hold[next]
 		if !ok {
 			return
@@ -340,7 +367,7 @@ func (s *Stack) acceptCausal(b *message.Bcast) {
 	if b.VC.Get(int(b.Origin)) <= s.cvc.Get(int(b.Origin)) {
 		return // duplicate
 	}
-	s.cpend = append(s.cpend, b)
+	s.cpend = append(s.cpend, heldBcast{b: b, at: s.cfg.Tracer.Now(), waited: !s.causallyReady(b)})
 	s.drainCausal()
 }
 
@@ -348,13 +375,16 @@ func (s *Stack) drainCausal() {
 	for {
 		progressed := false
 		for i := 0; i < len(s.cpend); i++ {
-			b := s.cpend[i]
-			if !s.causallyReady(b) {
+			h := s.cpend[i]
+			if !s.causallyReady(h.b) {
 				continue
 			}
 			s.cpend = append(s.cpend[:i], s.cpend[i+1:]...)
-			s.cvc = s.cvc.Set(int(b.Origin), b.VC.Get(int(b.Origin)))
-			s.deliver(Delivery{Class: message.ClassCausal, Origin: b.Origin, Seq: b.Seq, VC: b.VC, Payload: b.Payload})
+			s.cvc = s.cvc.Set(int(h.b.Origin), h.b.VC.Get(int(h.b.Origin)))
+			if h.waited {
+				s.cfg.Tracer.Interval(h.b.Trace, trace.KindCausalHold, h.at, h.b.Seq, h.b.Origin, 0)
+			}
+			s.deliver(Delivery{Class: message.ClassCausal, Origin: h.b.Origin, Seq: h.b.Seq, VC: h.b.VC, Payload: h.b.Payload, Trace: h.b.Trace})
 			progressed = true
 			break
 		}
@@ -402,6 +432,9 @@ func (s *Stack) assignIndex(p pair) {
 	}
 	idx := s.seqNextIndex
 	s.seqNextIndex++
+	if b, ok := s.apayload[p]; ok {
+		s.cfg.Tracer.Point(b.Trace, trace.KindSeqOrder, idx, p.origin, 0)
+	}
 	s.recordOrder(message.OrderEntry{Origin: p.origin, Seq: p.seq, Index: idx})
 	ord := &message.SeqOrder{Sequencer: s.rt.ID(), Entries: []message.OrderEntry{{Origin: p.origin, Seq: p.seq, Index: idx}}}
 	for _, peer := range s.rt.Peers() {
@@ -454,7 +487,7 @@ func (s *Stack) drainAtomic() {
 		delete(s.apayload, p)
 		delete(s.aindexed, p)
 		s.retain(idx, b)
-		s.deliver(Delivery{Class: message.ClassAtomic, Origin: p.origin, Seq: p.seq, Index: idx, Payload: b.Payload})
+		s.deliver(Delivery{Class: message.ClassAtomic, Origin: p.origin, Seq: p.seq, Index: idx, Payload: b.Payload, Trace: b.Trace})
 	}
 }
 
@@ -615,10 +648,12 @@ func (s *Stack) ExportSync() *message.StackSync {
 		sync.HighSeq[c] = cp
 	}
 	var held []*message.Bcast
-	held = append(held, s.cpend...)
+	for _, h := range s.cpend {
+		held = append(held, h.b)
+	}
 	for _, hold := range s.fifoHold {
-		for _, b := range hold {
-			held = append(held, b)
+		for _, h := range hold {
+			held = append(held, h.b)
 		}
 	}
 	for _, b := range s.apayload {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/sgraph"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // AtomicEngine implements protocol A: write operations are disseminated by
@@ -49,6 +50,7 @@ type AtomicEngine struct {
 type certItem struct {
 	idx uint64
 	req *message.CommitReq
+	at  time.Duration // when the ordered request arrived at this site
 }
 
 var _ Engine = (*AtomicEngine)(nil)
@@ -66,6 +68,7 @@ func NewAtomic(rt env.Runtime, cfg Config) *AtomicEngine {
 		Relay:   cfg.Relay,
 		Atomic:  cfg.AtomicMode,
 		Members: e.members,
+		Tracer:  cfg.Tracer,
 	})
 	if cfg.InitialStore != nil {
 		// Resume certification from the recovered state: the total-order
@@ -236,6 +239,7 @@ func (e *AtomicEngine) Write(tx *Tx, key message.Key, val message.Value) error {
 		return err
 	}
 	if !e.cfg.PiggybackWrites {
+		e.tr.Point(tx.ID, trace.KindWriteSend, uint64(len(tx.writes)), e.rt.ID(), 1)
 		e.stack.Broadcast(message.ClassCausal, &message.WriteReq{
 			Txn: tx.ID, OpSeq: len(tx.writes), Key: key, Value: val,
 		})
@@ -275,7 +279,10 @@ func (e *AtomicEngine) Commit(tx *Tx, cb func(Outcome, AbortReason)) {
 	}
 	if e.cfg.PiggybackWrites {
 		req.WriteKV = writes
+		e.tr.Point(tx.ID, trace.KindWriteSend, 0, e.rt.ID(), int64(len(writes)))
 	}
+	tx.commitAt = e.rt.Now()
+	e.tr.Point(tx.ID, trace.KindCommitReq, 0, e.rt.ID(), 0)
 	e.stack.Broadcast(message.ClassAtomic, req)
 }
 
@@ -304,7 +311,7 @@ func (e *AtomicEngine) deliver(d broadcast.Delivery) {
 			delete(e.pendingWrites, p.Txn)
 		}
 	case *message.CommitReq:
-		e.queue = append(e.queue, certItem{idx: d.Index, req: p})
+		e.queue = append(e.queue, certItem{idx: d.Index, req: p, at: e.rt.Now()})
 		e.drain()
 	default:
 		e.rt.Logf("atomic: unexpected payload %v", d.Payload.Kind())
@@ -329,15 +336,21 @@ func (e *AtomicEngine) drain() {
 			}
 		}
 		e.queue = e.queue[1:]
-		e.process(item.idx, req, writes)
+		e.process(item.idx, req, writes, item.at)
 	}
 }
 
 // process certifies one commit request; identical at every site.
-func (e *AtomicEngine) process(idx uint64, req *message.CommitReq, writes []message.KV) {
+func (e *AtomicEngine) process(idx uint64, req *message.CommitReq, writes []message.KV, at time.Duration) {
 	e.certIndex = idx
 	delete(e.pendingWrites, req.Txn)
 	ok := e.certify(req)
+	e.tr.Interval(req.Txn, trace.KindCertWait, at, idx, e.rt.ID(), 0)
+	certOK := int64(0)
+	if ok {
+		certOK = 1
+	}
+	e.tr.Point(req.Txn, trace.KindCert, idx, e.rt.ID(), certOK)
 	if ok {
 		writes = dedupWrites(writes)
 		if err := e.store.Apply(req.Txn, writes, idx); err != nil {
@@ -350,6 +363,7 @@ func (e *AtomicEngine) process(idx uint64, req *message.CommitReq, writes []mess
 				}
 			}
 			e.stats.Applied++
+			e.tr.Point(req.Txn, trace.KindApply, idx, e.rt.ID(), int64(len(writes)))
 		}
 	}
 	if tx := e.local[req.Txn]; tx != nil {

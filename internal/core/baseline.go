@@ -4,6 +4,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/lockmgr"
 	"repro/internal/message"
+	"repro/internal/trace"
 )
 
 // BaselineEngine implements the classical point-to-point read-one write-all
@@ -101,6 +102,8 @@ func (e *BaselineEngine) pump(tx *Tx) {
 			tx.ackWait[s] = true
 		}
 		w := &message.UWrite{Txn: tx.ID, OpSeq: tx.nextOp + 1, Key: op.Key, Value: op.Value}
+		tx.opSentAt = e.rt.Now()
+		e.tr.Point(tx.ID, trace.KindWriteSend, uint64(w.OpSeq), e.rt.ID(), 1)
 		for _, s := range e.members() {
 			if s == e.rt.ID() {
 				continue
@@ -112,6 +115,8 @@ func (e *BaselineEngine) pump(tx *Tx) {
 	}
 	if tx.state == txCommitWait {
 		// Centralized 2PC phase one.
+		tx.commitAt = e.rt.Now()
+		e.tr.Point(tx.ID, trace.KindCommitReq, 0, e.rt.ID(), 0)
 		for _, s := range e.members() {
 			if s == e.rt.ID() {
 				continue
@@ -281,12 +286,18 @@ func (e *BaselineEngine) onAck(a *message.UWriteAck) {
 	if tx == nil || tx.state == txDone || !tx.opInFlight || a.OpSeq != tx.nextOp+1 {
 		return
 	}
+	okBit := int64(0)
+	if a.OK {
+		okBit = 1
+	}
+	e.tr.Point(tx.ID, trace.KindAck, uint64(a.OpSeq), a.By, okBit)
 	if !a.OK {
 		e.abortGlobal(tx, ReasonWriteConflict)
 		return
 	}
 	delete(tx.ackWait, a.By)
 	if len(tx.ackWait) == 0 {
+		e.tr.Interval(tx.ID, trace.KindAckWait, tx.opSentAt, uint64(a.OpSeq), e.rt.ID(), 0)
 		tx.opInFlight = false
 		tx.nextOp++
 		e.pump(tx)
@@ -307,6 +318,11 @@ func (e *BaselineEngine) onVote(v *message.PrepareVote) {
 	if tx == nil || tx.state != txCommitWait {
 		return
 	}
+	yesBit := int64(0)
+	if v.Yes {
+		yesBit = 1
+	}
+	e.tr.Point(tx.ID, trace.KindVote, 0, v.By, yesBit)
 	if !v.Yes {
 		e.decide(tx, false)
 		return

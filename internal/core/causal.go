@@ -8,6 +8,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/membership"
 	"repro/internal/message"
+	"repro/internal/trace"
 )
 
 // CausalEngine implements protocol C: writes are disseminated by causal
@@ -56,6 +57,7 @@ func NewCausal(rt env.Runtime, cfg Config) *CausalEngine {
 		Deliver: e.deliver,
 		Relay:   cfg.Relay,
 		Members: e.members,
+		Tracer:  cfg.Tracer,
 	})
 	return e
 }
@@ -120,6 +122,7 @@ func (e *CausalEngine) Write(tx *Tx, key message.Key, val message.Value) error {
 	if e.cfg.BatchWrites {
 		return nil
 	}
+	e.tr.Point(tx.ID, trace.KindWriteSend, uint64(len(tx.writes)), e.rt.ID(), 1)
 	tx.lastCSeq = e.cbcast(&message.WriteReq{
 		Txn: tx.ID, OpSeq: len(tx.writes), Key: key, Value: val,
 	})
@@ -143,12 +146,15 @@ func (e *CausalEngine) Commit(tx *Tx, cb func(Outcome, AbortReason)) {
 		e.finish(tx, Committed, ReasonNone)
 		return
 	}
+	tx.commitAt = e.rt.Now()
+	e.tr.Point(tx.ID, trace.KindCommitReq, 0, e.rt.ID(), 0)
 	if e.cfg.BatchWrites && !tx.opInFlight {
 		// opInFlight doubles as "batch disseminated" here: it must be set
 		// before the broadcast because the local self-delivery can refuse
 		// the batch and abort the transaction re-entrantly, and that abort
 		// needs to know peers now hold state.
 		tx.opInFlight = true
+		e.tr.Point(tx.ID, trace.KindWriteSend, 0, e.rt.ID(), int64(len(tx.writes)))
 		tx.lastCSeq = e.cbcast(&message.WriteBatch{Txn: tx.ID, Writes: dedupWrites(tx.writes)})
 		if tx.state == txDone {
 			return // the local all-or-nothing acquisition refused the batch
@@ -209,6 +215,9 @@ func (e *CausalEngine) checkCommit(tx *Tx) {
 	// arrived (causal FIFO would have delivered it before the final
 	// implicit ack). Announce the commit; the self-delivery applies it here.
 	delete(e.waiting, tx.ID)
+	// The implicit-acknowledgement round is closed: one ack-wait span per
+	// committed transaction, never an explicit ack message.
+	e.tr.Interval(tx.ID, trace.KindAckWait, tx.commitAt, tx.lastCSeq, e.rt.ID(), 0)
 	e.cbcast(&message.Decision{Txn: tx.ID, Commit: true, NOps: len(tx.writes)})
 }
 
@@ -318,6 +327,7 @@ func (e *CausalEngine) onWriteBatch(wb *message.WriteBatch) {
 // guarantees the NACKed write itself preceded this message), so a NACK must
 // never recreate state.
 func (e *CausalEngine) onNack(n *message.TxnNack) {
+	e.tr.Point(n.Txn, trace.KindNack, 0, n.By, 0)
 	r := e.remote[n.Txn]
 	if r == nil {
 		return

@@ -39,6 +39,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sgraph"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Outcome is a transaction's final state.
@@ -175,6 +176,10 @@ type Config struct {
 	// is enabled.
 	FailureInterval time.Duration
 	FailureTimeout  time.Duration
+	// Tracer, when set, records per-transaction phase spans across the
+	// engine, its broadcast stack, and its lock table (internal/trace).
+	// Timestamps come from the runtime's clock.
+	Tracer *trace.Tracer
 }
 
 // Local aliases keep the engines' lock-table calls compact.
@@ -219,6 +224,11 @@ type Tx struct {
 	nextOp     int                     // next unsent write (index into writes)
 	ackWait    map[message.SiteID]bool // sites whose ack for the in-flight op is pending
 	opInFlight bool
+
+	// Tracing anchors: when the last write round started and when commit
+	// was requested, for ack-wait spans.
+	opSentAt time.Duration
+	commitAt time.Duration
 
 	// Protocol C.
 	lastCSeq uint64 // causal seq of this txn's last write broadcast
@@ -288,6 +298,7 @@ type base struct {
 	local   map[message.TxnID]*Tx
 	lsn     uint64 // per-site commit index for lock-based engines
 	stats   Stats
+	tr      *trace.Tracer
 }
 
 func newBase(rt env.Runtime, cfg Config, name string) *base {
@@ -307,6 +318,11 @@ func newBase(rt env.Runtime, cfg Config, name string) *base {
 		local: make(map[message.TxnID]*Tx),
 		lsn:   st.Applied(),
 		stats: newStats(),
+		tr:    cfg.Tracer,
+	}
+	if cfg.Tracer != nil {
+		b.locks.Tracer = cfg.Tracer
+		b.locks.Now = rt.Now
 	}
 	return b
 }
@@ -382,6 +398,11 @@ func (b *base) begin(readOnly bool) *Tx {
 	}
 	b.local[tx.ID] = tx
 	b.stats.Begun++
+	ro := int64(0)
+	if readOnly {
+		ro = 1
+	}
+	b.tr.Point(tx.ID, trace.KindBegin, 0, b.rt.ID(), ro)
 	return tx
 }
 
@@ -423,6 +444,11 @@ func (b *base) finish(tx *Tx, o Outcome, reason AbortReason) {
 		b.stats.Aborted++
 		b.stats.AbortsByReason[reason]++
 	}
+	committed := int64(0)
+	if o == Committed {
+		committed = 1
+	}
+	b.tr.Interval(tx.ID, trace.KindOutcome, tx.beganAt, uint64(reason), b.rt.ID(), committed)
 	if cb := tx.commitCB; cb != nil {
 		tx.commitCB = nil
 		cb(o, reason)
@@ -560,6 +586,7 @@ func (b *base) applyCommitted(id message.TxnID, writes []message.KV) error {
 		}
 	}
 	b.stats.Applied++
+	b.tr.Point(id, trace.KindApply, b.lsn, b.rt.ID(), int64(len(writes)))
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/lockmgr"
 	"repro/internal/message"
 	"repro/internal/sgraph"
+	"repro/internal/trace"
 )
 
 // QuorumEngine implements Gifford's weighted-voting (majority-quorum)
@@ -179,6 +180,11 @@ func (e *QuorumEngine) onReadReply(rep *message.QReadReply) {
 	if qr == nil || qr.done {
 		return
 	}
+	found := int64(0)
+	if rep.Found {
+		found = 1
+	}
+	e.tr.Point(rep.Txn, trace.KindReadReply, uint64(rep.Seq), rep.From, found)
 	qr.replies[rep.From] = rep
 	if len(qr.replies) < e.majority() {
 		return
@@ -238,6 +244,8 @@ func (e *QuorumEngine) Commit(tx *Tx, cb func(Outcome, AbortReason)) {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	e.lockRounds[tx.ID] = &qLockRound{replies: make(map[message.SiteID][]message.KeyVer)}
+	tx.commitAt = e.rt.Now()
+	e.tr.Point(tx.ID, trace.KindCommitReq, 0, e.rt.ID(), int64(len(keys)))
 	req := &message.QLockReq{Txn: tx.ID, Keys: keys}
 	for _, p := range e.rt.Peers() {
 		p := p
@@ -351,11 +359,13 @@ func (e *QuorumEngine) onLockReply(rep *message.QLockReply) {
 	if round == nil || round.done || tx == nil || tx.state != txCommitWait {
 		return
 	}
+	e.tr.Point(rep.Txn, trace.KindLockGrant, uint64(len(rep.Vers)), rep.From, 0)
 	round.replies[rep.From] = rep.Vers
 	if len(round.replies) < e.majority() {
 		return
 	}
 	round.done = true
+	e.tr.Interval(rep.Txn, trace.KindAckWait, tx.commitAt, 0, e.rt.ID(), 0)
 	delete(e.lockRounds, rep.Txn)
 	// New version per key: the quorum's maximum plus one. Quorum
 	// intersection guarantees the maximum covers every committed write.
@@ -400,6 +410,7 @@ func (e *QuorumEngine) onQCommit(c *message.QCommit) {
 		}
 	}
 	e.stats.Applied++
+	e.tr.Point(c.Txn, trace.KindApply, 0, e.rt.ID(), int64(len(c.Writes)))
 	e.cleanup(c.Txn)
 }
 

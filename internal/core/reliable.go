@@ -7,6 +7,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/membership"
 	"repro/internal/message"
+	"repro/internal/trace"
 )
 
 // ReliableEngine implements protocol R: write operations travel by reliable
@@ -48,6 +49,7 @@ func NewReliable(rt env.Runtime, cfg Config) *ReliableEngine {
 		Deliver: e.deliver,
 		Relay:   cfg.Relay,
 		Members: e.members,
+		Tracer:  cfg.Tracer,
 	})
 	return e
 }
@@ -117,6 +119,8 @@ func (e *ReliableEngine) pump(tx *Tx) {
 			}
 			batch := &message.WriteBatch{Txn: tx.ID, Writes: dedupWrites(tx.writes)}
 			tx.nextOp = len(tx.writes)
+			tx.opSentAt = e.rt.Now()
+			e.tr.Point(tx.ID, trace.KindWriteSend, 0, e.rt.ID(), int64(len(batch.Writes)))
 			e.stack.Broadcast(message.ClassReliable, batch)
 			return
 		}
@@ -134,6 +138,8 @@ func (e *ReliableEngine) pump(tx *Tx) {
 		}
 		// The local delivery inside Broadcast acknowledges (or refuses)
 		// synchronously through onWriteAck, so ackWait is set up first.
+		tx.opSentAt = e.rt.Now()
+		e.tr.Point(tx.ID, trace.KindWriteSend, uint64(tx.nextOp+1), e.rt.ID(), 1)
 		e.stack.Broadcast(message.ClassReliable, &message.WriteReq{
 			Txn: tx.ID, OpSeq: tx.nextOp + 1, Key: op.Key, Value: op.Value,
 		})
@@ -162,6 +168,8 @@ func (e *ReliableEngine) Commit(tx *Tx, cb func(Outcome, AbortReason)) {
 		return
 	}
 	tx.state = txCommitWait
+	tx.commitAt = e.rt.Now()
+	e.tr.Point(tx.ID, trace.KindCommitReq, 0, e.rt.ID(), 0)
 	e.pump(tx)
 }
 
@@ -233,12 +241,19 @@ func (e *ReliableEngine) onWriteAck(a *message.WriteAck) {
 	} else if a.OpSeq != tx.nextOp+1 {
 		return
 	}
+	ok := int64(0)
+	if a.OK {
+		ok = 1
+	}
+	e.tr.Point(a.Txn, trace.KindAck, uint64(a.OpSeq), a.By, ok)
 	if !a.OK {
 		e.abortLocal(tx, ReasonWriteConflict)
 		return
 	}
 	delete(tx.ackWait, a.By)
 	if len(tx.ackWait) == 0 {
+		// The acknowledgement round for this operation is complete.
+		e.tr.Interval(tx.ID, trace.KindAckWait, tx.opSentAt, uint64(a.OpSeq), e.rt.ID(), 0)
 		tx.opInFlight = false
 		tx.nextOp++
 		e.pump(tx)
@@ -313,6 +328,11 @@ func (e *ReliableEngine) onVoteReq(v *message.VoteReq) {
 
 // onVote tallies; every site reaches the decision independently.
 func (e *ReliableEngine) onVote(v *message.Vote) {
+	yes := int64(0)
+	if v.Yes {
+		yes = 1
+	}
+	e.tr.Point(v.Txn, trace.KindVote, 0, v.By, yes)
 	r := e.rtxn(v.Txn)
 	if r.decided {
 		return

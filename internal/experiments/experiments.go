@@ -28,12 +28,66 @@ type Report struct {
 	// Metrics are headline numbers ("reliable/n=5/msgs_per_commit" style
 	// keys) for benchmark reporting.
 	Metrics map[string]float64
+	// Runs records every harness run's full measurement block, for
+	// structured (JSON) export alongside the rendered tables.
+	Runs []RunSummary
 	// Violations lists any failed expectations (empty = reproduction holds).
 	Violations []string
 }
 
+// RunSummary is the machine-readable record of one harness run inside an
+// experiment — the per-run counterpart of the printed table rows, with the
+// latency percentiles the tables round away.
+type RunSummary struct {
+	Experiment string  `json:"experiment"`
+	Label      string  `json:"label"`
+	Protocol   string  `json:"protocol"`
+	Sites      int     `json:"sites"`
+	Submitted  int     `json:"submitted"`
+	Committed  int     `json:"committed"`
+	ReadOnly   int     `json:"readonly_committed"`
+	Aborted    int     `json:"aborted"`
+	Unfinished int     `json:"unfinished"`
+	AbortRate  float64 `json:"abort_rate"`
+
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	MsgsPerCommit    float64 `json:"msgs_per_commit"`
+	BytesPerCommit   float64 `json:"bytes_per_commit"`
+
+	LatencyMeanMicros float64 `json:"latency_mean_us"`
+	LatencyP50Micros  float64 `json:"latency_p50_us"`
+	LatencyP90Micros  float64 `json:"latency_p90_us"`
+	LatencyP99Micros  float64 `json:"latency_p99_us"`
+}
+
 func newReport(id, title string) *Report {
 	return &Report{ID: id, Title: title, Metrics: make(map[string]float64)}
+}
+
+// record captures one harness run for the structured export and returns the
+// result unchanged so it can wrap call sites.
+func (r *Report) record(label string, res harness.Result) harness.Result {
+	snap := res.UpdateLatency.Snapshot()
+	r.Runs = append(r.Runs, RunSummary{
+		Experiment:        r.ID,
+		Label:             label,
+		Protocol:          res.Protocol,
+		Sites:             res.Sites,
+		Submitted:         res.Submitted,
+		Committed:         res.Committed,
+		ReadOnly:          res.ReadOnlyCommitted,
+		Aborted:           res.Aborted,
+		Unfinished:        res.Unfinished,
+		AbortRate:         res.AbortRate(),
+		ThroughputPerSec:  res.ThroughputPerSec,
+		MsgsPerCommit:     res.ProtocolMsgsPerCommit,
+		BytesPerCommit:    res.BytesPerCommit,
+		LatencyMeanMicros: float64(snap.Mean.Microseconds()),
+		LatencyP50Micros:  float64(snap.P50.Microseconds()),
+		LatencyP90Micros:  float64(snap.P90.Microseconds()),
+		LatencyP99Micros:  float64(snap.P99.Microseconds()),
+	})
+	return res
 }
 
 func (r *Report) violate(format string, args ...any) {
@@ -111,6 +165,7 @@ func E1Messages(cfg Config) (*Report, error) {
 			if err != nil {
 				return rep, err
 			}
+			rep.record(fmt.Sprintf("n=%d", n), res)
 			an := analyticMsgs(proto, n, w)
 			tbl.Add(n, proto, res.ProtocolMsgsPerCommit, an, res.LogicalBroadcasts/float64(res.Committed), res.BytesPerCommit)
 			key := fmt.Sprintf("%s/n=%d", proto, n)
@@ -168,6 +223,7 @@ func E2CommitLatency(cfg Config) (*Report, error) {
 			if err != nil {
 				return rep, err
 			}
+			rep.record(fmt.Sprintf("n=%d", n), res)
 			tbl.Add(n, proto, res.UpdateLatency.Mean(), res.UpdateLatency.Quantile(0.5), res.UpdateLatency.Quantile(0.99))
 			perProto[proto] = res.UpdateLatency.Mean()
 			rep.Metrics[fmt.Sprintf("%s/n=%d/mean_latency_us", proto, n)] = float64(res.UpdateLatency.Mean().Microseconds())
@@ -210,6 +266,7 @@ func E3AbortContention(cfg Config) (*Report, error) {
 			if err != nil {
 				return rep, err
 			}
+			rep.record(fmt.Sprintf("hot=%.1f", p), res)
 			roAborted := res.Submitted - res.Committed - res.Aborted - res.ReadOnlyCommitted - res.Unfinished - res.Skipped
 			// Aborted read-only transactions land in res.Aborted with their
 			// reasons; separate them out by reason accounting.
@@ -249,6 +306,7 @@ func E4ThroughputSites(cfg Config) (*Report, error) {
 			if err != nil {
 				return rep, err
 			}
+			rep.record(fmt.Sprintf("n=%d", n), res)
 			tbl.Add(n, proto, res.ThroughputPerSec, harness.FormatPct(res.AbortRate()), res.ProtocolMsgsPerCommit)
 			rep.Metrics[fmt.Sprintf("%s/n=%d/throughput", proto, n)] = res.ThroughputPerSec
 		}
@@ -282,6 +340,7 @@ func E5WriteMix(cfg Config) (*Report, error) {
 			if err != nil {
 				return rep, err
 			}
+			rep.record(fmt.Sprintf("ro=%.2f", f), res)
 			tbl.Add(fmt.Sprintf("%.0f%%", 100*f), proto, res.Committed, res.ReadOnlyCommitted,
 				harness.FormatPct(res.AbortRate()), res.ProtocolMsgsPerCommit)
 			rep.Metrics[fmt.Sprintf("%s/ro=%.2f/abort_rate", proto, f)] = res.AbortRate()
@@ -322,6 +381,7 @@ func E6CausalHeartbeat(cfg Config) (*Report, error) {
 		if hb == 0 {
 			label = "off"
 		}
+		rep.record("hb="+label, res)
 		tbl.Add(label, res.UpdateLatency.Mean(), res.UpdateLatency.Quantile(0.99), res.Unfinished, res.BackgroundMsgsPerSec)
 		rep.Metrics[fmt.Sprintf("hb=%s/mean_latency_us", label)] = float64(res.UpdateLatency.Mean().Microseconds())
 		rep.Metrics[fmt.Sprintf("hb=%s/unfinished", label)] = float64(res.Unfinished)
@@ -362,6 +422,7 @@ func E7Availability(cfg Config) (*Report, error) {
 		if err != nil {
 			return rep, err
 		}
+		rep.record("crash", res)
 		pre, post := 0, 0
 		for _, at := range res.CommitTimes {
 			if at < crashAt {
@@ -405,6 +466,7 @@ func E8Ablation(cfg Config) (*Report, error) {
 		if err != nil {
 			return rep, err
 		}
+		rep.record("order="+mode.name, res)
 		ord.Add(mode.name, res.ProtocolMsgsPerCommit, res.UpdateLatency.Mean(), res.UpdateLatency.Quantile(0.99))
 		rep.Metrics["order="+mode.name+"/msgs_per_commit"] = res.ProtocolMsgsPerCommit
 	}
@@ -427,6 +489,7 @@ func E8Ablation(cfg Config) (*Report, error) {
 		if err != nil {
 			return rep, err
 		}
+		rep.record(fmt.Sprintf("relay=%v", relay), res)
 		loss.Add(relay, res.Committed, res.Unfinished, res.MsgsPerCommit)
 		rep.Metrics[fmt.Sprintf("relay=%v/committed", relay)] = float64(res.Committed)
 	}
@@ -465,6 +528,7 @@ func E9Batching(cfg Config) (*Report, error) {
 			if batch {
 				mode = "batch"
 			}
+			rep.record(mode, res)
 			tbl.Add(proto, mode, res.ProtocolMsgsPerCommit, res.UpdateLatency.Mean(), harness.FormatPct(res.AbortRate()))
 			rep.Metrics[fmt.Sprintf("%s/%s/msgs_per_commit", proto, mode)] = res.ProtocolMsgsPerCommit
 			rep.Metrics[fmt.Sprintf("%s/%s/mean_latency_us", proto, mode)] = float64(res.UpdateLatency.Mean().Microseconds())
@@ -510,6 +574,7 @@ func E10Quorum(cfg Config) (*Report, error) {
 		if err != nil {
 			return rep, err
 		}
+		rep.record("read-cost", res)
 		costs.Add(proto, res.ProtocolMsgsPerCommit, res.ReadOnlyCommitted,
 			res.ReadOnlyLatency.Mean(), res.UpdateLatency.Mean())
 		rep.Metrics[proto+"/msgs_per_commit"] = res.ProtocolMsgsPerCommit
@@ -542,6 +607,7 @@ func E10Quorum(cfg Config) (*Report, error) {
 		if err != nil {
 			return rep, err
 		}
+		rep.record("detectorless-crash", res)
 		pre, post := 0, 0
 		for _, at := range res.CommitTimes {
 			if at < crashAt {
@@ -608,6 +674,8 @@ func E11SlowSite(cfg Config) (*Report, error) {
 		if err := capture(func() { mixedRes = run(mixed); lanRes = run(lan) }); err != nil {
 			return rep, err
 		}
+		rep.record("mixed", mixedRes)
+		rep.record("lan", lanRes)
 		ratio := float64(mixedRes.UpdateLatency.Mean()) / float64(lanRes.UpdateLatency.Mean())
 		tbl.Add(proto, mixedRes.UpdateLatency.Mean(), mixedRes.UpdateLatency.Quantile(0.99),
 			fmt.Sprintf("%.1fx", ratio))
@@ -672,6 +740,7 @@ func E12SnapshotReads(cfg Config) (*Report, error) {
 			if snapshot {
 				mode = "snapshot"
 			}
+			rep.record(mode, res)
 			tbl.Add(proto+"/"+mode, res.ReadOnlyCommitted,
 				res.ReadOnlyLatency.Mean(), res.ReadOnlyLatency.Quantile(0.99),
 				harness.FormatPct(res.AbortRate()))

@@ -17,6 +17,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sgraph"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -56,6 +57,10 @@ type Options struct {
 	// experiments). Requires Engine.Membership for the survivors to
 	// reconfigure.
 	Faults []Fault
+	// TraceCap, when positive, equips every site with a span tracer of
+	// that capacity (see internal/trace); the tracers are returned in
+	// Result.Tracers indexed by site.
+	TraceCap int
 }
 
 // Fault crashes one site at a virtual time.
@@ -113,6 +118,10 @@ type Result struct {
 	// CheckErr reports a serializability or replica-consistency violation
 	// when Options.Check was set.
 	CheckErr error
+
+	// Tracers holds one span recorder per site when Options.TraceCap was
+	// positive; nil otherwise.
+	Tracers []*trace.Tracer
 }
 
 // AbortRate returns aborted / (committed+aborted) among update
@@ -156,8 +165,16 @@ func Run(opts Options) (Result, error) {
 		cfg.Recorder = rec
 	}
 	engines := make([]core.Engine, n)
+	if opts.TraceCap > 0 {
+		res.Tracers = make([]*trace.Tracer, n)
+	}
 	for i := 0; i < n; i++ {
 		rt := cluster.Runtime(message.SiteID(i))
+		cfg := cfg
+		if opts.TraceCap > 0 {
+			cfg.Tracer = trace.New(message.SiteID(i), opts.TraceCap, rt.Now)
+			res.Tracers[i] = cfg.Tracer
+		}
 		var e core.Engine
 		switch opts.Protocol {
 		case ProtoReliable:

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/env"
 	"repro/internal/message"
+	"repro/internal/trace"
 )
 
 // Wire protocol constants.
@@ -128,6 +129,12 @@ type Host struct {
 	// loopback link). Built in New and immutable afterwards, so lookups
 	// are lock-free; the counters themselves are atomic.
 	stats map[message.SiteID]*peerCounters
+
+	// tracer records net-send/net-recv spans for transaction-bearing
+	// messages. Set via SetTracer between New and Start; immutable
+	// afterwards (the Start goroutine launches establish the necessary
+	// happens-before). Nil disables network tracing.
+	tracer *trace.Tracer
 }
 
 var _ env.Runtime = (*Host)(nil)
@@ -174,6 +181,10 @@ func New(cfg Config) (*Host, error) {
 
 // Bind installs the node. Must be called before Start.
 func (h *Host) Bind(n env.Node) { h.node = n }
+
+// SetTracer installs the span recorder. Must be called before Start; the
+// tracer's clock should be h.Now so network spans share the engine timeline.
+func (h *Host) SetTracer(t *trace.Tracer) { h.tracer = t }
 
 // Start listens, connects to peers, and runs the node's Start callback.
 func (h *Host) Start() error {
@@ -350,6 +361,9 @@ func (h *Host) readLoop(conn net.Conn) {
 		// Attribute to the authenticated connection identity, not the
 		// envelope's From field, which a buggy or hostile peer controls.
 		st.received.Add(1)
+		if id, ok := message.TxnOf(e.Msg); ok {
+			h.tracer.Point(id, trace.KindNetRecv, 0, hi.From, int64(e.Msg.Kind()))
+		}
 		h.deliver(hi.From, e.Msg)
 	}
 }
@@ -410,8 +424,10 @@ func (h *Host) Send(to message.SiteID, m message.Message) {
 	s := h.senders[to]
 	select {
 	case s.out <- envelope{From: h.cfg.ID, Msg: m}:
-		// Counted as sent by the sender goroutine once actually written;
-		// nothing to do here.
+		// Counted as sent by the sender goroutine once actually written.
+		if id, ok := message.TxnOf(m); ok {
+			h.tracer.Point(id, trace.KindNetSend, 0, to, int64(m.Kind()))
+		}
 	default:
 		st.dropped.Add(1)
 		h.logf("queue to %v full, dropping %v", to, m.Kind())

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/message"
+	"repro/internal/trace"
 )
 
 // startCluster boots n engines of the given protocol on loopback TCP with
@@ -111,6 +112,104 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 				t.Fatalf("remote read: %+v", read)
 			}
 		})
+	}
+}
+
+// TestTCPStitchedTrace commits one update transaction over TCP with tracing
+// enabled at every site and checks the span streams stitch into a single
+// trace: the home site records the committed outcome and every site —
+// including the remotes — records spans keyed by the same transaction ID.
+func TestTCPStitchedTrace(t *testing.T) {
+	const n = 3
+	listeners := make([]net.Listener, n)
+	addrs := make(map[message.SiteID]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[message.SiteID(i)] = ln.Addr().String()
+	}
+	hosts := make([]*Host, n)
+	engines := make([]core.Engine, n)
+	tracers := make([]*trace.Tracer, n)
+	for i := 0; i < n; i++ {
+		h, err := New(Config{ID: message.SiteID(i), Addrs: addrs, Listener: listeners[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.New(message.SiteID(i), 1<<12, h.Now)
+		h.SetTracer(tr)
+		e := core.NewReliable(h, core.Config{Tracer: tr})
+		h.Bind(e)
+		hosts[i], engines[i], tracers[i] = h, e, tr
+	}
+	for _, h := range hosts {
+		if err := h.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, h := range hosts {
+			h.Close()
+		}
+	})
+
+	res, err := ExecuteTxn(hosts[0], engines[0], TxnSpec{
+		Writes: []message.KV{{Key: "tk", Value: message.Value("traced")}},
+	}, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("aborted: %s", res.Reason)
+	}
+
+	// The home site's ring has the committed outcome span; its trace ID keys
+	// the whole transaction.
+	var id message.TxnID
+	for _, s := range tracers[0].Spans() {
+		if s.Kind == trace.KindOutcome && s.Extra == 1 {
+			id = s.Trace
+		}
+	}
+	if id.IsZero() {
+		t.Fatal("home site recorded no committed outcome span")
+	}
+
+	// Remote spans arrive asynchronously with the broadcast; poll until every
+	// site holds part of the trace.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sitesWith := 0
+		kinds := make(map[trace.Kind]bool)
+		for _, tr := range tracers {
+			found := false
+			for _, s := range tr.Spans() {
+				if s.Trace == id {
+					found = true
+					kinds[s.Kind] = true
+				}
+			}
+			if found {
+				sitesWith++
+			}
+		}
+		if sitesWith == n {
+			// Protocol R's phases all show up somewhere in the stitched trace.
+			for _, k := range []trace.Kind{trace.KindBegin, trace.KindWriteSend, trace.KindBcastDeliver,
+				trace.KindAck, trace.KindVote, trace.KindApply, trace.KindOutcome, trace.KindNetRecv} {
+				if !kinds[k] {
+					t.Fatalf("stitched trace missing %v spans (have %v)", k, kinds)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %v only present at %d/%d sites", id, sitesWith, n)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -14,8 +14,10 @@ package lockmgr
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/message"
+	"repro/internal/trace"
 )
 
 // Mode is a lock mode.
@@ -71,6 +73,7 @@ type waiter struct {
 	txn   message.TxnID
 	mode  Mode
 	grant func()
+	at    time.Duration // tracer clock at enqueue, for lock-wait spans
 }
 
 type entry struct {
@@ -86,6 +89,21 @@ type Manager struct {
 	// legally queue more than one request on a key (e.g. repeated upgrade
 	// attempts), and release must purge them all.
 	waiting map[message.TxnID]map[message.Key]int
+
+	// Tracer, when non-nil, records queued-then-granted acquisitions as
+	// lock-wait spans. The engine that owns the table wires both fields;
+	// Now must come from the runtime's clock (never the wall clock) so the
+	// table stays deterministic under the simulator.
+	Tracer *trace.Tracer
+	Now    func() time.Duration
+}
+
+// clock reads the injected clock, or 0 when tracing is not wired.
+func (m *Manager) clock() time.Duration {
+	if m.Now == nil {
+		return 0
+	}
+	return m.Now()
 }
 
 // New creates an empty lock table.
@@ -146,7 +164,7 @@ func (m *Manager) Acquire(txn message.TxnID, key message.Key, mode Mode, wait bo
 		if !wait {
 			return Conflict
 		}
-		e.queue = append(e.queue, waiter{txn: txn, mode: mode, grant: grant})
+		e.queue = append(e.queue, waiter{txn: txn, mode: mode, grant: grant, at: m.clock()})
 		m.noteWait(txn, key)
 		return Queued
 	}
@@ -245,6 +263,7 @@ func (m *Manager) promote(key message.Key, e *entry, grants []func()) []func() {
 				m.note(w.txn, key, w.mode)
 				m.dropWait(w.txn, key)
 				e.queue = e.queue[1:]
+				m.Tracer.Interval(w.txn, trace.KindLockWait, w.at, 0, trace.NoPeer, int64(w.mode))
 				if w.grant != nil {
 					grants = append(grants, w.grant)
 				}
@@ -266,6 +285,7 @@ func (m *Manager) promote(key message.Key, e *entry, grants []func()) []func() {
 		m.note(w.txn, key, w.mode)
 		m.dropWait(w.txn, key)
 		e.queue = e.queue[1:]
+		m.Tracer.Interval(w.txn, trace.KindLockWait, w.at, 0, trace.NoPeer, int64(w.mode))
 		if w.grant != nil {
 			grants = append(grants, w.grant)
 		}

@@ -146,6 +146,11 @@ type Bcast struct {
 	VC      vclock.VC
 	Payload Message
 	Relayed bool // set when forwarded by a non-origin site
+	// Trace is the transaction the payload belongs to (zero for
+	// non-transactional traffic such as causal nulls). It propagates the
+	// trace ID through the broadcast stack so remote-site spans stitch
+	// into the home site's trace (internal/trace).
+	Trace TxnID
 }
 
 // Kind implements Message.
@@ -611,6 +616,64 @@ func RegisterGob() {
 	gob.Register(&SyncState{})
 }
 
+// TxnOf extracts the transaction a message belongs to, which doubles as
+// its trace ID (internal/trace). For broadcast envelopes it prefers the
+// stamped Trace field and falls back to the payload. The second return is
+// false for non-transactional traffic (heartbeats, views, causal nulls,
+// state transfer).
+func TxnOf(m Message) (TxnID, bool) {
+	switch t := m.(type) {
+	case *Bcast:
+		if !t.Trace.IsZero() {
+			return t.Trace, true
+		}
+		if t.Payload != nil {
+			return TxnOf(t.Payload)
+		}
+	case *WriteReq:
+		return t.Txn, true
+	case *WriteAck:
+		return t.Txn, true
+	case *TxnNack:
+		return t.Txn, true
+	case *VoteReq:
+		return t.Txn, true
+	case *Vote:
+		return t.Txn, true
+	case *Decision:
+		return t.Txn, true
+	case *CommitReq:
+		return t.Txn, true
+	case *WriteBatch:
+		return t.Txn, true
+	case *UWrite:
+		return t.Txn, true
+	case *UWriteAck:
+		return t.Txn, true
+	case *Wound:
+		return t.Txn, true
+	case *Prepare:
+		return t.Txn, true
+	case *PrepareVote:
+		return t.Txn, true
+	case *PDecision:
+		return t.Txn, true
+	case *QReadReq:
+		return t.Txn, true
+	case *QReadReply:
+		return t.Txn, true
+	case *QLockReq:
+		return t.Txn, true
+	case *QLockReply:
+		return t.Txn, true
+	case *QCommit:
+		return t.Txn, true
+	case *QRelease:
+		return t.Txn, true
+	}
+	return TxnID{}, false
+}
+
 // EstimateSize approximates the wire size of a message in bytes. The
 // simulated network uses it for latency models and byte accounting without
 // paying for real serialization.
@@ -618,7 +681,7 @@ func EstimateSize(m Message) int {
 	const hdr = 16 // kind + framing overhead
 	switch t := m.(type) {
 	case *Bcast:
-		return hdr + 16 + 8*len(t.VC) + EstimateSize(t.Payload)
+		return hdr + 28 + 8*len(t.VC) + EstimateSize(t.Payload)
 	case *SeqOrder:
 		return hdr + 20*len(t.Entries)
 	case *IsisPropose, *IsisFinal:

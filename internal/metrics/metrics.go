@@ -113,6 +113,64 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.sorted[idx]
 }
 
+// Snapshot is a histogram's statistics as plain data, for machine-readable
+// reports (benchrunner JSON, tracecheck) that should not re-derive
+// quantiles per field.
+type Snapshot struct {
+	Count int64
+	Mean  time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot captures count and quantiles in one pass; the retained samples
+// sort at most once thanks to the cached-sort invariant.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.count,
+		Mean:  h.Mean(),
+		Max:   h.max,
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Merge folds another histogram's observations into h. Exact statistics
+// (count, mean, max) aggregate exactly; retained samples merge by the same
+// reservoir rule as Observe, so quantiles of the union stay approximately
+// unbiased when either side has overflowed its cap. o is not modified.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+	// seen plays the role Observe's count plays for the reservoir: the
+	// length of the sample stream h's reservoir has been offered.
+	seen := uint64(len(h.samples))
+	for _, d := range o.samples {
+		seen++
+		if len(h.samples) < h.cap {
+			h.samples = append(h.samples, d)
+			h.dirty = true
+			continue
+		}
+		h.rnd ^= h.rnd << 13
+		h.rnd ^= h.rnd >> 7
+		h.rnd ^= h.rnd << 17
+		if idx := h.rnd % seen; idx < uint64(h.cap) {
+			h.samples[idx] = d
+			h.dirty = true
+		}
+	}
+}
+
 // Summary renders count/mean/p50/p99/max on one line.
 func (h *Histogram) Summary() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
@@ -179,4 +237,11 @@ func (s *SyncHistogram) ScalarSummary() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.h.ScalarSummary()
+}
+
+// Snapshot captures the statistics as plain data; see Histogram.Snapshot.
+func (s *SyncHistogram) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Snapshot()
 }

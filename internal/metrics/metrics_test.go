@@ -209,3 +209,93 @@ func TestSummaryFormat(t *testing.T) {
 		}
 	}
 }
+
+func TestMergeAggregates(t *testing.T) {
+	a := NewHistogram(64)
+	b := NewHistogram(64)
+	for i := 1; i <= 10; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 11; i <= 20; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 20 {
+		t.Fatalf("count = %d, want 20", a.Count())
+	}
+	if a.Max() != 20*time.Millisecond {
+		t.Fatalf("max = %v", a.Max())
+	}
+	if a.Mean() != 10500*time.Microsecond {
+		t.Fatalf("mean = %v", a.Mean())
+	}
+	// Under cap on both sides the merged quantiles are exact.
+	if got := a.Quantile(1.0); got != 20*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := a.Quantile(0); got != time.Millisecond {
+		t.Fatalf("p0 = %v", got)
+	}
+	// b is untouched.
+	if b.Count() != 10 || b.Quantile(0) != 11*time.Millisecond {
+		t.Fatalf("merge mutated source: %s", b.Summary())
+	}
+}
+
+// TestMergeCacheInvariant checks the cached-sort invariant across Merge:
+// a quantile read, then a merge, then another read must see merged data.
+func TestMergeCacheInvariant(t *testing.T) {
+	a := NewHistogram(8)
+	a.Observe(2 * time.Millisecond)
+	if got := a.Quantile(1.0); got != 2*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	b := NewHistogram(8)
+	b.Observe(7 * time.Millisecond)
+	a.Merge(b)
+	if got := a.Quantile(1.0); got != 7*time.Millisecond {
+		t.Fatalf("p100 after merge = %v (sort cache went stale)", got)
+	}
+	// Merging into a full reservoir keeps samples bounded by cap.
+	c := NewHistogram(4)
+	for i := 0; i < 4; i++ {
+		c.Observe(time.Second)
+	}
+	d := NewHistogram(4)
+	for i := 0; i < 1000; i++ {
+		d.Observe(time.Millisecond)
+	}
+	c.Merge(d)
+	if len(c.samples) != 4 {
+		t.Fatalf("reservoir overflowed: %d samples", len(c.samples))
+	}
+	if c.Count() != 1004 {
+		t.Fatalf("count = %d", c.Count())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	h := NewHistogram(128)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Max != 100*time.Millisecond {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.P50 != 50*time.Millisecond || s.P90 != 90*time.Millisecond || s.P99 != 99*time.Millisecond {
+		t.Fatalf("quantiles = %+v", s)
+	}
+	if s.Mean != h.Mean() {
+		t.Fatalf("mean = %v, want %v", s.Mean, h.Mean())
+	}
+	var empty Snapshot
+	if NewHistogram(8).Snapshot() != empty {
+		t.Fatal("empty snapshot not zero")
+	}
+	sh := NewSyncHistogram(8)
+	sh.Observe(3 * time.Millisecond)
+	if sh.Snapshot().P50 != 3*time.Millisecond {
+		t.Fatalf("sync snapshot = %+v", sh.Snapshot())
+	}
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/message"
+)
+
+// The JSONL export format: one site dump is a meta line followed by one
+// line per span, oldest first. Dumps from several sites concatenate into
+// one stream; each meta line starts the next site's section. Timestamps
+// are nanoseconds on the emitting site's local clock (virtual time under
+// the simulator), so they are comparable within a site but only loosely
+// across sites.
+
+// Meta is the header line of one site's dump.
+type Meta struct {
+	IsMeta     bool   `json:"meta"`
+	Site       int32  `json:"site"`
+	Proto      string `json:"proto"`
+	Sites      int    `json:"sites"`
+	AtomicMode string `json:"atomic_mode,omitempty"`
+	Dropped    uint64 `json:"dropped"`
+	Spans      int    `json:"spans"`
+	Seed       int64  `json:"seed,omitempty"`
+}
+
+// spanLine is the wire form of one span.
+type spanLine struct {
+	Trace string `json:"t"`
+	Site  int32  `json:"site"`
+	Kind  string `json:"kind"`
+	Start int64  `json:"start_ns"`
+	End   int64  `json:"end_ns"`
+	Seq   uint64 `json:"seq"`
+	Peer  int32  `json:"peer"`
+	Extra int64  `json:"extra"`
+}
+
+// Dump is one site's parsed export section.
+type Dump struct {
+	Meta  Meta
+	Spans []Span
+}
+
+// WriteJSONL writes one site dump: the meta line, then one line per span.
+func WriteJSONL(w io.Writer, meta Meta, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	meta.IsMeta = true
+	meta.Spans = len(spans)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		l := spanLine{
+			Trace: s.Trace.String(),
+			Site:  int32(s.Site),
+			Kind:  s.Kind.String(),
+			Start: int64(s.Start),
+			End:   int64(s.End),
+			Seq:   s.Seq,
+			Peer:  int32(s.Peer),
+			Extra: s.Extra,
+		}
+		if err := enc.Encode(l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTracer writes a tracer's retained spans as one site dump, filling
+// the meta line's site, dropped, and span counts.
+func WriteTracer(w io.Writer, meta Meta, t *Tracer) error {
+	meta.Site = int32(t.Site())
+	meta.Dropped = t.Dropped()
+	return WriteJSONL(w, meta, t.Spans())
+}
+
+// ParseTxnID parses the "t<site>.<seq>" form produced by TxnID.String.
+func ParseTxnID(s string) (message.TxnID, error) {
+	var id message.TxnID
+	rest, ok := strings.CutPrefix(s, "t")
+	if !ok {
+		return id, fmt.Errorf("trace id %q: missing t prefix", s)
+	}
+	var site int32
+	var seq uint64
+	if _, err := fmt.Sscanf(rest, "%d.%d", &site, &seq); err != nil {
+		return id, fmt.Errorf("trace id %q: %v", s, err)
+	}
+	id.Site = message.SiteID(site)
+	id.Seq = seq
+	return id, nil
+}
+
+// ReadJSONL parses a concatenation of site dumps. Span lines appearing
+// before any meta line are collected under a zero Meta so hand-built
+// streams still parse.
+func ReadJSONL(r io.Reader) ([]Dump, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var dumps []Dump
+	cur := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		// Meta lines carry "meta":true; sniff cheaply before deciding.
+		var probe struct {
+			IsMeta bool `json:"meta"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if probe.IsMeta {
+			var m Meta
+			if err := json.Unmarshal([]byte(line), &m); err != nil {
+				return nil, fmt.Errorf("line %d: meta: %v", lineNo, err)
+			}
+			dumps = append(dumps, Dump{Meta: m})
+			cur = len(dumps) - 1
+			continue
+		}
+		var l spanLine
+		if err := json.Unmarshal([]byte(line), &l); err != nil {
+			return nil, fmt.Errorf("line %d: span: %v", lineNo, err)
+		}
+		id, err := ParseTxnID(l.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		k, ok := ParseKind(l.Kind)
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown span kind %q", lineNo, l.Kind)
+		}
+		s := Span{
+			Trace: id,
+			Site:  message.SiteID(l.Site),
+			Kind:  k,
+			Start: time.Duration(l.Start),
+			End:   time.Duration(l.End),
+			Seq:   l.Seq,
+			Peer:  message.SiteID(l.Peer),
+			Extra: l.Extra,
+		}
+		if cur < 0 {
+			dumps = append(dumps, Dump{})
+			cur = 0
+		}
+		dumps[cur].Spans = append(dumps[cur].Spans, s)
+		if s.Site != message.SiteID(dumps[cur].Meta.Site) && len(dumps[cur].Spans) == 1 && dumps[cur].Meta.Spans == 0 {
+			dumps[cur].Meta.Site = int32(s.Site)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return dumps, nil
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+)
+
+func testClock() func() time.Duration {
+	var t time.Duration
+	return func() time.Duration {
+		t += time.Millisecond
+		return t
+	}
+}
+
+func TestRingWrapDropsOldest(t *testing.T) {
+	tr := New(1, 4, testClock())
+	for i := 1; i <= 6; i++ {
+		tr.Point(message.TxnID{Site: 1, Seq: uint64(i)}, KindBegin, 0, NoPeer, 0)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	spans := tr.Spans()
+	var seqs []uint64
+	for _, s := range spans {
+		seqs = append(seqs, s.Trace.Seq)
+	}
+	// Oldest-first with the two oldest spans overwritten.
+	if want := []uint64{3, 4, 5, 6}; !reflect.DeepEqual(seqs, want) {
+		t.Fatalf("retained traces %v, want %v", seqs, want)
+	}
+}
+
+func TestSpansBeforeWrap(t *testing.T) {
+	tr := New(0, 8, testClock())
+	tr.Point(message.TxnID{Site: 0, Seq: 1}, KindBegin, 0, NoPeer, 1)
+	tr.Interval(message.TxnID{Site: 0, Seq: 1}, KindOutcome, time.Millisecond, 0, 0, 1)
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", tr.Dropped())
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("len = %d, want 2", len(spans))
+	}
+	if spans[0].Kind != KindBegin || spans[1].Kind != KindOutcome {
+		t.Fatalf("kinds = %v %v", spans[0].Kind, spans[1].Kind)
+	}
+	if spans[1].Start != time.Millisecond || spans[1].End <= spans[1].Start {
+		t.Fatalf("interval span times = %v..%v", spans[1].Start, spans[1].End)
+	}
+}
+
+// TestConcurrentEmit exercises emission from many goroutines with a
+// concurrent exporter; run under -race this checks the RLock/Lock
+// publication protocol. Capacity exceeds the total span count so no slot
+// is ever contended by a lapping writer.
+func TestConcurrentEmit(t *testing.T) {
+	const writers, perWriter = 8, 500
+	tr := New(2, writers*perWriter+1, func() time.Duration { return 42 })
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Point(message.TxnID{Site: message.SiteID(w), Seq: uint64(i + 1)}, KindAck, uint64(i), 0, 1)
+				if i%100 == 0 {
+					_ = tr.Spans()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != writers*perWriter {
+		t.Fatalf("got %d spans, want %d", len(spans), writers*perWriter)
+	}
+	for _, s := range spans {
+		if s.Kind != KindAck || s.Trace.IsZero() && s.Trace.Site != 0 {
+			t.Fatalf("torn span %+v", s)
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Point(message.TxnID{}, KindBegin, 0, 0, 0)
+	tr.Interval(message.TxnID{}, KindOutcome, 0, 0, 0, 0)
+	if tr.Now() != 0 || tr.Dropped() != 0 || tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer accessors must be zero-valued")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := New(3, 16, testClock())
+	tr.Point(message.TxnID{Site: 3, Seq: 9}, KindBegin, 0, NoPeer, 0)
+	tr.Interval(message.TxnID{Site: 3, Seq: 9}, KindLockWait, time.Millisecond, 0, NoPeer, 2)
+	tr.Point(message.TxnID{Site: 1, Seq: 4}, KindBcastDeliver, 7, 1, int64(message.ClassCausal))
+
+	var buf bytes.Buffer
+	meta := Meta{Proto: "causal", Sites: 4, Seed: 11}
+	if err := WriteTracer(&buf, meta, tr); err != nil {
+		t.Fatal(err)
+	}
+	dumps, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 1 {
+		t.Fatalf("dumps = %d, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if d.Meta.Site != 3 || d.Meta.Proto != "causal" || d.Meta.Sites != 4 || d.Meta.Spans != 3 || d.Meta.Seed != 11 {
+		t.Fatalf("meta = %+v", d.Meta)
+	}
+	if !reflect.DeepEqual(d.Spans, tr.Spans()) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", d.Spans, tr.Spans())
+	}
+}
+
+func TestParseTxnID(t *testing.T) {
+	id, err := ParseTxnID("t2.17")
+	if err != nil || id != (message.TxnID{Site: 2, Seq: 17}) {
+		t.Fatalf("ParseTxnID = %v, %v", id, err)
+	}
+	if _, err := ParseTxnID("x2.17"); err == nil {
+		t.Fatal("want error for missing prefix")
+	}
+	if _, err := ParseTxnID("t2"); err == nil {
+		t.Fatal("want error for missing seq")
+	}
+}
+
+// BenchmarkPoint verifies the hot path allocates nothing per span.
+func BenchmarkPoint(b *testing.B) {
+	tr := New(0, 1<<12, func() time.Duration { return 1 })
+	id := message.TxnID{Site: 0, Seq: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Point(id, KindAck, uint64(i), 1, 1)
+	}
+	if testing.AllocsPerRun(100, func() {
+		tr.Point(id, KindAck, 0, 1, 1)
+	}) != 0 {
+		b.Fatal("Point allocated on the hot path")
+	}
+}
+
+// BenchmarkInterval covers the interval variant of the hot path.
+func BenchmarkInterval(b *testing.B) {
+	tr := New(0, 1<<12, func() time.Duration { return 2 })
+	id := message.TxnID{Site: 0, Seq: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Interval(id, KindAckWait, 1, uint64(i), 1, 1)
+	}
+}
