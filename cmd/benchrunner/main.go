@@ -113,8 +113,9 @@ func run() error {
 		"E10": experiments.E10Quorum,
 		"E11": experiments.E11SlowSite,
 		"E12": experiments.E12SnapshotReads,
+		"E13": experiments.E13GroupCommit,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 
 	violations := 0
 	doc := benchDoc{

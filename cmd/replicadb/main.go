@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/commitpipe"
 	"repro/internal/core"
 	"repro/internal/livenet"
 	"repro/internal/message"
@@ -53,7 +54,10 @@ func run() error {
 		peers     = flag.String("peers", "", "comma-separated id=host:port for every site")
 		proto     = flag.String("proto", "causal", "replication protocol: reliable|causal|atomic|baseline|quorum")
 		client    = flag.String("client", "", "client listen address (host:port)")
-		walPath   = flag.String("wal", "", "write-ahead log file (optional)")
+		walPath   = flag.String("wal", "", "write-ahead log: a directory for a segmented log, or a single file (optional)")
+		walBatch  = flag.Int("wal-batch", 64, "group-commit batch size in records; <= 1 syncs every record")
+		walFlush  = flag.Duration("wal-flush", 2*time.Millisecond, "group-commit max delay before a partial batch fsyncs")
+		walSegMB  = flag.Int64("wal-seg-bytes", storage.DefaultSegmentBytes, "segment rotation threshold in bytes (directory logs)")
 		heartbeat = flag.Duration("heartbeat", 25*time.Millisecond, "protocol C null-broadcast interval")
 		dialRetry = flag.Duration("dial-retry", 500*time.Millisecond, "initial peer reconnect backoff (doubles with jitter)")
 		sendQueue = flag.Int("send-queue", 1024, "per-peer outgoing message buffer")
@@ -93,26 +97,41 @@ func run() error {
 		ecfg.Tracer = tr
 		host.SetTracer(tr)
 	}
+	var wal *storage.WAL
 	if *walPath != "" {
-		f, ferr := os.OpenFile(*walPath, os.O_CREATE|os.O_RDWR, 0o644)
-		if ferr != nil {
-			return fmt.Errorf("open wal: %w", ferr)
-		}
-		defer f.Close()
-		w := storage.NewWAL(f)
-		w.Sync = f.Sync
-		// Replay any existing log so a restarted replica resumes from its
-		// durable state; appends continue on the same handle.
-		st, rerr := storage.Recover(f, w)
-		if rerr != nil {
-			return fmt.Errorf("recover wal: %w", rerr)
+		var st *storage.Store
+		if fi, serr := os.Stat(*walPath); serr == nil && !fi.IsDir() {
+			// Legacy single-file log: replay it and keep appending on the
+			// same handle.
+			f, ferr := os.OpenFile(*walPath, os.O_CREATE|os.O_RDWR, 0o644)
+			if ferr != nil {
+				return fmt.Errorf("open wal: %w", ferr)
+			}
+			defer f.Close()
+			wal = storage.NewWAL(f)
+			wal.Sync = f.Sync
+			st, ferr = storage.Recover(f, wal)
+			if ferr != nil {
+				return fmt.Errorf("recover wal: %w", ferr)
+			}
+		} else {
+			// Segmented directory log (the default for new deployments):
+			// replay every segment so a restarted replica resumes from its
+			// durable state, then append to the highest segment, rotating
+			// at -wal-seg-bytes.
+			var rerr error
+			st, wal, rerr = storage.RecoverSegments(*walPath, *walSegMB)
+			if rerr != nil {
+				return fmt.Errorf("recover wal: %w", rerr)
+			}
 		}
 		if st.Applied() > 0 {
 			log.Printf("site %d recovered %d keys up to commit index %d from %s",
 				*id, st.Len(), st.Applied(), *walPath)
 		}
-		ecfg.WAL = w
+		ecfg.WAL = wal
 		ecfg.InitialStore = st
+		ecfg.GroupCommit = commitpipe.Policy{MaxBatch: *walBatch, MaxDelay: *walFlush}
 	}
 	var engine core.Engine
 	switch *proto {
@@ -152,6 +171,14 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("site %d shutting down", *id)
+	if wal != nil {
+		// Flush the open group-commit batch (releasing its deferred client
+		// acknowledgements) before closing the log.
+		host.Do(func() { engine.Pipeline().Flush() })
+		if cerr := wal.Close(); cerr != nil {
+			log.Printf("site %d wal close: %v", *id, cerr)
+		}
+	}
 	return nil
 }
 
@@ -265,14 +292,16 @@ func (r *replica) execute(line string) string {
 	case "STATS":
 		var s *core.Stats
 		var keys int
+		var pipe string
 		r.host.Do(func() {
 			s = r.engine.Stats()
 			keys = r.engine.Store().Len()
+			pipe = r.engine.Pipeline().Summary()
 		})
 		sent, recv, dropped := r.host.Counters()
-		return fmt.Sprintf("OK begun=%d committed=%d ro=%d aborted=%d keys=%d sent=%d recv=%d dropped=%d %s",
+		return fmt.Sprintf("OK begun=%d committed=%d ro=%d aborted=%d keys=%d sent=%d recv=%d dropped=%d %s %s",
 			s.Begun, s.Committed, s.ReadOnlyCommitted, s.Aborted, keys, sent, recv, dropped,
-			r.host.TransportSummary())
+			pipe, r.host.TransportSummary())
 	case "TRACE":
 		if r.tracer == nil {
 			return "ERR tracing disabled (-trace-buf 0)"

@@ -4,6 +4,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/message"
@@ -88,5 +89,130 @@ func TestWalcheckConsistentAndDivergent(t *testing.T) {
 	// Unreadable path.
 	if _, err := exec.Command(bin, filepath.Join(dir, "missing.wal")).CombinedOutput(); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWalcheckSegmentedDirs(t *testing.T) {
+	bin := buildWalcheck(t)
+	dir := t.TempDir()
+
+	// Two sites, segmented logs, site 1 lagging by one batch.
+	writeSegs := func(name string, recs []storage.Record) string {
+		segDir := filepath.Join(dir, name)
+		w, err := storage.OpenSegments(segDir, 64) // tiny: force rotation
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := w.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return segDir
+	}
+	full := []storage.Record{
+		rec(1, txn(0, 1), "x", "1", "pad", "padpadpadpadpad"),
+		rec(2, txn(1, 1), "x", "2", "pad", "padpadpadpadpad"),
+		rec(3, txn(0, 2), "y", "1", "pad", "padpadpadpadpad"),
+	}
+	a := writeSegs("a", full)
+	b := writeSegs("b", full[:2])
+	if files, err := storage.SegmentFiles(a); err != nil || len(files) < 2 {
+		t.Fatalf("rotation did not happen: %v %v", files, err)
+	}
+	out, err := exec.Command(bin, a, b).CombinedOutput()
+	if err != nil {
+		t.Fatalf("consistent segmented logs rejected: %v\n%s", err, out)
+	}
+}
+
+func TestWalcheckTornTailWithinBatch(t *testing.T) {
+	bin := buildWalcheck(t)
+	dir := t.TempDir()
+
+	// A grouped batch torn mid-record at the tail: the valid prefix must be
+	// recovered and cross-checked cleanly (exit 0, no corruption verdict).
+	segDir := filepath.Join(dir, "torn")
+	w, err := storage.OpenSegments(segDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetGrouped(true)
+	batch := []storage.Record{
+		rec(1, txn(0, 1), "x", "1"),
+		rec(2, txn(1, 1), "x", "2"),
+		rec(3, txn(0, 2), "y", "1"),
+	}
+	for _, r := range batch {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := storage.SegmentFiles(segDir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("segments: %v %v", files, err)
+	}
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A healthy peer holding the full prefix: torn site may lag, not diverge.
+	peer := filepath.Join(dir, "peer.wal")
+	writeWAL(t, peer, batch[:2])
+	out, err := exec.Command(bin, segDir, peer).CombinedOutput()
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "2 commits") {
+		t.Fatalf("torn site did not recover the 2-record prefix:\n%s", out)
+	}
+}
+
+func TestWalcheckCorruptRecordSurfacedOnce(t *testing.T) {
+	bin := buildWalcheck(t)
+	dir := t.TempDir()
+
+	path := filepath.Join(dir, "corrupt.wal")
+	writeWAL(t, path, []storage.Record{
+		rec(1, txn(0, 1), "x", "1"),
+		rec(2, txn(1, 1), "x", "2"),
+		rec(3, txn(0, 2), "y", "1"),
+	})
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff // flip a bit in the last record's body
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	peer := filepath.Join(dir, "peer.wal")
+	writeWAL(t, peer, []storage.Record{
+		rec(1, txn(0, 1), "x", "1"),
+		rec(2, txn(1, 1), "x", "2"),
+	})
+	out, err := exec.Command(bin, path, peer).CombinedOutput()
+	if err == nil {
+		t.Fatalf("corrupt log accepted:\n%s", out)
+	}
+	s := string(out)
+	if got := strings.Count(s, "corrupt record"); got != 1 {
+		t.Fatalf("corruption surfaced %d times, want 1:\n%s", got, s)
+	}
+	// The valid 2-record prefix was still recovered and cross-checked.
+	if !strings.Contains(s, "2 commits") || !strings.Contains(s, "consistent") {
+		t.Fatalf("valid prefix not recovered/cross-checked:\n%s", s)
 	}
 }

@@ -3,7 +3,7 @@
 // protocols depend on. The engines run as deterministic event-driven state
 // machines against env.Runtime; every correctness claim (1SR certification,
 // FIFO/causal/total delivery order) assumes replicas make identical
-// decisions from identical inputs. Three analyzers enforce that:
+// decisions from identical inputs. Four analyzers enforce that:
 //
 //   - detrand: engine packages must not read wall-clock time, the global
 //     math/rand source, or the process environment — all nondeterministic
@@ -16,6 +16,10 @@
 //     timers/rand, livenet's restricted set) are serialized by the event
 //     loop and must not be called from go statements or functions only
 //     reachable from goroutines.
+//   - pipeonly: durable installs route through internal/commitpipe; direct
+//     WAL.Append or Store.Apply/ApplyBatch calls outside the pipeline (and
+//     storage's own recovery paths) bypass group commit, ack-after-fsync,
+//     and the apply traces.
 //
 // A finding can be suppressed with a trailing or immediately preceding
 // comment of the form
@@ -49,7 +53,7 @@ type Analyzer struct {
 
 // All returns the full reprolint suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, LoopOnly}
+	return []*Analyzer{DetRand, MapOrder, LoopOnly, PipeOnly}
 }
 
 // Diagnostic is one finding.
@@ -175,6 +179,7 @@ func (p *Pass) IsTestFile(f *ast.File) bool {
 // state machine: everything that computes protocol decisions.
 var enginePackages = map[string]bool{
 	"core":       true,
+	"commitpipe": true,
 	"broadcast":  true,
 	"membership": true,
 	"lockmgr":    true,

@@ -24,6 +24,14 @@ var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
 // match a want on its line, and every want must be hit.
 func testAnalyzer(t *testing.T, a *Analyzer, dir, pkgpath string, imported map[string]bool) {
 	t.Helper()
+	testAnalyzerImp(t, a, dir, pkgpath, imported, nil)
+}
+
+// testAnalyzerImp is testAnalyzer with an explicit importer, for fixtures
+// that import other testdata packages (typechecked separately and supplied
+// via a depImporter). A nil importer means the source importer.
+func testAnalyzerImp(t *testing.T, a *Analyzer, dir, pkgpath string, imported map[string]bool, imp types.Importer) {
+	t.Helper()
 	root := filepath.Join("testdata", dir)
 	entries, err := os.ReadDir(root)
 	if err != nil {
@@ -57,7 +65,10 @@ func testAnalyzer(t *testing.T, a *Analyzer, dir, pkgpath string, imported map[s
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if imp == nil {
+		imp = importer.ForCompiler(fset, "source", nil)
+	}
+	conf := types.Config{Importer: imp}
 	pkg, err := conf.Check(pkgpath, fset, files, info)
 	if err != nil {
 		t.Fatalf("typecheck %s: %v", root, err)

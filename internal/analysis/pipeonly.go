@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PipeOnly enforces the commit-pipeline boundary: every durable install
+// goes through internal/commitpipe so group commit, batch metrics, apply
+// traces, and recorder bookkeeping cannot be bypassed. Direct calls to the
+// write-side storage primitives — (*storage.WAL).Append and
+// (*storage.Store).Apply/ApplyBatch — are flagged everywhere except
+// internal/commitpipe itself and internal/storage (whose recovery paths
+// legitimately re-apply replayed records). Read paths (Get, GetAt,
+// Snapshot, Replay) are unrestricted, and test files are exempt.
+var PipeOnly = &Analyzer{
+	Name: "pipeonly",
+	Doc:  "flag WAL.Append/Store.Apply calls that bypass internal/commitpipe",
+	Run:  runPipeOnly,
+}
+
+// pipeOnlyDeny maps storage receiver types to their write-side methods.
+var pipeOnlyDeny = map[string]map[string]bool{
+	"WAL":   {"Append": true},
+	"Store": {"Apply": true, "ApplyBatch": true},
+}
+
+// pipeOnlyExempt names the packages allowed to touch the primitives: the
+// pipeline itself and storage. Bare names are accepted so analyzer tests
+// can synthesize packages without the module prefix.
+var pipeOnlyExempt = map[string]bool{
+	"commitpipe": true,
+	"storage":    true,
+}
+
+func runPipeOnly(pass *Pass) error {
+	if isPipeOnlyExempt(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isStoragePackage(fn.Pkg().Path()) {
+				return true
+			}
+			recv := recvTypeName(fn)
+			if recv == "" || !pipeOnlyDeny[recv][fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "storage.%s.%s in package %s bypasses the commit pipeline: submit through internal/commitpipe",
+				recv, fn.Name(), pass.Path)
+			return true
+		})
+	}
+	return nil
+}
+
+func isPipeOnlyExempt(path string) bool {
+	if rest, ok := strings.CutPrefix(path, "repro/internal/"); ok {
+		return pipeOnlyExempt[rest]
+	}
+	return pipeOnlyExempt[path]
+}
+
+func isStoragePackage(path string) bool {
+	if rest, ok := strings.CutPrefix(path, "repro/internal/"); ok {
+		return rest == "storage"
+	}
+	return path == "storage"
+}
+
+// recvTypeName returns the name of a method's receiver type, pointer
+// receivers stripped; "" for package-level functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return ""
+	}
+	return named.Obj().Name()
+}

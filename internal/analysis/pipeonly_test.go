@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// depImporter resolves a fixed set of pre-typechecked packages and defers
+// everything else to the source importer. It lets a testdata fixture
+// import another testdata directory (typechecked under a chosen import
+// path) — testAnalyzer alone loads exactly one package.
+type depImporter struct {
+	pkgs     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (d depImporter) Import(path string) (*types.Package, error) {
+	if p := d.pkgs[path]; p != nil {
+		return p, nil
+	}
+	return d.fallback.Import(path)
+}
+
+// loadDepPackage typechecks testdata/<dir> as a dependency package with
+// the given import path, for feeding into a depImporter.
+func loadDepPackage(t *testing.T, dir, pkgpath string) *types.Package {
+	t.Helper()
+	root := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(root, e.Name()), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgpath, fset, files, nil)
+	if err != nil {
+		t.Fatalf("typecheck dep %s: %v", root, err)
+	}
+	return pkg
+}
+
+// pipeOnlyImporter maps "storage" to the stand-in package so the caller
+// fixtures see the denied methods under the storage package path.
+func pipeOnlyImporter(t *testing.T) types.Importer {
+	t.Helper()
+	dep := loadDepPackage(t, "pipeonly_storage", "storage")
+	fset := token.NewFileSet()
+	return depImporter{
+		pkgs:     map[string]*types.Package{"storage": dep},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// TestPipeOnly: a non-exempt package calling the write-side storage
+// methods is flagged (including via method values), read paths and
+// same-named methods on other types are not, and allow comments suppress.
+func TestPipeOnly(t *testing.T) {
+	testAnalyzerImp(t, PipeOnly, "pipeonly", "core", nil, pipeOnlyImporter(t))
+}
+
+// TestPipeOnlyCommitpipeExempt: the pipeline package itself makes the same
+// calls without diagnostics (the fixture has zero want comments).
+func TestPipeOnlyCommitpipeExempt(t *testing.T) {
+	testAnalyzerImp(t, PipeOnly, "pipeonly_commitpipe", "commitpipe", nil, pipeOnlyImporter(t))
+}
+
+// TestPipeOnlyStorageExempt: storage's own recovery paths re-apply
+// replayed records; the analyzer must skip the package entirely — both
+// under the bare test path and the full module path.
+func TestPipeOnlyStorageExempt(t *testing.T) {
+	for _, path := range []string{"storage", "repro/internal/storage", "commitpipe", "repro/internal/commitpipe"} {
+		if !isPipeOnlyExempt(path) {
+			t.Errorf("isPipeOnlyExempt(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{"core", "repro/internal/core", "repro/cmd/replicadb", "repro/internal/experiments"} {
+		if isPipeOnlyExempt(path) {
+			t.Errorf("isPipeOnlyExempt(%q) = true, want false", path)
+		}
+	}
+	if !isStoragePackage("repro/internal/storage") || !isStoragePackage("storage") {
+		t.Error("isStoragePackage rejects the storage package path")
+	}
+	if isStoragePackage("repro/internal/core") || isStoragePackage("otherstorage") {
+		t.Error("isStoragePackage accepts a non-storage path")
+	}
+}
+
+// TestPipeOnlyRegistered: the suite exposes pipeonly so cmd/reprolint and
+// the Makefile target pick it up without wiring.
+func TestPipeOnlyRegistered(t *testing.T) {
+	for _, a := range All() {
+		if a.Name == "pipeonly" {
+			return
+		}
+	}
+	t.Fatal(fmt.Sprintf("pipeonly missing from All(): %v", All()))
+}

@@ -1,0 +1,40 @@
+// Package core exercises pipeonly from a non-exempt package: write-side
+// storage calls are flagged, read-side calls are not, unrelated methods
+// with the same names are not, and an allow comment suppresses.
+package core
+
+import "storage"
+
+func commitDirect(w *storage.WAL, s *storage.Store, r storage.Record) {
+	_ = w.Append(r)       // want "storage.WAL.Append in package core bypasses the commit pipeline"
+	_ = s.Apply(r)        // want "storage.Store.Apply in package core bypasses the commit pipeline"
+	_ = s.ApplyBatch(nil) // want "storage.Store.ApplyBatch in package core bypasses the commit pipeline"
+	_ = w.Flush()         // maintenance path, unrestricted
+	_, _ = s.Get("k")     // read path, unrestricted
+	_ = s.Snapshot()
+}
+
+func viaMethodValue(s *storage.Store, r storage.Record) {
+	apply := s.Apply // want "storage.Store.Apply in package core bypasses the commit pipeline"
+	_ = apply(r)
+}
+
+// localStore shadows the storage names locally: same method names on a
+// different type must not be flagged.
+type localStore struct{}
+
+func (localStore) Apply(storage.Record) error        { return nil }
+func (localStore) Append(storage.Record) error       { return nil }
+func (localStore) ApplyBatch([]storage.Record) error { return nil }
+
+func localCalls(l localStore, r storage.Record) {
+	_ = l.Apply(r)
+	_ = l.Append(r)
+	_ = l.ApplyBatch(nil)
+}
+
+// recoveryShim documents a sanctioned bypass: replaying a checkpoint into
+// a scratch store during tooling-side recovery.
+func recoveryShim(s *storage.Store, r storage.Record) {
+	_ = s.Apply(r) //reprolint:allow pipeonly scratch store during recovery tooling
+}

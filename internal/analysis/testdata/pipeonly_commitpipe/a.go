@@ -1,0 +1,21 @@
+// Package commitpipe is the pipeline itself: the same write-side calls
+// that pipeonly flags elsewhere are its job, so nothing here diagnoses.
+package commitpipe
+
+import "storage"
+
+func flushBatch(w *storage.WAL, s *storage.Store, rs []storage.Record) error {
+	for _, r := range rs {
+		if err := w.Append(r); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return s.ApplyBatch(rs)
+}
+
+func applyOne(s *storage.Store, r storage.Record) error {
+	return s.Apply(r)
+}

@@ -1,0 +1,25 @@
+// Package storage is a stand-in for repro/internal/storage: just enough
+// surface for the pipeonly fixtures (write-side methods that must be
+// flagged outside the pipeline, read-side methods that must not).
+package storage
+
+type Key string
+
+type Record struct {
+	Index uint64
+}
+
+type WAL struct{}
+
+func (w *WAL) Append(r Record) error { return nil }
+func (w *WAL) Flush() error          { return nil }
+func (w *WAL) Replay(fn func(Record) error) error {
+	return nil
+}
+
+type Store struct{}
+
+func (s *Store) Apply(r Record) error         { return nil }
+func (s *Store) ApplyBatch(rs []Record) error { return nil }
+func (s *Store) Get(k Key) (Record, bool)     { return Record{}, false }
+func (s *Store) Snapshot() map[Key]Record     { return nil }

@@ -1,0 +1,359 @@
+// Package commitpipe implements the commit tail shared by every
+// replication engine: certify → WAL group-commit → versioned apply →
+// client acknowledgement. The paper's three protocols (and the two
+// point-to-point baselines) differ only in how a transaction *reaches* the
+// commit decision — reliable-broadcast votes, implicit causal
+// acknowledgements, a deterministic certification of the total order,
+// centralized 2PC, or quorum intersection. What happens after the decision
+// is identical, and used to be five hand-rolled copies; engines now feed a
+// small protocol adapter (Txn) into one Pipeline per site.
+//
+// The pipeline runs on the site's event loop and does no locking of its
+// own. Installs into the versioned store are synchronous — local reads must
+// observe a committed transaction as soon as its protocol decides it — but
+// durability is batched: with a grouped WAL (Policy.MaxBatch > 1) the log
+// records of consecutive commits buffer until either MaxBatch records are
+// pending or MaxDelay has elapsed, then one write + one fsync makes the
+// whole batch durable and the deferred client acknowledgements fire. That
+// is classic group commit: the fsync — the dominant hot-path cost — is
+// amortized over the batch, and an acknowledged transaction is always on
+// disk. With no WAL or MaxBatch <= 1 the pipeline degenerates to the old
+// synchronous behavior (per-record fsync, immediate acknowledgement).
+package commitpipe
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/sgraph"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// Policy bounds a group-commit batch. The zero value disables grouping.
+type Policy struct {
+	// MaxBatch is the record count that forces a flush; <= 1 means every
+	// record syncs individually (no grouping).
+	MaxBatch int
+	// MaxDelay bounds how long a committed transaction's acknowledgement
+	// may wait for its batch's fsync. Zero with grouping enabled means
+	// flushes happen only on MaxBatch or explicit Flush calls.
+	MaxDelay time.Duration
+}
+
+// Grouped reports whether the policy batches fsyncs.
+func (p Policy) Grouped() bool { return p.MaxBatch > 1 }
+
+// Config wires a pipeline to its site.
+type Config struct {
+	// Site is the owning site's identifier (trace/recorder attribution).
+	Site message.SiteID
+	// Store is the site's versioned database; its WAL (if any) is the
+	// pipeline's durability device.
+	Store *storage.Store
+	// Policy configures group commit.
+	Policy Policy
+	// SetTimer schedules the MaxDelay flush (env.Runtime.SetTimer). Nil
+	// disables the delay bound.
+	SetTimer func(time.Duration, func())
+	// Now supplies timestamps for the fsync-latency histogram: real elapsed
+	// time under internal/livenet, virtual time under internal/sim (where
+	// fsync latency is invisible by design — the simulator's clock does not
+	// advance inside a callback).
+	Now func() time.Duration
+	// Recorder, when set, collects apply orders for the 1SR checker.
+	Recorder *sgraph.Recorder
+	// Tracer, when set, records one KindApply span per installed
+	// transaction.
+	Tracer *trace.Tracer
+	// OnApply runs once per transaction that installed (engine stats hook).
+	OnApply func(message.TxnID)
+	// Logf reports apply failures (env.Runtime.Logf).
+	Logf func(string, ...any)
+}
+
+// Entry is one versioned install inside a transaction: the lock-based
+// engines submit a single entry whose index the pipeline assigns from the
+// site's commit sequence; protocol A submits the total-order index; the
+// quorum engine submits one versioned entry per surviving key.
+type Entry struct {
+	Writes []message.KV
+	// Index is the commit index to install at; 0 means assign the next
+	// per-site commit index (protocols R, C, and the ROWA baseline).
+	Index uint64
+	// Versioned marks a per-key quorum version install: the recorder sees
+	// RecordVersionedApply and the apply trace span carries no LSN.
+	Versioned bool
+}
+
+// Txn is a protocol adapter: one decided transaction submitted to the
+// pipeline. Callbacks are optional and run on the event loop, in order:
+// Certify (decide), Certified (post-certification protocol state, e.g.
+// protocol A's lastCommit map), Applied (after the store install — release
+// locks, drop replica records), Ack (the client-facing outcome; deferred to
+// the batch fsync for committed transactions under group commit).
+type Txn struct {
+	ID      message.TxnID
+	Entries []Entry
+	// Certify decides the transaction; nil means pre-certified (the
+	// protocol already decided commit). A false return aborts: no entry
+	// installs and Ack(false) fires immediately.
+	Certify func() bool
+	// Certified runs after a successful Certify, before the install.
+	Certified func()
+	// Applied runs after the store install (and after trace/recorder
+	// bookkeeping), whatever the WAL state: locks release here so waiting
+	// readers observe the installed versions.
+	Applied func()
+	// Ack delivers the outcome to the waiting client, if any. Commit acks
+	// ride the group-commit batch; abort acks never wait.
+	Ack func(committed bool)
+	// TraceWrites overrides the write count the KindApply span reports
+	// (quorum replicas count the full commit write set even when newer
+	// local versions skip some installs). Zero means count the entries.
+	TraceWrites int
+}
+
+// Pipeline is one site's commit tail. Owned by the site's event loop.
+type Pipeline struct {
+	cfg     Config
+	wal     *storage.WAL
+	grouped bool
+	lsn     uint64 // per-site commit index for index-0 entries
+
+	pendingAcks []func(bool)
+	pendingRecs int
+	timerArmed  bool
+
+	// BatchSizes observes records-per-fsync (dimensionless; see
+	// metrics.Histogram.ScalarSummary). FsyncLatency observes the wall time
+	// of each batch write+sync under a real runtime.
+	BatchSizes   *metrics.Histogram
+	FsyncLatency *metrics.Histogram
+	// Flushes counts batch fsyncs issued.
+	Flushes int64
+
+	batch []storage.BatchEntry // scratch reused across submissions
+}
+
+// New creates a pipeline for one site, resuming the commit sequence from
+// the store's applied index (recovered state continues, not restarts).
+func New(cfg Config) *Pipeline {
+	p := &Pipeline{
+		cfg:          cfg,
+		lsn:          cfg.Store.Applied(),
+		BatchSizes:   metrics.NewHistogram(0),
+		FsyncLatency: metrics.NewHistogram(0),
+	}
+	p.wal = cfg.Store.WAL()
+	p.grouped = p.wal != nil && cfg.Policy.Grouped()
+	if p.grouped {
+		p.wal.SetGrouped(true)
+	}
+	return p
+}
+
+// Submit runs one transaction through the pipeline.
+func (p *Pipeline) Submit(t Txn) {
+	p.SubmitGroup([]Txn{t})
+}
+
+// SubmitGroup runs a group of decided transactions through the pipeline
+// under one store traversal: each transaction certifies in order (protocol
+// A's certification of a later transaction observes an earlier one's
+// Certified state), then every certified entry installs with a single
+// Store.ApplyBatch, then per-transaction bookkeeping and acknowledgements
+// follow.
+func (p *Pipeline) SubmitGroup(txns []Txn) {
+	certified := make([]bool, len(txns))
+	p.batch = p.batch[:0]
+	for i := range txns {
+		t := &txns[i]
+		if t.Certify != nil && !t.Certify() {
+			continue
+		}
+		certified[i] = true
+		if t.Certified != nil {
+			t.Certified()
+		}
+		for j := range t.Entries {
+			e := &t.Entries[j]
+			if e.Index == 0 {
+				p.lsn++
+				e.Index = p.lsn
+			} else if e.Index > p.lsn {
+				p.lsn = e.Index
+			}
+			if len(e.Writes) == 0 {
+				continue
+			}
+			p.batch = append(p.batch, storage.BatchEntry{
+				Txn: t.ID, Writes: dedupWrites(e.Writes), Index: e.Index,
+			})
+		}
+	}
+	recs := len(p.batch)
+	if recs > 0 {
+		if err := p.cfg.Store.ApplyBatch(p.batch); err != nil {
+			p.logf("commitpipe: site %v apply batch: %v", p.cfg.Site, err)
+		}
+	}
+	for i := range txns {
+		t := &txns[i]
+		if !certified[i] {
+			if t.Ack != nil {
+				t.Ack(false)
+			}
+			continue
+		}
+		p.bookkeep(t)
+		if t.Applied != nil {
+			t.Applied()
+		}
+	}
+	// Acknowledgements last: under group commit they queue behind the
+	// batch's fsync; otherwise (records already synced one by one, or no
+	// WAL at all) they fire now.
+	if p.grouped {
+		p.pendingRecs += recs
+		for i := range txns {
+			if certified[i] && txns[i].Ack != nil {
+				p.pendingAcks = append(p.pendingAcks, txns[i].Ack)
+			}
+		}
+		if p.pendingRecs >= p.cfg.Policy.MaxBatch {
+			p.flush()
+		} else if p.pendingRecs > 0 || len(p.pendingAcks) > 0 {
+			p.armTimer()
+		}
+		return
+	}
+	for i := range txns {
+		if certified[i] && txns[i].Ack != nil {
+			txns[i].Ack(true)
+		}
+	}
+}
+
+// bookkeep emits the recorder entries, the apply span, and the stats hook
+// for one certified transaction.
+func (p *Pipeline) bookkeep(t *Txn) {
+	writes := 0
+	seq := uint64(0)
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		deduped := dedupWrites(e.Writes)
+		writes += len(deduped)
+		if len(t.Entries) == 1 && !e.Versioned {
+			seq = e.Index
+		}
+		if p.cfg.Recorder != nil {
+			for _, w := range deduped {
+				if e.Versioned {
+					p.cfg.Recorder.RecordVersionedApply(p.cfg.Site, w.Key, t.ID, e.Index)
+				} else {
+					p.cfg.Recorder.RecordApply(p.cfg.Site, w.Key, t.ID)
+				}
+			}
+		}
+	}
+	if t.TraceWrites > 0 {
+		writes = t.TraceWrites
+	}
+	if p.cfg.OnApply != nil {
+		p.cfg.OnApply(t.ID)
+	}
+	p.cfg.Tracer.Point(t.ID, trace.KindApply, seq, p.cfg.Site, int64(writes))
+}
+
+// Flush forces the pending batch to disk and releases its acknowledgements
+// (shutdown, tests). A no-op without group commit or with nothing pending.
+func (p *Pipeline) Flush() {
+	if p.grouped {
+		p.flush()
+	}
+}
+
+// Pending returns the number of commit acknowledgements queued behind the
+// next fsync (tests).
+func (p *Pipeline) Pending() int { return len(p.pendingAcks) }
+
+// flush writes and syncs the batch, observes the batch metrics, then fires
+// the queued acknowledgements. The queue is snapshotted first: an
+// acknowledgement callback may re-enter the pipeline with a new submission.
+func (p *Pipeline) flush() {
+	p.timerArmed = false
+	if p.pendingRecs == 0 && len(p.pendingAcks) == 0 {
+		return
+	}
+	start := p.now()
+	n, err := p.wal.Flush()
+	if err != nil {
+		p.logf("commitpipe: site %v wal flush: %v", p.cfg.Site, err)
+	}
+	if n > 0 {
+		p.FsyncLatency.Observe(p.now() - start)
+		p.BatchSizes.Observe(time.Duration(n))
+		p.Flushes++
+	}
+	p.pendingRecs = 0
+	acks := p.pendingAcks
+	p.pendingAcks = nil
+	for _, ack := range acks {
+		ack(true)
+	}
+}
+
+// armTimer schedules the MaxDelay flush once per open batch.
+func (p *Pipeline) armTimer() {
+	if p.timerArmed || p.cfg.SetTimer == nil || p.cfg.Policy.MaxDelay <= 0 {
+		return
+	}
+	p.timerArmed = true
+	p.cfg.SetTimer(p.cfg.Policy.MaxDelay, func() {
+		if p.timerArmed {
+			p.flush()
+		}
+	})
+}
+
+func (p *Pipeline) now() time.Duration {
+	if p.cfg.Now == nil {
+		return 0
+	}
+	return p.cfg.Now()
+}
+
+func (p *Pipeline) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// Summary renders the group-commit counters on one line (replicadb STATS).
+func (p *Pipeline) Summary() string {
+	return fmt.Sprintf("wal_flushes=%d batch[%s] fsync[%s]",
+		p.Flushes, p.BatchSizes.ScalarSummary(), p.FsyncLatency.Summary())
+}
+
+// dedupWrites collapses a write sequence so each key appears once with its
+// final value, preserving first-write order between keys (the same rule the
+// engines apply when building protocol messages).
+func dedupWrites(writes []message.KV) []message.KV {
+	if len(writes) <= 1 {
+		return writes
+	}
+	last := make(map[message.Key]int, len(writes))
+	for i, w := range writes {
+		last[w.Key] = i
+	}
+	out := writes[:0:0]
+	for i, w := range writes {
+		if last[w.Key] == i {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package commitpipe
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/storage"
+)
+
+func txn(site, seq int) message.TxnID {
+	return message.TxnID{Site: message.SiteID(site), Seq: uint64(seq)}
+}
+
+func kv(k, v string) message.KV {
+	return message.KV{Key: message.Key(k), Value: message.Value(v)}
+}
+
+// fakeClock drives SetTimer/Now deterministically: timers fire when the
+// test advances past their deadline.
+type fakeClock struct {
+	now    time.Duration
+	timers []struct {
+		at time.Duration
+		fn func()
+	}
+}
+
+func (c *fakeClock) SetTimer(d time.Duration, fn func()) {
+	c.timers = append(c.timers, struct {
+		at time.Duration
+		fn func()
+	}{c.now + d, fn})
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.now += d
+	due := c.timers
+	c.timers = nil
+	for _, t := range due {
+		if t.at <= c.now {
+			t.fn()
+		} else {
+			c.timers = append(c.timers, t)
+		}
+	}
+}
+
+func syncPipe(t *testing.T, wal *storage.WAL) (*Pipeline, *storage.Store) {
+	t.Helper()
+	st := storage.New(wal)
+	return New(Config{Site: 0, Store: st}), st
+}
+
+func TestSyncModeAcksImmediately(t *testing.T) {
+	var buf bytes.Buffer
+	syncs := 0
+	wal := storage.NewWAL(&buf)
+	wal.Sync = func() error { syncs++; return nil }
+	p, st := syncPipe(t, wal)
+
+	acked := false
+	p.Submit(Txn{
+		ID:      txn(0, 1),
+		Entries: []Entry{{Writes: []message.KV{kv("x", "a")}}},
+		Ack:     func(committed bool) { acked = committed },
+	})
+	if !acked {
+		t.Fatal("sync-mode commit did not ack immediately")
+	}
+	if syncs != 1 {
+		t.Fatalf("syncs = %d, want 1 (per-record durability)", syncs)
+	}
+	if rec, ok := st.Get("x"); !ok || rec.Index != 1 {
+		t.Fatalf("x = %+v ok=%v, want install at index 1", rec, ok)
+	}
+}
+
+func TestLsnAssignmentAndExplicitIndexes(t *testing.T) {
+	p, st := syncPipe(t, nil)
+	p.Submit(Txn{ID: txn(0, 1), Entries: []Entry{{Writes: []message.KV{kv("a", "1")}}}})
+	p.Submit(Txn{ID: txn(0, 2), Entries: []Entry{{Writes: []message.KV{kv("b", "2")}, Index: 7}}})
+	p.Submit(Txn{ID: txn(0, 3), Entries: []Entry{{Writes: []message.KV{kv("c", "3")}}}})
+	for key, want := range map[message.Key]uint64{"a": 1, "b": 7, "c": 8} {
+		rec, ok := st.Get(key)
+		if !ok || rec.Index != want {
+			t.Fatalf("%s = %+v ok=%v, want index %d", key, rec, ok, want)
+		}
+	}
+}
+
+func TestResumesLsnFromRecoveredStore(t *testing.T) {
+	st := storage.New(nil)
+	if err := st.Apply(txn(0, 1), []message.KV{kv("x", "old")}, 41); err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{Site: 0, Store: st})
+	p.Submit(Txn{ID: txn(0, 2), Entries: []Entry{{Writes: []message.KV{kv("x", "new")}}}})
+	if rec, _ := st.Get("x"); rec.Index != 42 {
+		t.Fatalf("x index = %d, want 42 (resume from applied)", rec.Index)
+	}
+}
+
+func TestCertifyFailureAcksAbortImmediately(t *testing.T) {
+	var buf bytes.Buffer
+	wal := storage.NewWAL(&buf)
+	st := storage.New(wal)
+	clock := &fakeClock{}
+	p := New(Config{
+		Site: 0, Store: st,
+		Policy:   Policy{MaxBatch: 8, MaxDelay: time.Millisecond},
+		SetTimer: clock.SetTimer,
+	})
+	var aborted, committed bool
+	certified := false
+	p.SubmitGroup([]Txn{
+		{
+			ID:        txn(0, 1),
+			Entries:   []Entry{{Writes: []message.KV{kv("x", "no")}}},
+			Certify:   func() bool { return false },
+			Certified: func() { certified = true },
+			Ack:       func(ok bool) { aborted = !ok },
+		},
+		{
+			ID:      txn(0, 2),
+			Entries: []Entry{{Writes: []message.KV{kv("y", "yes")}}},
+			Certify: func() bool { return true },
+			Ack:     func(ok bool) { committed = ok },
+		},
+	})
+	if !aborted {
+		t.Fatal("failed certification did not ack(false) immediately")
+	}
+	if certified {
+		t.Fatal("Certified ran for a failed certification")
+	}
+	if _, ok := st.Get("x"); ok {
+		t.Fatal("failed certification installed writes")
+	}
+	if committed {
+		t.Fatal("grouped commit acked before fsync")
+	}
+	if _, ok := st.Get("y"); !ok {
+		t.Fatal("certified install missing (installs are synchronous)")
+	}
+	clock.advance(time.Millisecond)
+	if !committed {
+		t.Fatal("MaxDelay flush did not release the ack")
+	}
+}
+
+func TestGroupCommitFlushesAtMaxBatch(t *testing.T) {
+	var buf bytes.Buffer
+	syncs := 0
+	wal := storage.NewWAL(&buf)
+	wal.Sync = func() error { syncs++; return nil }
+	st := storage.New(wal)
+	p := New(Config{Site: 0, Store: st, Policy: Policy{MaxBatch: 3}})
+
+	acks := 0
+	for i := 1; i <= 2; i++ {
+		p.Submit(Txn{
+			ID:      txn(0, i),
+			Entries: []Entry{{Writes: []message.KV{kv("k", "v")}}},
+			Ack:     func(bool) { acks++ },
+		})
+	}
+	if acks != 0 || syncs != 0 {
+		t.Fatalf("acks=%d syncs=%d before MaxBatch", acks, syncs)
+	}
+	if p.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", p.Pending())
+	}
+	p.Submit(Txn{
+		ID:      txn(0, 3),
+		Entries: []Entry{{Writes: []message.KV{kv("k", "v3")}}},
+		Ack:     func(bool) { acks++ },
+	})
+	if acks != 3 {
+		t.Fatalf("acks = %d after MaxBatch reached, want 3", acks)
+	}
+	if syncs != 1 {
+		t.Fatalf("syncs = %d, want 1 (one fsync for the whole batch)", syncs)
+	}
+	if p.Flushes != 1 {
+		t.Fatalf("Flushes = %d", p.Flushes)
+	}
+	// Installs never waited: the third submit's version is visible.
+	if rec, _ := st.Get("k"); string(rec.Value) != "v3" {
+		t.Fatalf("k = %q", rec.Value)
+	}
+}
+
+func TestGroupCommitMaxDelayTimer(t *testing.T) {
+	var buf bytes.Buffer
+	wal := storage.NewWAL(&buf)
+	st := storage.New(wal)
+	clock := &fakeClock{}
+	p := New(Config{
+		Site: 0, Store: st,
+		Policy:   Policy{MaxBatch: 100, MaxDelay: 2 * time.Millisecond},
+		SetTimer: clock.SetTimer,
+		Now:      func() time.Duration { return clock.now },
+	})
+	acked := false
+	p.Submit(Txn{
+		ID:      txn(0, 1),
+		Entries: []Entry{{Writes: []message.KV{kv("x", "a")}}},
+		Ack:     func(bool) { acked = true },
+	})
+	clock.advance(time.Millisecond)
+	if acked {
+		t.Fatal("acked before MaxDelay")
+	}
+	clock.advance(time.Millisecond)
+	if !acked {
+		t.Fatal("MaxDelay elapsed without a flush")
+	}
+	if got := wal.Pending(); got != 0 {
+		t.Fatalf("wal pending = %d after flush", got)
+	}
+}
+
+func TestExplicitFlushReleasesAcks(t *testing.T) {
+	var buf bytes.Buffer
+	wal := storage.NewWAL(&buf)
+	st := storage.New(wal)
+	p := New(Config{Site: 0, Store: st, Policy: Policy{MaxBatch: 100}})
+	acked := false
+	p.Submit(Txn{
+		ID:      txn(0, 1),
+		Entries: []Entry{{Writes: []message.KV{kv("x", "a")}}},
+		Ack:     func(bool) { acked = true },
+	})
+	if acked {
+		t.Fatal("acked before flush")
+	}
+	p.Flush()
+	if !acked {
+		t.Fatal("Flush did not release the ack")
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("Pending = %d after Flush", p.Pending())
+	}
+}
+
+func TestAckReentrancy(t *testing.T) {
+	var buf bytes.Buffer
+	wal := storage.NewWAL(&buf)
+	st := storage.New(wal)
+	p := New(Config{Site: 0, Store: st, Policy: Policy{MaxBatch: 2}})
+	order := []string{}
+	p.Submit(Txn{
+		ID:      txn(0, 1),
+		Entries: []Entry{{Writes: []message.KV{kv("a", "1")}}},
+		Ack: func(bool) {
+			order = append(order, "ack1")
+			// Re-enter the pipeline from inside an acknowledgement, as a
+			// client callback submitting its next transaction would.
+			p.Submit(Txn{
+				ID:      txn(0, 3),
+				Entries: []Entry{{Writes: []message.KV{kv("c", "3")}}},
+				Ack:     func(bool) { order = append(order, "ack3") },
+			})
+		},
+	})
+	p.Submit(Txn{
+		ID:      txn(0, 2),
+		Entries: []Entry{{Writes: []message.KV{kv("b", "2")}}},
+		Ack:     func(bool) { order = append(order, "ack2") },
+	})
+	// Batch of 2 flushed, acks fired; the re-entrant submission opened a
+	// fresh batch of one.
+	if len(order) != 2 || order[0] != "ack1" || order[1] != "ack2" {
+		t.Fatalf("order = %v", order)
+	}
+	if p.Pending() != 1 {
+		t.Fatalf("Pending = %d, want the re-entrant txn queued", p.Pending())
+	}
+	p.Flush()
+	if len(order) != 3 || order[2] != "ack3" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestVersionedEntriesAndOnApply(t *testing.T) {
+	p, st := syncPipe(t, nil)
+	applied := 0
+	p.cfg.OnApply = func(message.TxnID) { applied++ }
+	cleanedUp := false
+	// A quorum-style install: one versioned entry per key, one skipped.
+	p.Submit(Txn{
+		ID: txn(2, 9),
+		Entries: []Entry{
+			{Writes: []message.KV{kv("p", "1")}, Index: 12, Versioned: true},
+			{Writes: []message.KV{kv("q", "2")}, Index: 3, Versioned: true},
+		},
+		TraceWrites: 3,
+		Applied:     func() { cleanedUp = true },
+	})
+	if applied != 1 {
+		t.Fatalf("OnApply ran %d times, want once per transaction", applied)
+	}
+	if !cleanedUp {
+		t.Fatal("Applied callback did not run")
+	}
+	if rec, _ := st.Get("p"); rec.Index != 12 {
+		t.Fatalf("p index = %d", rec.Index)
+	}
+	if rec, _ := st.Get("q"); rec.Index != 3 {
+		t.Fatalf("q index = %d", rec.Index)
+	}
+	// Versioned indexes never drag the per-site sequence backwards, but a
+	// high one advances it.
+	p.Submit(Txn{ID: txn(0, 1), Entries: []Entry{{Writes: []message.KV{kv("r", "4")}}}})
+	if rec, _ := st.Get("r"); rec.Index != 13 {
+		t.Fatalf("r index = %d, want 13", rec.Index)
+	}
+}
+
+func TestBatchMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	wal := storage.NewWAL(&buf)
+	st := storage.New(wal)
+	p := New(Config{Site: 0, Store: st, Policy: Policy{MaxBatch: 4}})
+	for i := 1; i <= 8; i++ {
+		p.Submit(Txn{ID: txn(0, i), Entries: []Entry{{Writes: []message.KV{kv("k", "v")}}}})
+	}
+	if p.Flushes != 2 {
+		t.Fatalf("Flushes = %d, want 2", p.Flushes)
+	}
+	if p.BatchSizes.Count() != 2 {
+		t.Fatalf("BatchSizes count = %d", p.BatchSizes.Count())
+	}
+	if s := p.Summary(); s == "" {
+		t.Fatal("empty summary")
+	}
+}

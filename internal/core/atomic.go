@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/broadcast"
+	"repro/internal/commitpipe"
 	"repro/internal/env"
 	"repro/internal/membership"
 	"repro/internal/message"
@@ -321,8 +322,11 @@ func (e *AtomicEngine) deliver(d broadcast.Delivery) {
 // drain processes queued commit requests strictly in total order. The head
 // stalls until every disseminated write it announced has arrived — all
 // sites stall identically, so determinism is preserved; causal broadcast's
-// eventual delivery guarantees progress.
+// eventual delivery guarantees progress. The maximal deliverable run is
+// handed to the pipeline as one certified group so its installs share a
+// single store traversal and its log records one fsync.
 func (e *AtomicEngine) drain() {
+	var group []commitpipe.Txn
 	for len(e.queue) > 0 {
 		item := e.queue[0]
 		req := item.req
@@ -332,46 +336,50 @@ func (e *AtomicEngine) drain() {
 		} else {
 			writes = e.pendingWrites[req.Txn]
 			if len(writes) < req.NWrites {
-				return // await the causal write dissemination
+				break // await the causal write dissemination
 			}
 		}
 		e.queue = e.queue[1:]
-		e.process(item.idx, req, writes, item.at)
+		e.certIndex = item.idx
+		delete(e.pendingWrites, req.Txn)
+		group = append(group, e.certTxn(item.idx, req, writes, item.at))
+	}
+	if len(group) > 0 {
+		e.pipe.SubmitGroup(group)
 	}
 }
 
-// process certifies one commit request; identical at every site.
-func (e *AtomicEngine) process(idx uint64, req *message.CommitReq, writes []message.KV, at time.Duration) {
-	e.certIndex = idx
-	delete(e.pendingWrites, req.Txn)
-	ok := e.certify(req)
-	e.tr.Interval(req.Txn, trace.KindCertWait, at, idx, e.rt.ID(), 0)
-	certOK := int64(0)
-	if ok {
-		certOK = 1
-	}
-	e.tr.Point(req.Txn, trace.KindCert, idx, e.rt.ID(), certOK)
-	if ok {
-		writes = dedupWrites(writes)
-		if err := e.store.Apply(req.Txn, writes, idx); err != nil {
-			e.rt.Logf("atomic: apply %v at %d: %v", req.Txn, idx, err)
-		} else {
+// certTxn wraps one totally-ordered commit request as a pipeline adapter;
+// the certification closure runs the deterministic rule identically at
+// every site, at the request's total-order index.
+func (e *AtomicEngine) certTxn(idx uint64, req *message.CommitReq, writes []message.KV, at time.Duration) commitpipe.Txn {
+	return commitpipe.Txn{
+		ID:      req.Txn,
+		Entries: []commitpipe.Entry{{Writes: writes, Index: idx}},
+		Certify: func() bool {
+			ok := e.certify(req)
+			e.tr.Interval(req.Txn, trace.KindCertWait, at, idx, e.rt.ID(), 0)
+			certOK := int64(0)
+			if ok {
+				certOK = 1
+			}
+			e.tr.Point(req.Txn, trace.KindCert, idx, e.rt.ID(), certOK)
+			return ok
+		},
+		Certified: func() {
 			for _, w := range writes {
 				e.lastCommit[w.Key] = idx
-				if e.cfg.Recorder != nil {
-					e.cfg.Recorder.RecordApply(e.rt.ID(), w.Key, req.Txn)
+			}
+		},
+		Ack: func(committed bool) {
+			if tx := e.local[req.Txn]; tx != nil {
+				if committed {
+					e.finish(tx, Committed, ReasonNone)
+				} else {
+					e.finish(tx, Aborted, ReasonCertification)
 				}
 			}
-			e.stats.Applied++
-			e.tr.Point(req.Txn, trace.KindApply, idx, e.rt.ID(), int64(len(writes)))
-		}
-	}
-	if tx := e.local[req.Txn]; tx != nil {
-		if ok {
-			e.finish(tx, Committed, ReasonNone)
-		} else {
-			e.finish(tx, Aborted, ReasonCertification)
-		}
+		},
 	}
 }
 

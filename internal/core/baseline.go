@@ -334,7 +334,8 @@ func (e *BaselineEngine) onVote(v *message.PrepareVote) {
 }
 
 // decide is phase two: the coordinator's decision, unicast to every
-// participant and applied locally.
+// participant and applied locally. Commits finish through the pipeline's
+// durability ack inside onDecision; aborts finish immediately.
 func (e *BaselineEngine) decide(tx *Tx, commit bool) {
 	d := &message.PDecision{Txn: tx.ID, Commit: commit}
 	for _, s := range e.members() {
@@ -344,9 +345,7 @@ func (e *BaselineEngine) decide(tx *Tx, commit bool) {
 		e.rt.Send(s, d)
 	}
 	e.onDecision(d)
-	if commit {
-		e.finish(tx, Committed, ReasonNone)
-	} else {
+	if !commit {
 		e.finish(tx, Aborted, ReasonViewChange)
 	}
 }
@@ -355,15 +354,23 @@ func (e *BaselineEngine) decide(tx *Tx, commit bool) {
 func (e *BaselineEngine) onDecision(d *message.PDecision) {
 	r := e.remote[d.Txn]
 	if r == nil {
+		// No staged record (read-only at this site); the coordinator still
+		// owes its client an answer.
+		if d.Commit {
+			if tx := e.local[d.Txn]; tx != nil {
+				e.finish(tx, Committed, ReasonNone)
+			}
+		}
 		return
 	}
 	if d.Commit {
-		if err := e.applyCommitted(d.Txn, r.staged); err != nil {
-			e.rt.Logf("baseline: %v", err)
-		}
-	} else {
-		r.doomed = true
+		e.commitPipelined(d.Txn, r.staged, func() {
+			e.locks.ReleaseAll(d.Txn)
+			delete(e.remote, d.Txn)
+		})
+		return
 	}
+	r.doomed = true
 	e.locks.ReleaseAll(d.Txn)
 	delete(e.remote, d.Txn)
 }

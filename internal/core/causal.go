@@ -354,14 +354,10 @@ func (e *CausalEngine) onDecision(d *message.Decision) {
 			e.rt.Logf("causal: commit decision for missing/doomed %v", d.Txn)
 			return
 		}
-		if err := e.applyCommitted(d.Txn, r.staged); err != nil {
-			e.rt.Logf("causal: %v", err)
-		}
-		e.locks.ReleaseAll(d.Txn)
-		delete(e.remote, d.Txn)
-		if tx := e.local[d.Txn]; tx != nil {
-			e.finish(tx, Committed, ReasonNone)
-		}
+		e.commitPipelined(d.Txn, r.staged, func() {
+			e.locks.ReleaseAll(d.Txn)
+			delete(e.remote, d.Txn)
+		})
 		return
 	}
 	if r != nil {

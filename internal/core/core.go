@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/broadcast"
+	"repro/internal/commitpipe"
 	"repro/internal/env"
 	"repro/internal/failure"
 	"repro/internal/lockmgr"
@@ -138,8 +139,15 @@ type Config struct {
 	// storage.Recover after a restart) instead of an empty database. The
 	// per-site commit index resumes from the store's applied index.
 	InitialStore *storage.Store
-	// MaxVersions caps stored version chains (default 64, 0 = unbounded).
+	// MaxVersions caps stored version chains (default
+	// storage.DefaultMaxVersions, 0 = unbounded).
 	MaxVersions int
+	// GroupCommit batches WAL fsyncs in the shared commit pipeline
+	// (internal/commitpipe): with MaxBatch > 1 and a WAL configured,
+	// consecutive commits share one fsync and their client
+	// acknowledgements wait for it. The zero value preserves per-record
+	// durability.
+	GroupCommit commitpipe.Policy
 	// Relay enables eager broadcast relaying.
 	Relay bool
 	// AtomicMode selects the total-order broadcast implementation
@@ -282,6 +290,9 @@ type Engine interface {
 	Stats() *Stats
 	// Store exposes the site's local database (tests and tools).
 	Store() *storage.Store
+	// Pipeline exposes the site's commit pipeline: its group-commit
+	// metrics, and Flush for shutdown.
+	Pipeline() *commitpipe.Pipeline
 }
 
 // base carries the state and helpers shared by every engine.
@@ -296,7 +307,7 @@ type base struct {
 
 	nextSeq uint64
 	local   map[message.TxnID]*Tx
-	lsn     uint64 // per-site commit index for lock-based engines
+	pipe    *commitpipe.Pipeline
 	stats   Stats
 	tr      *trace.Tracer
 }
@@ -316,10 +327,20 @@ func newBase(rt env.Runtime, cfg Config, name string) *base {
 		locks: lockmgr.New(),
 		store: st,
 		local: make(map[message.TxnID]*Tx),
-		lsn:   st.Applied(),
 		stats: newStats(),
 		tr:    cfg.Tracer,
 	}
+	b.pipe = commitpipe.New(commitpipe.Config{
+		Site:     rt.ID(),
+		Store:    st,
+		Policy:   cfg.GroupCommit,
+		SetTimer: func(d time.Duration, fn func()) { rt.SetTimer(d, fn) },
+		Now:      rt.Now,
+		Recorder: cfg.Recorder,
+		Tracer:   cfg.Tracer,
+		OnApply:  func(message.TxnID) { b.stats.Applied++ },
+		Logf:     rt.Logf,
+	})
 	if cfg.Tracer != nil {
 		b.locks.Tracer = cfg.Tracer
 		b.locks.Now = rt.Now
@@ -572,26 +593,30 @@ func dedupWrites(writes []message.KV) []message.KV {
 	return out
 }
 
-// applyCommitted installs a committed transaction's writes at the next
-// local commit index, records apply order, and counts it.
-func (b *base) applyCommitted(id message.TxnID, writes []message.KV) error {
-	writes = dedupWrites(writes)
-	b.lsn++
-	if err := b.store.Apply(id, writes, b.lsn); err != nil {
-		return fmt.Errorf("site %v apply %v: %w", b.rt.ID(), id, err)
-	}
-	if b.cfg.Recorder != nil {
-		for _, w := range writes {
-			b.cfg.Recorder.RecordApply(b.rt.ID(), w.Key, id)
-		}
-	}
-	b.stats.Applied++
-	b.tr.Point(id, trace.KindApply, b.lsn, b.rt.ID(), int64(len(writes)))
-	return nil
+// commitPipelined feeds a decided lock-based commit (protocols R, C, and
+// the ROWA baseline) through the shared pipeline: install the staged writes
+// at the next local commit index, run applied (lock release, replica-record
+// cleanup) after the versions are visible, and acknowledge the home
+// client's callback once the commit is durable under the group-commit
+// policy.
+func (b *base) commitPipelined(id message.TxnID, staged []message.KV, applied func()) {
+	b.pipe.Submit(commitpipe.Txn{
+		ID:      id,
+		Entries: []commitpipe.Entry{{Writes: staged}},
+		Applied: applied,
+		Ack: func(bool) {
+			if tx := b.local[id]; tx != nil {
+				b.finish(tx, Committed, ReasonNone)
+			}
+		},
+	})
 }
 
 // Stats returns the engine's counters.
 func (b *base) Stats() *Stats { return &b.stats }
+
+// Pipeline exposes the site's commit pipeline.
+func (b *base) Pipeline() *commitpipe.Pipeline { return b.pipe }
 
 // Store exposes the local database.
 func (b *base) Store() *storage.Store { return b.store }

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/commitpipe"
 	"repro/internal/env"
 	"repro/internal/lockmgr"
 	"repro/internal/message"
@@ -390,28 +391,29 @@ func (e *QuorumEngine) onLockReply(rep *message.QLockReply) {
 }
 
 // onQCommit installs the committed versions (skipping any this replica
-// already has newer) and releases the transaction here.
+// already has newer) and releases the transaction here. Each surviving
+// write keeps its own quorum-assigned version, so it rides the pipeline as
+// a separate versioned entry; the home site's client was answered at the
+// decision point, so no durability ack is registered.
 func (e *QuorumEngine) onQCommit(c *message.QCommit) {
 	vers := make(map[message.Key]uint64, len(c.Vers))
 	for _, kv := range c.Vers {
 		vers[kv.Key] = kv.Ver
 	}
+	var entries []commitpipe.Entry
 	for _, w := range c.Writes {
 		ver := vers[w.Key]
 		if rec, ok := e.store.Get(w.Key); ok && rec.Index >= ver {
 			continue // a newer quorum write already landed here
 		}
-		if err := e.store.Apply(c.Txn, []message.KV{w}, ver); err != nil {
-			e.rt.Logf("quorum: apply %v: %v", c.Txn, err)
-			continue
-		}
-		if e.cfg.Recorder != nil {
-			e.cfg.Recorder.RecordVersionedApply(e.rt.ID(), w.Key, c.Txn, ver)
-		}
+		entries = append(entries, commitpipe.Entry{Writes: []message.KV{w}, Index: ver, Versioned: true})
 	}
-	e.stats.Applied++
-	e.tr.Point(c.Txn, trace.KindApply, 0, e.rt.ID(), int64(len(c.Writes)))
-	e.cleanup(c.Txn)
+	e.pipe.Submit(commitpipe.Txn{
+		ID:          c.Txn,
+		Entries:     entries,
+		TraceWrites: len(c.Writes),
+		Applied:     func() { e.cleanup(c.Txn) },
+	})
 }
 
 // onQRelease drops the transaction's footprint at this replica.

@@ -362,14 +362,10 @@ func (e *ReliableEngine) tally(r *rtxnR) {
 
 func (e *ReliableEngine) decideCommit(r *rtxnR) {
 	r.decided = true
-	if err := e.applyCommitted(r.id, r.staged); err != nil {
-		e.rt.Logf("reliable: %v", err)
-	}
-	e.locks.ReleaseAll(r.id)
-	delete(e.remote, r.id)
-	if tx := e.local[r.id]; tx != nil {
-		e.finish(tx, Committed, ReasonNone)
-	}
+	e.commitPipelined(r.id, r.staged, func() {
+		e.locks.ReleaseAll(r.id)
+		delete(e.remote, r.id)
+	})
 }
 
 func (e *ReliableEngine) decideAbort(r *rtxnR, reason AbortReason) {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sgraph"
 	"repro/internal/sim"
+	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -61,6 +62,13 @@ type Options struct {
 	// that capacity (see internal/trace); the tracers are returned in
 	// Result.Tracers indexed by site.
 	TraceCap int
+	// WAL, when set, supplies each site's write-ahead log (durability and
+	// group-commit experiments). It overrides Engine.WAL per site.
+	WAL func(message.SiteID) *storage.WAL
+	// Engines, when non-nil, receives the constructed per-site engines so
+	// callers can inspect them after the run (commit-pipeline counters,
+	// final flushes).
+	Engines *[]core.Engine
 }
 
 // Fault crashes one site at a virtual time.
@@ -171,6 +179,9 @@ func Run(opts Options) (Result, error) {
 	for i := 0; i < n; i++ {
 		rt := cluster.Runtime(message.SiteID(i))
 		cfg := cfg
+		if opts.WAL != nil {
+			cfg.WAL = opts.WAL(message.SiteID(i))
+		}
 		if opts.TraceCap > 0 {
 			cfg.Tracer = trace.New(message.SiteID(i), opts.TraceCap, rt.Now)
 			res.Tracers[i] = cfg.Tracer
@@ -192,6 +203,9 @@ func Run(opts Options) (Result, error) {
 		}
 		engines[i] = e
 		cluster.Bind(message.SiteID(i), e)
+	}
+	if opts.Engines != nil {
+		*opts.Engines = engines
 	}
 	cluster.Start()
 	for _, f := range opts.Faults {

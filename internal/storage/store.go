@@ -34,19 +34,29 @@ type Store struct {
 	applied   uint64
 	wal       *WAL
 	// MaxVersions caps each key's version chain; older versions are
-	// discarded. Zero means unbounded.
+	// discarded. New initializes it to DefaultMaxVersions; set it to zero
+	// after New for unbounded retention.
 	MaxVersions int
 }
 
-// New creates an empty store. A nil wal disables logging.
+// DefaultMaxVersions is the per-key version-chain cap New applies. Bounded
+// retention is the safe default: unbounded chains grow without limit under
+// write-heavy workloads, so opting out (MaxVersions = 0) is explicit.
+const DefaultMaxVersions = 64
+
+// New creates an empty store with MaxVersions set to DefaultMaxVersions.
+// A nil wal disables logging.
 func New(wal *WAL) *Store {
 	return &Store{
 		versions:    make(map[message.Key][]message.VersionRec),
 		truncated:   make(map[message.Key]bool),
 		wal:         wal,
-		MaxVersions: 64,
+		MaxVersions: DefaultMaxVersions,
 	}
 }
+
+// WAL returns the log this store appends to (nil when logging is disabled).
+func (s *Store) WAL() *WAL { return s.wal }
 
 // Get returns the newest committed version of key.
 func (s *Store) Get(key message.Key) (message.VersionRec, bool) {
@@ -91,6 +101,13 @@ func (s *Store) Apply(txn message.TxnID, writes []message.KV, index uint64) erro
 			return fmt.Errorf("wal append: %w", err)
 		}
 	}
+	s.install(txn, writes, index)
+	return nil
+}
+
+// install appends the writes' versions and advances the applied index;
+// validation and logging already happened.
+func (s *Store) install(txn message.TxnID, writes []message.KV, index uint64) {
 	for _, w := range writes {
 		vs := append(s.versions[w.Key], message.VersionRec{Index: index, Writer: txn, Value: w.Value})
 		if s.MaxVersions > 0 && len(vs) > s.MaxVersions {
@@ -101,6 +118,48 @@ func (s *Store) Apply(txn message.TxnID, writes []message.KV, index uint64) erro
 	}
 	if index > s.applied {
 		s.applied = index
+	}
+}
+
+// BatchEntry is one committed transaction inside an ApplyBatch group.
+type BatchEntry struct {
+	Txn    message.TxnID
+	Writes []message.KV
+	Index  uint64
+}
+
+// ApplyBatch installs a certified group of committed transactions under one
+// traversal: the whole group is validated against the version chains (and
+// against itself) before any write is logged or installed, so a bad entry
+// rejects the group atomically. With a grouped WAL the group's records all
+// land in the buffer of a single future fsync.
+func (s *Store) ApplyBatch(entries []BatchEntry) error {
+	// Validate first: every entry's index must exceed each written key's
+	// newest version, counting versions earlier group entries will install.
+	tip := make(map[message.Key]uint64, len(entries))
+	for _, e := range entries {
+		for _, w := range e.Writes {
+			last, seen := tip[w.Key]
+			if !seen {
+				if vs := s.versions[w.Key]; len(vs) > 0 {
+					last, seen = vs[len(vs)-1].Index, true
+				}
+			}
+			if seen && last >= e.Index {
+				return fmt.Errorf("%w: key %q has version %d, batch apply at %d", ErrStaleIndex, w.Key, last, e.Index)
+			}
+			tip[w.Key] = e.Index
+		}
+	}
+	if s.wal != nil {
+		for _, e := range entries {
+			if err := s.wal.Append(Record{Index: e.Index, Txn: e.Txn, Writes: e.Writes}); err != nil {
+				return fmt.Errorf("wal append: %w", err)
+			}
+		}
+	}
+	for _, e := range entries {
+		s.install(e.Txn, e.Writes, e.Index)
 	}
 	return nil
 }

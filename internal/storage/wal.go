@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
 
 	"repro/internal/message"
 )
@@ -24,28 +27,250 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 // WAL is an append-only write-ahead log with per-record CRC32 checksums.
 // The format is a simple length-prefixed binary encoding so recovery can
 // stop cleanly at a torn tail.
+//
+// Two durability modes:
+//
+//   - Per-record (default): Append writes and syncs each record before
+//     returning, so every acknowledged record is durable.
+//   - Grouped (SetGrouped): Append only buffers the encoded record; Flush
+//     writes the whole batch with one write and one sync. The commit
+//     pipeline (internal/commitpipe) uses this for group commit, deferring
+//     client acknowledgements until the batch's fsync.
+//
+// A WAL opened with OpenSegments additionally rotates across fixed-size
+// segment files; records (and, in grouped mode, whole batches) never split
+// across a segment boundary.
 type WAL struct {
 	w io.Writer
-	// Sync is called after each append when non-nil (e.g. (*os.File).Sync
-	// for durability).
+	// Sync is called after each durable write when non-nil (e.g.
+	// (*os.File).Sync). OpenSegments manages it across rotations.
 	Sync func() error
 	buf  []byte
+
+	grouped  bool
+	pending  []byte // encoded records buffered since the last Flush
+	pendingN int
+
+	seg *segState // non-nil for segmented logs (OpenSegments)
+}
+
+// segState tracks the active segment of a directory-backed log.
+type segState struct {
+	dir      string
+	maxBytes int64
+	f        *os.File
+	size     int64
+	n        int // current segment number (1-based)
 }
 
 // NewWAL creates a log that appends to w.
 func NewWAL(w io.Writer) *WAL { return &WAL{w: w} }
 
-// Append writes one record.
+// SetGrouped switches between per-record durability (false, the default)
+// and group commit (true): appends buffer in memory until Flush writes and
+// syncs them as one batch. Disabling grouping does not write buffered
+// records; call Flush first.
+func (l *WAL) SetGrouped(g bool) { l.grouped = g }
+
+// Pending returns the number of records buffered and not yet flushed.
+func (l *WAL) Pending() int { return l.pendingN }
+
+// Append writes one record. In grouped mode the record is only buffered;
+// durability (and any write error) arrives at the next Flush.
 func (l *WAL) Append(r Record) error {
+	if l.grouped {
+		l.pending = appendRecord(l.pending, r)
+		l.pendingN++
+		return nil
+	}
 	l.buf = l.buf[:0]
 	l.buf = appendRecord(l.buf, r)
-	if _, err := l.w.Write(l.buf); err != nil {
+	if err := l.write(l.buf); err != nil {
 		return err
 	}
+	return l.sync()
+}
+
+// Flush writes every buffered record with a single write followed by a
+// single sync, returning how many records the batch held. A no-op (0, nil)
+// when nothing is buffered.
+func (l *WAL) Flush() (int, error) {
+	if l.pendingN == 0 {
+		return 0, nil
+	}
+	n := l.pendingN
+	err := l.write(l.pending)
+	l.pending = l.pending[:0]
+	l.pendingN = 0
+	if err != nil {
+		return n, err
+	}
+	return n, l.sync()
+}
+
+// Close flushes buffered records and closes the active segment file.
+// Non-segmented logs only flush (the caller owns the writer).
+func (l *WAL) Close() error {
+	_, err := l.Flush()
+	if l.seg != nil {
+		if cerr := l.seg.f.Close(); err == nil {
+			err = cerr
+		}
+		l.seg = nil
+		l.w = nil
+		l.Sync = nil
+	}
+	return err
+}
+
+// write sends one encoded chunk (a record or a whole batch) to the backing
+// writer, rotating the active segment first when the chunk would overflow
+// it. Rotating before the write keeps records whole within a segment.
+func (l *WAL) write(b []byte) error {
+	if l.seg != nil {
+		if l.seg.size > 0 && l.seg.size+int64(len(b)) > l.seg.maxBytes {
+			if err := l.rotate(); err != nil {
+				return err
+			}
+		}
+		l.seg.size += int64(len(b))
+	}
+	_, err := l.w.Write(b)
+	return err
+}
+
+func (l *WAL) sync() error {
 	if l.Sync != nil {
 		return l.Sync()
 	}
 	return nil
+}
+
+// rotate syncs and closes the active segment and opens the next one.
+func (l *WAL) rotate() error {
+	s := l.seg
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	s.n++
+	f, err := os.OpenFile(segmentPath(s.dir, s.n), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.size = 0
+	l.w = f
+	l.Sync = f.Sync
+	return nil
+}
+
+// DefaultSegmentBytes is the rotation threshold OpenSegments applies when
+// given maxBytes <= 0.
+const DefaultSegmentBytes = 64 << 20
+
+// segmentPath names segment n inside dir.
+func segmentPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.seg", n))
+}
+
+// SegmentFiles returns the log's segment files inside dir in append order.
+func SegmentFiles(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// IsSegmentDir reports whether path is a directory (a segmented log root,
+// as opposed to a single-file log).
+func IsSegmentDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// OpenSegments opens (creating if needed) a segmented log rooted at dir for
+// appending, rotating to a new segment file once the active one exceeds
+// maxBytes (DefaultSegmentBytes when <= 0). Appends continue on the highest
+// existing segment.
+func OpenSegments(dir string, maxBytes int64) (*WAL, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	files, err := SegmentFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	n := 1
+	if len(files) > 0 {
+		// Resume on the highest existing segment, tolerating numbering gaps
+		// from manual pruning.
+		last := filepath.Base(files[len(files)-1])
+		if _, err := fmt.Sscanf(last, "wal-%06d.seg", &n); err != nil {
+			return nil, fmt.Errorf("wal: bad segment name %q", last)
+		}
+	}
+	f, err := os.OpenFile(segmentPath(dir, n), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := NewWAL(f)
+	l.Sync = f.Sync
+	l.seg = &segState{dir: dir, maxBytes: maxBytes, f: f, size: fi.Size(), n: n}
+	return l, nil
+}
+
+// ReplaySegments replays every segment of a directory-backed log in append
+// order. Torn-tail and corruption semantics per segment match Replay; on
+// ErrCorrupt the valid prefix has been delivered and replay stops.
+func ReplaySegments(dir string, fn func(Record) error) error {
+	files, err := SegmentFiles(dir)
+	if err != nil {
+		return err
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = Replay(f, fn)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// RecoverSegments rebuilds a store from a segmented log and reopens the log
+// for appending, so a restarted replica resumes from its durable state. The
+// returned store logs through the returned WAL.
+func RecoverSegments(dir string, maxBytes int64) (*Store, *WAL, error) {
+	s := New(nil) // do not re-log while replaying
+	err := ReplaySegments(dir, func(r Record) error {
+		return s.Apply(r.Txn, r.Writes, r.Index)
+	})
+	if err != nil {
+		return s, nil, err
+	}
+	w, err := OpenSegments(dir, maxBytes)
+	if err != nil {
+		return s, nil, err
+	}
+	s.wal = w
+	return s, w, nil
 }
 
 func appendRecord(b []byte, r Record) []byte {
