@@ -101,16 +101,11 @@ func run() error {
 	if *walPath != "" {
 		var st *storage.Store
 		if fi, serr := os.Stat(*walPath); serr == nil && !fi.IsDir() {
-			// Legacy single-file log: replay it and keep appending on the
-			// same handle.
-			f, ferr := os.OpenFile(*walPath, os.O_CREATE|os.O_RDWR, 0o644)
-			if ferr != nil {
-				return fmt.Errorf("open wal: %w", ferr)
-			}
-			defer f.Close()
-			wal = storage.NewWAL(f)
-			wal.Sync = f.Sync
-			st, ferr = storage.Recover(f, wal)
+			// Legacy single-file log: replay it (truncating any torn tail so
+			// appends resume on the valid prefix) and keep appending to the
+			// same file.
+			var ferr error
+			st, wal, ferr = storage.RecoverFile(*walPath)
 			if ferr != nil {
 				return fmt.Errorf("recover wal: %w", ferr)
 			}

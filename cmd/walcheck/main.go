@@ -11,10 +11,12 @@
 //	walcheck site0.wal site1.wal site2.wal
 //	walcheck wal0/ wal1/ wal2/
 //
-// A torn tail (crash between a batch's write and its completion) ends a
-// log's replay silently — that is the format working as designed. A
-// checksum mismatch is corruption: walcheck warns, cross-checks the valid
-// prefix anyway, and exits nonzero.
+// A torn tail (crash between a batch's write and its completion) at the end
+// of a log — the final segment of a directory, or a single file — ends that
+// log's replay silently: that is the format working as designed. A checksum
+// mismatch, or a truncated record in a non-final segment (records missing
+// mid-log), is corruption: walcheck warns, cross-checks the valid prefix
+// anyway, and exits nonzero.
 //
 // Exit status: 0 consistent, 1 divergence, corruption, or unreadable log.
 package main

@@ -108,7 +108,9 @@ type Txn struct {
 	// readers observe the installed versions.
 	Applied func()
 	// Ack delivers the outcome to the waiting client, if any. Commit acks
-	// ride the group-commit batch; abort acks never wait.
+	// ride the group-commit batch; abort acks never wait. A decided-commit
+	// transaction still acks false when its install is rejected or its
+	// batch's fsync fails: true always means durably committed.
 	Ack func(committed bool)
 	// TraceWrites overrides the write count the KindApply span reports
 	// (quorum replicas count the full commit write set even when newer
@@ -168,6 +170,7 @@ func (p *Pipeline) Submit(t Txn) {
 // follow.
 func (p *Pipeline) SubmitGroup(txns []Txn) {
 	certified := make([]bool, len(txns))
+	nrecs := make([]int, len(txns)) // batch records each txn contributed
 	p.batch = p.batch[:0]
 	for i := range txns {
 		t := &txns[i]
@@ -192,14 +195,22 @@ func (p *Pipeline) SubmitGroup(txns []Txn) {
 			p.batch = append(p.batch, storage.BatchEntry{
 				Txn: t.ID, Writes: dedupWrites(e.Writes), Index: e.Index,
 			})
+			nrecs[i]++
 		}
 	}
 	recs := len(p.batch)
+	var applyErr error
 	if recs > 0 {
-		if err := p.cfg.Store.ApplyBatch(p.batch); err != nil {
-			p.logf("commitpipe: site %v apply batch: %v", p.cfg.Site, err)
+		if applyErr = p.cfg.Store.ApplyBatch(p.batch); applyErr != nil {
+			p.logf("commitpipe: site %v apply batch: %v", p.cfg.Site, applyErr)
+			// The group was rejected before any record reached the WAL
+			// buffer (ApplyBatch validates first): nothing new to fsync.
+			recs = 0
 		}
 	}
+	// failed reports whether txn i's installs were lost to the rejected
+	// batch; its client must not hear commit.
+	failed := func(i int) bool { return applyErr != nil && nrecs[i] > 0 }
 	for i := range txns {
 		t := &txns[i]
 		if !certified[i] {
@@ -208,7 +219,11 @@ func (p *Pipeline) SubmitGroup(txns []Txn) {
 			}
 			continue
 		}
-		p.bookkeep(t)
+		if !failed(i) {
+			p.bookkeep(t)
+		}
+		// Applied runs even for a failed install: it releases locks and
+		// drops replica records, and skipping it would wedge the site.
 		if t.Applied != nil {
 			t.Applied()
 		}
@@ -219,20 +234,32 @@ func (p *Pipeline) SubmitGroup(txns []Txn) {
 	if p.grouped {
 		p.pendingRecs += recs
 		for i := range txns {
-			if certified[i] && txns[i].Ack != nil {
-				p.pendingAcks = append(p.pendingAcks, txns[i].Ack)
+			t := &txns[i]
+			if !certified[i] || t.Ack == nil {
+				continue
+			}
+			switch {
+			case failed(i):
+				t.Ack(false)
+			case nrecs[i] == 0:
+				// Nothing of this txn awaits the fsync, and queueing it
+				// would not advance the batch toward MaxBatch — on a
+				// quiescent site the ack could wait forever.
+				t.Ack(true)
+			default:
+				p.pendingAcks = append(p.pendingAcks, t.Ack)
 			}
 		}
 		if p.pendingRecs >= p.cfg.Policy.MaxBatch {
 			p.flush()
-		} else if p.pendingRecs > 0 || len(p.pendingAcks) > 0 {
+		} else if p.pendingRecs > 0 {
 			p.armTimer()
 		}
 		return
 	}
 	for i := range txns {
 		if certified[i] && txns[i].Ack != nil {
-			txns[i].Ack(true)
+			txns[i].Ack(!failed(i))
 		}
 	}
 }
@@ -292,8 +319,7 @@ func (p *Pipeline) flush() {
 	n, err := p.wal.Flush()
 	if err != nil {
 		p.logf("commitpipe: site %v wal flush: %v", p.cfg.Site, err)
-	}
-	if n > 0 {
+	} else if n > 0 {
 		p.FsyncLatency.Observe(p.now() - start)
 		p.BatchSizes.Observe(time.Duration(n))
 		p.Flushes++
@@ -301,8 +327,11 @@ func (p *Pipeline) flush() {
 	p.pendingRecs = 0
 	acks := p.pendingAcks
 	p.pendingAcks = nil
+	// A failed flush means the batch never became durable; the guarantee is
+	// that an acknowledged transaction is on disk, so the waiting clients
+	// hear failure, not commit.
 	for _, ack := range acks {
-		ack(true)
+		ack(err == nil)
 	}
 }
 

@@ -2,6 +2,7 @@ package commitpipe
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -316,6 +317,132 @@ func TestVersionedEntriesAndOnApply(t *testing.T) {
 	p.Submit(Txn{ID: txn(0, 1), Entries: []Entry{{Writes: []message.KV{kv("r", "4")}}}})
 	if rec, _ := st.Get("r"); rec.Index != 13 {
 		t.Fatalf("r index = %d, want 13", rec.Index)
+	}
+}
+
+func TestApplyBatchFailureAcksAbort(t *testing.T) {
+	for _, grouped := range []bool{false, true} {
+		name := "sync"
+		if grouped {
+			name = "grouped"
+		}
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			wal := storage.NewWAL(&buf)
+			st := storage.New(wal)
+			// Seed a version the stale submission below will collide with.
+			if err := st.Apply(txn(0, 1), []message.KV{kv("x", "old")}, 5); err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{Site: 0, Store: st}
+			if grouped {
+				cfg.Policy = Policy{MaxBatch: 3}
+			}
+			applies := 0
+			cfg.OnApply = func(message.TxnID) { applies++ }
+			p := New(cfg)
+
+			acked, committed, released := false, false, false
+			p.Submit(Txn{
+				ID:      txn(0, 2),
+				Entries: []Entry{{Writes: []message.KV{kv("x", "stale")}, Index: 3}},
+				Applied: func() { released = true },
+				Ack:     func(ok bool) { acked, committed = true, ok },
+			})
+			if !acked || committed {
+				t.Fatalf("acked=%v committed=%v, want immediate ack(false)", acked, committed)
+			}
+			if applies != 0 {
+				t.Fatal("OnApply ran for a rejected install")
+			}
+			if !released {
+				t.Fatal("Applied skipped: locks would never release")
+			}
+			if rec, _ := st.Get("x"); string(rec.Value) != "old" {
+				t.Fatalf("x = %q, rejected install leaked", rec.Value)
+			}
+			if !grouped {
+				return
+			}
+			if p.Pending() != 0 {
+				t.Fatalf("Pending = %d, failed txn queued behind fsync", p.Pending())
+			}
+			// The rejected group added nothing to the open batch: exactly
+			// MaxBatch good submissions later the flush still fires.
+			acks := 0
+			for i := 0; i < 3; i++ {
+				p.Submit(Txn{
+					ID:      txn(0, 10+i),
+					Entries: []Entry{{Writes: []message.KV{kv("y", "v")}}},
+					Ack:     func(ok bool) { acks++ },
+				})
+			}
+			if acks != 3 || p.Flushes != 1 {
+				t.Fatalf("acks=%d flushes=%d after MaxBatch good txns", acks, p.Flushes)
+			}
+		})
+	}
+}
+
+func TestFlushFailureAcksAbort(t *testing.T) {
+	var buf bytes.Buffer
+	wal := storage.NewWAL(&buf)
+	failing := errors.New("disk full")
+	wal.Sync = func() error { return failing }
+	st := storage.New(wal)
+	p := New(Config{Site: 0, Store: st, Policy: Policy{MaxBatch: 2}})
+	var acks []bool
+	for i := 1; i <= 2; i++ {
+		p.Submit(Txn{
+			ID:      txn(0, i),
+			Entries: []Entry{{Writes: []message.KV{kv("k", "v")}}},
+			Ack:     func(ok bool) { acks = append(acks, ok) },
+		})
+	}
+	// The batch's fsync failed: an acknowledged txn must be on disk, so
+	// neither client may hear commit.
+	if len(acks) != 2 || acks[0] || acks[1] {
+		t.Fatalf("acks = %v after failed fsync, want [false false]", acks)
+	}
+	if p.Flushes != 0 {
+		t.Fatalf("Flushes = %d, failed fsync counted as a flush", p.Flushes)
+	}
+}
+
+func TestZeroRecordCommitAcksWithoutWaitingForBatch(t *testing.T) {
+	var buf bytes.Buffer
+	wal := storage.NewWAL(&buf)
+	st := storage.New(wal)
+	// No SetTimer and no MaxDelay: a queued ack would wait forever on a
+	// quiescent site.
+	p := New(Config{Site: 0, Store: st, Policy: Policy{MaxBatch: 100}})
+	acked := false
+	p.Submit(Txn{ID: txn(0, 1), Ack: func(ok bool) { acked = ok }})
+	if !acked {
+		t.Fatal("record-less commit deferred with nothing to fsync")
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("Pending = %d", p.Pending())
+	}
+	// In a mixed group only the record-bearing txn waits for the fsync.
+	var writeAcked, emptyAcked bool
+	p.SubmitGroup([]Txn{
+		{
+			ID:      txn(0, 2),
+			Entries: []Entry{{Writes: []message.KV{kv("x", "a")}}},
+			Ack:     func(ok bool) { writeAcked = ok },
+		},
+		{ID: txn(0, 3), Ack: func(ok bool) { emptyAcked = ok }},
+	})
+	if !emptyAcked {
+		t.Fatal("record-less commit in a mixed group deferred")
+	}
+	if writeAcked {
+		t.Fatal("record-bearing commit acked before its fsync")
+	}
+	p.Flush()
+	if !writeAcked {
+		t.Fatal("Flush did not release the queued ack")
 	}
 }
 

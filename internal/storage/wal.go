@@ -20,8 +20,9 @@ type Record struct {
 	Writes []message.KV
 }
 
-// ErrCorrupt is returned by Replay when a record fails its checksum; the
-// valid prefix before it has already been surfaced.
+// ErrCorrupt is returned by replay when a record fails its checksum — or,
+// in a segmented log, when a non-final segment is truncated (records are
+// missing mid-log); the valid prefix before it has already been surfaced.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
 // WAL is an append-only write-ahead log with per-record CRC32 checksums.
@@ -51,7 +52,8 @@ type WAL struct {
 	pending  []byte // encoded records buffered since the last Flush
 	pendingN int
 
-	seg *segState // non-nil for segmented logs (OpenSegments)
+	seg    *segState // non-nil for segmented logs (OpenSegments)
+	closer io.Closer // non-nil when the WAL owns its file (RecoverFile)
 }
 
 // segState tracks the active segment of a directory-backed log.
@@ -108,17 +110,23 @@ func (l *WAL) Flush() (int, error) {
 	return n, l.sync()
 }
 
-// Close flushes buffered records and closes the active segment file.
-// Non-segmented logs only flush (the caller owns the writer).
+// Close flushes buffered records and closes the backing file when the WAL
+// owns one (OpenSegments, RecoverFile). Logs created with NewWAL only flush
+// (the caller owns the writer).
 func (l *WAL) Close() error {
 	_, err := l.Flush()
+	c := l.closer
 	if l.seg != nil {
-		if cerr := l.seg.f.Close(); err == nil {
+		c = l.seg.f
+		l.seg = nil
+	}
+	if c != nil {
+		if cerr := c.Close(); err == nil {
 			err = cerr
 		}
-		l.seg = nil
 		l.w = nil
 		l.Sync = nil
+		l.closer = nil
 	}
 	return err
 }
@@ -233,37 +241,65 @@ func OpenSegments(dir string, maxBytes int64) (*WAL, error) {
 }
 
 // ReplaySegments replays every segment of a directory-backed log in append
-// order. Torn-tail and corruption semantics per segment match Replay; on
-// ErrCorrupt the valid prefix has been delivered and replay stops.
+// order. A torn tail (clean EOF mid-record) is tolerated only in the final
+// segment — that is the crash-mid-write the format is designed for. A short
+// read in an earlier segment means records are missing mid-log and surfaces
+// as ErrCorrupt, as does a checksum mismatch anywhere; either way the valid
+// prefix has been delivered and replay stops.
 func ReplaySegments(dir string, fn func(Record) error) error {
+	_, _, err := replaySegments(dir, fn)
+	return err
+}
+
+// replaySegments is ReplaySegments, additionally reporting the final
+// segment's path and the byte offset where its valid record prefix ends, so
+// recovery can truncate a torn tail before appending. lastPath is "" for an
+// empty log.
+func replaySegments(dir string, fn func(Record) error) (lastPath string, validOff int64, err error) {
 	files, err := SegmentFiles(dir)
 	if err != nil {
-		return err
+		return "", 0, err
 	}
-	for _, path := range files {
+	for i, path := range files {
 		f, err := os.Open(path)
 		if err != nil {
-			return err
+			return "", 0, err
 		}
-		err = Replay(f, fn)
+		off, rerr := ReplayPrefix(f, fn)
+		var size int64
+		if fi, serr := f.Stat(); serr == nil {
+			size = fi.Size()
+		} else if rerr == nil {
+			rerr = serr
+		}
 		f.Close()
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+		if rerr == nil && off < size && i < len(files)-1 {
+			rerr = fmt.Errorf("%w: torn record in non-final segment", ErrCorrupt)
 		}
+		if rerr != nil {
+			return path, off, fmt.Errorf("%s: %w", path, rerr)
+		}
+		lastPath, validOff = path, off
 	}
-	return nil
+	return lastPath, validOff, nil
 }
 
 // RecoverSegments rebuilds a store from a segmented log and reopens the log
-// for appending, so a restarted replica resumes from its durable state. The
+// for appending, so a restarted replica resumes from its durable state. Any
+// torn tail on the final segment is truncated before the log reopens. The
 // returned store logs through the returned WAL.
 func RecoverSegments(dir string, maxBytes int64) (*Store, *WAL, error) {
 	s := New(nil) // do not re-log while replaying
-	err := ReplaySegments(dir, func(r Record) error {
+	lastPath, validOff, err := replaySegments(dir, func(r Record) error {
 		return s.Apply(r.Txn, r.Writes, r.Index)
 	})
 	if err != nil {
 		return s, nil, err
+	}
+	if lastPath != "" {
+		if err := truncateTail(lastPath, validOff); err != nil {
+			return s, nil, err
+		}
 	}
 	w, err := OpenSegments(dir, maxBytes)
 	if err != nil {
@@ -271,6 +307,32 @@ func RecoverSegments(dir string, maxBytes int64) (*Store, *WAL, error) {
 	}
 	s.wal = w
 	return s, w, nil
+}
+
+// truncateTail chops a torn record tail off a log file before it reopens
+// for appending. Without this, post-restart appends land after the garbage
+// bytes, and the next replay — which stops at the torn record — would
+// silently discard every record written after the restart.
+func truncateTail(path string, off int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if fi.Size() <= off {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	err = f.Truncate(off)
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func appendRecord(b []byte, r Record) []byte {
@@ -360,40 +422,52 @@ func (r *reader) bytes(n int) []byte {
 // (clean EOF mid-record) ends replay without error; a checksum mismatch
 // returns ErrCorrupt after the valid prefix was delivered.
 func Replay(rd io.Reader, fn func(Record) error) error {
+	_, err := ReplayPrefix(rd, fn)
+	return err
+}
+
+// ReplayPrefix is Replay, additionally reporting the byte offset where the
+// valid record prefix ends (the start of any torn tail or corrupt record).
+// Recovery truncates the log there before appending again.
+func ReplayPrefix(rd io.Reader, fn func(Record) error) (int64, error) {
+	var off int64
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // torn or clean tail
+				return off, nil // torn or clean tail
 			}
-			return err
+			return off, err
 		}
 		size := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
 		if size > 1<<28 {
-			return fmt.Errorf("%w: implausible record size %d", ErrCorrupt, size)
+			return off, fmt.Errorf("%w: implausible record size %d", ErrCorrupt, size)
 		}
 		body := make([]byte, size)
 		if _, err := io.ReadFull(rd, body); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // torn tail
+				return off, nil // torn tail
 			}
-			return err
+			return off, err
 		}
 		if crc32.ChecksumIEEE(body) != sum {
-			return ErrCorrupt
+			return off, ErrCorrupt
 		}
 		rec, err := decodeBody(body)
 		if err != nil {
-			return err
+			return off, err
 		}
+		off += int64(len(hdr)) + int64(size)
 		if err := fn(rec); err != nil {
-			return err
+			return off, err
 		}
 	}
 }
 
-// Recover rebuilds a store from a log, returning the recovered store.
+// Recover rebuilds a store from a log, returning the recovered store. It
+// cannot truncate a torn tail (rd is just a reader); callers that will
+// append to the same file afterwards must use RecoverFile instead.
 func Recover(rd io.Reader, wal *WAL) (*Store, error) {
 	s := New(nil) // do not re-log while replaying
 	err := Replay(rd, func(r Record) error {
@@ -404,4 +478,41 @@ func Recover(rd io.Reader, wal *WAL) (*Store, error) {
 		return s, err
 	}
 	return s, nil
+}
+
+// RecoverFile rebuilds a store from a legacy single-file log and reopens
+// the file for appending, truncating any torn tail first (the segmented
+// equivalent is RecoverSegments). The returned store logs through the
+// returned WAL, whose Close closes the file.
+func RecoverFile(path string) (*Store, *WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := New(nil) // do not re-log while replaying
+	off, err := ReplayPrefix(f, func(r Record) error {
+		return s.Apply(r.Txn, r.Writes, r.Index)
+	})
+	if err == nil {
+		var fi os.FileInfo
+		if fi, err = f.Stat(); err == nil && fi.Size() > off {
+			if err = f.Truncate(off); err == nil {
+				err = f.Sync()
+			}
+		}
+	}
+	if err == nil {
+		// Replay may have consumed part of the torn tail; reposition writes
+		// at the end of the valid prefix.
+		_, err = f.Seek(off, io.SeekStart)
+	}
+	if err != nil {
+		f.Close()
+		return s, nil, err
+	}
+	w := NewWAL(f)
+	w.Sync = f.Sync
+	w.closer = f
+	s.wal = w
+	return s, w, nil
 }

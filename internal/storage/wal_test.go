@@ -250,6 +250,139 @@ func TestRecoverSegmentsRoundTrip(t *testing.T) {
 	}
 }
 
+// tearTail rewrites path with its last n bytes removed, leaving a torn
+// record as a crash between a batch's write and its completion would.
+func tearTail(t *testing.T, path string, n int) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if len(b) <= n {
+		t.Fatalf("log too short to tear: %d bytes", len(b))
+	}
+	if err := os.WriteFile(path, b[:len(b)-n], 0o644); err != nil {
+		t.Fatalf("tear %s: %v", path, err)
+	}
+}
+
+func TestRecoverSegmentsTruncatesTornTailBeforeAppending(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSegments(dir, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	s := New(l)
+	mustApply(t, s, txn(0, 1), 1, kv("x", "a"))
+	mustApply(t, s, txn(0, 2), 2, kv("y", "b"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	files, _ := SegmentFiles(dir)
+	tearTail(t, files[len(files)-1], 5) // record 2 loses its tail
+
+	// First restart: only the valid prefix survives, and new commits append.
+	s2, w2, err := RecoverSegments(dir, 0)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if s2.Applied() != 1 {
+		t.Fatalf("recovered applied = %d, want 1 (torn record dropped)", s2.Applied())
+	}
+	mustApply(t, s2, txn(0, 3), 2, kv("z", "c"))
+	if err := w2.Close(); err != nil {
+		t.Fatalf("close recovered wal: %v", err)
+	}
+
+	// Second restart: without tail truncation the post-restart append would
+	// sit behind the garbage bytes and silently vanish here.
+	s3, w3, err := RecoverSegments(dir, 0)
+	if err != nil {
+		t.Fatalf("second recover: %v", err)
+	}
+	defer w3.Close()
+	if s3.Applied() != 2 {
+		t.Fatalf("second recovery applied = %d, want 2 (post-restart commit lost)", s3.Applied())
+	}
+	if rec, ok := s3.Get("z"); !ok || string(rec.Value) != "c" {
+		t.Fatalf("post-restart commit z = %+v ok=%v", rec, ok)
+	}
+}
+
+func TestRecoverFileTruncatesTornTailBeforeAppending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	l := NewWAL(f)
+	l.Sync = f.Sync
+	s := New(l)
+	mustApply(t, s, txn(0, 1), 1, kv("x", "a"))
+	mustApply(t, s, txn(0, 2), 2, kv("y", "b"))
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	tearTail(t, path, 5)
+
+	s2, w2, err := RecoverFile(path)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if s2.Applied() != 1 {
+		t.Fatalf("recovered applied = %d, want 1", s2.Applied())
+	}
+	mustApply(t, s2, txn(0, 3), 2, kv("z", "c"))
+	if err := w2.Close(); err != nil {
+		t.Fatalf("close recovered wal: %v", err)
+	}
+
+	s3, w3, err := RecoverFile(path)
+	if err != nil {
+		t.Fatalf("second recover: %v", err)
+	}
+	defer w3.Close()
+	if s3.Applied() != 2 {
+		t.Fatalf("second recovery applied = %d, want 2 (post-restart commit lost)", s3.Applied())
+	}
+	if rec, ok := s3.Get("z"); !ok || string(rec.Value) != "c" {
+		t.Fatalf("post-restart commit z = %+v ok=%v", rec, ok)
+	}
+}
+
+func TestReplaySegmentsRejectsTornNonFinalSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSegments(dir, 64)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	big := make(message.Value, 50)
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(Record{Index: uint64(i), Txn: txn(0, i), Writes: []message.KV{{Key: "k", Value: big}}}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	files, _ := SegmentFiles(dir)
+	if len(files) < 2 {
+		t.Fatalf("rotation did not happen: %v", files)
+	}
+	tearTail(t, files[0], 5)
+
+	// A short first segment is missing records mid-log, not a crash tail:
+	// replay must surface corruption instead of skipping them silently.
+	n := 0
+	err = ReplaySegments(dir, func(Record) error { n++; return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if n != 0 {
+		t.Fatalf("delivered %d records past the tear, want 0", n)
+	}
+}
+
 func TestReplaySegmentsSurfacesCorruption(t *testing.T) {
 	dir := t.TempDir()
 	l, err := OpenSegments(dir, 0)
