@@ -41,6 +41,7 @@ tracecheck:
 	$(BIN)/simtrace -proto causal -sites 3 -txns 25 -seed 7 -export - | $(BIN)/tracecheck
 	$(BIN)/simtrace -proto atomic -atomic-mode sequencer -sites 3 -txns 25 -seed 7 -export - | $(BIN)/tracecheck
 	$(BIN)/simtrace -proto atomic -atomic-mode isis -sites 3 -txns 25 -seed 7 -export - | $(BIN)/tracecheck
+	$(BIN)/simtrace -proto atomic -atomic-mode batch -sites 3 -txns 25 -seed 7 -export - | $(BIN)/tracecheck
 
 # fuzz mirrors CI's advisory fuzz sweep: 30s per storage fuzz target.
 fuzz:

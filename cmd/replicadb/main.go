@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/broadcast"
 	"repro/internal/commitpipe"
 	"repro/internal/core"
 	"repro/internal/livenet"
@@ -50,20 +51,23 @@ func main() {
 
 func run() error {
 	var (
-		id        = flag.Int("id", 0, "site id")
-		peers     = flag.String("peers", "", "comma-separated id=host:port for every site")
-		proto     = flag.String("proto", "causal", "replication protocol: reliable|causal|atomic|baseline|quorum")
-		client    = flag.String("client", "", "client listen address (host:port)")
-		walPath   = flag.String("wal", "", "write-ahead log: a directory for a segmented log, or a single file (optional)")
-		walBatch  = flag.Int("wal-batch", 64, "group-commit batch size in records; <= 1 syncs every record")
-		walFlush  = flag.Duration("wal-flush", 2*time.Millisecond, "group-commit max delay before a partial batch fsyncs")
-		walSegMB  = flag.Int64("wal-seg-bytes", storage.DefaultSegmentBytes, "segment rotation threshold in bytes (directory logs)")
-		heartbeat = flag.Duration("heartbeat", 25*time.Millisecond, "protocol C null-broadcast interval")
-		dialRetry = flag.Duration("dial-retry", 500*time.Millisecond, "initial peer reconnect backoff (doubles with jitter)")
-		sendQueue = flag.Int("send-queue", 1024, "per-peer outgoing message buffer")
-		member    = flag.Bool("membership", false, "enable failure detection and majority views")
-		traceBuf  = flag.Int("trace-buf", trace.DefaultCap, "per-site span ring capacity for TRACE (0 disables tracing)")
-		verbose   = flag.Bool("v", false, "log runtime diagnostics")
+		id         = flag.Int("id", 0, "site id")
+		peers      = flag.String("peers", "", "comma-separated id=host:port for every site")
+		proto      = flag.String("proto", "causal", "replication protocol: reliable|causal|atomic|baseline|quorum")
+		client     = flag.String("client", "", "client listen address (host:port)")
+		walPath    = flag.String("wal", "", "write-ahead log: a directory for a segmented log, or a single file (optional)")
+		walBatch   = flag.Int("wal-batch", 64, "group-commit batch size in records; <= 1 syncs every record")
+		walFlush   = flag.Duration("wal-flush", 2*time.Millisecond, "group-commit max delay before a partial batch fsyncs")
+		walSegMB   = flag.Int64("wal-seg-bytes", storage.DefaultSegmentBytes, "segment rotation threshold in bytes (directory logs)")
+		heartbeat  = flag.Duration("heartbeat", 25*time.Millisecond, "protocol C null-broadcast interval")
+		atomicMode = flag.String("atomic-mode", "sequencer", "protocol A total-order mode: sequencer|isis|batch")
+		batchWin   = flag.Duration("batch-window", time.Millisecond, "batch orderer: accumulation window before a batch seals")
+		batchMsgs  = flag.Int("batch-msgs", 64, "batch orderer: message budget that seals a batch early")
+		dialRetry  = flag.Duration("dial-retry", 500*time.Millisecond, "initial peer reconnect backoff (doubles with jitter)")
+		sendQueue  = flag.Int("send-queue", 1024, "per-peer outgoing message buffer")
+		member     = flag.Bool("membership", false, "enable failure detection and majority views")
+		traceBuf   = flag.Int("trace-buf", trace.DefaultCap, "per-site span ring capacity for TRACE (0 disables tracing)")
+		verbose    = flag.Bool("v", false, "log runtime diagnostics")
 	)
 	flag.Parse()
 
@@ -136,6 +140,18 @@ func run() error {
 		ecfg.CausalHeartbeat = *heartbeat
 		engine = core.NewCausal(host, ecfg)
 	case "atomic":
+		switch *atomicMode {
+		case "sequencer":
+			ecfg.AtomicMode = broadcast.AtomicSequencer
+		case "isis":
+			ecfg.AtomicMode = broadcast.AtomicIsis
+		case "batch":
+			ecfg.AtomicMode = broadcast.AtomicBatch
+			ecfg.AtomicBatchWindow = *batchWin
+			ecfg.AtomicBatchMsgs = *batchMsgs
+		default:
+			return fmt.Errorf("unknown atomic mode %q", *atomicMode)
+		}
 		engine = core.NewAtomic(host, ecfg)
 	case "baseline":
 		engine = core.NewBaseline(host, ecfg)

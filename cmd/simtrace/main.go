@@ -52,7 +52,7 @@ func run() error {
 	sites := flag.Int("sites", 3, "cluster size")
 	txns := flag.Int("txns", 4, "transactions to run")
 	seed := flag.Int64("seed", 1, "seed")
-	atomicMode := flag.String("atomic-mode", "sequencer", "atomic broadcast mode: sequencer|isis")
+	atomicMode := flag.String("atomic-mode", "sequencer", "atomic broadcast mode: sequencer|isis|batch")
 	mermaid := flag.Bool("mermaid", false, "emit a Mermaid sequence diagram instead of a text trace")
 	maxMsgs := flag.Int("max-msgs", 120, "cap on diagram messages")
 	export := flag.String("export", "", "write the span stream as JSONL to this path ('-' for stdout) instead of rendering")
@@ -100,6 +100,8 @@ func simulate(o simOpts) ([]*trace.Tracer, sim.NetStats, error) {
 		cfg.AtomicMode = broadcast.AtomicSequencer
 	case "isis":
 		cfg.AtomicMode = broadcast.AtomicIsis
+	case "batch":
+		cfg.AtomicMode = broadcast.AtomicBatch
 	default:
 		return nil, sim.NetStats{}, fmt.Errorf("unknown atomic mode %q", o.atomicMode)
 	}

@@ -423,6 +423,10 @@ func (c *checker) checkAtomicRounds() {
 			if o := count(spans, trace.KindSeqOrder, trace.NoPeer); o < 1 {
 				c.failf("%v: no sequencer ordering recorded", id)
 			}
+		case "batch":
+			if o := count(spans, trace.KindBatchOrder, trace.NoPeer); o < 1 {
+				c.failf("%v: no batch ordering recorded", id)
+			}
 		}
 	}
 }

@@ -161,10 +161,73 @@ func sortedIn(pass *Pass, encl ast.Node, obj types.Object) bool {
 			return true
 		}
 		if arg, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.Uses[arg] == obj {
-			found = true
+			if !nonTotalLess(pass, call, obj) {
+				found = true
+			}
 			return false
 		}
 		return true
 	})
 	return found
+}
+
+// nonTotalLess reports whether a sort call's comparator provably fails to
+// define a total order over the slice's elements: a func-literal less over a
+// multi-field struct element that compares exactly one of the fields. Such a
+// sort leaves ties in their pre-sort (map iteration) order, so it must not
+// launder an accumulation. Anything the analysis cannot see through — a
+// named comparator, a method call like ID.Less, comparisons over two or
+// more fields, non-struct elements — is assumed total.
+func nonTotalLess(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	cmp, ok := call.Args[1].(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	slice, ok := obj.Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	st, ok := slice.Elem().Underlying().(*types.Struct)
+	if !ok || st.NumFields() < 2 {
+		return false
+	}
+	// Parameters of the comparator: index ints for sort.Slice, elements for
+	// slices.SortFunc. Either way, a field access on an element shows up as
+	// a SelectorExpr over a parameter identifier or over an index expression
+	// into the sorted slice.
+	params := make(map[types.Object]bool)
+	for _, f := range cmp.Type.Params.List {
+		for _, name := range f.Names {
+			if def := pass.TypesInfo.Defs[name]; def != nil {
+				params[def] = true
+			}
+		}
+	}
+	fields := make(map[string]bool)
+	opaque := false
+	ast.Inspect(cmp.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.CallExpr:
+			// A call (method comparator, key extractor) may consult fields
+			// the analysis cannot see; assume the order is total.
+			opaque = true
+			return false
+		case *ast.SelectorExpr:
+			switch x := t.X.(type) {
+			case *ast.Ident:
+				if params[pass.TypesInfo.Uses[x]] {
+					fields[t.Sel.Name] = true
+				}
+			case *ast.IndexExpr:
+				if id, ok := x.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					fields[t.Sel.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return !opaque && len(fields) == 1
 }

@@ -66,3 +66,50 @@ func goodAllowed(p *peer, pend map[int]int) {
 		p.sendMsg(v) //reprolint:allow maporder fan-out is commutative, receiver dedups by seq
 	}
 }
+
+// pendEntry mimics a multi-field protocol identifier.
+type pendEntry struct {
+	origin int
+	seq    int
+}
+
+// badSingleFieldSort sorts by seq alone: ties between origins keep their
+// map iteration order, so the sort does not launder the accumulation.
+func badSingleFieldSort(pend map[pendEntry]int) []pendEntry {
+	var out []pendEntry
+	for k := range pend {
+		out = append(out, k) // want "out accumulates map iteration order and escapes the loop unsorted"
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// goodTieBreakSort breaks ties on a second field: a total order, launders.
+func goodTieBreakSort(pend map[pendEntry]int) []pendEntry {
+	var out []pendEntry
+	for k := range pend {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].origin != out[j].origin {
+			return out[i].origin < out[j].origin
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+func (p pendEntry) less(o pendEntry) bool {
+	return p.origin < o.origin || (p.origin == o.origin && p.seq < o.seq)
+}
+
+// goodMethodSort compares through a method the analysis cannot see into:
+// assumed total.
+func goodMethodSort(pend map[pendEntry]int) []pendEntry {
+	var out []pendEntry
+	for k := range pend {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}

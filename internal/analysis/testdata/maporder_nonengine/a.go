@@ -1,6 +1,8 @@
 // Package util mimics a non-engine package: maporder does not apply here.
 package util
 
+import "sort"
+
 func sendOut(v int) {}
 
 func fanOut(pend map[int]int, ch chan int) []int {
@@ -10,5 +12,22 @@ func fanOut(pend map[int]int, ch chan int) []int {
 		ch <- v
 		out = append(out, v)
 	}
+	return out
+}
+
+// pendEntry mimics a multi-field protocol identifier.
+type pendEntry struct {
+	origin int
+	seq    int
+}
+
+// badSingleFieldSort sorts by seq alone; outside engine packages nothing
+// may fire.
+func badSingleFieldSort(pend map[pendEntry]int) []pendEntry {
+	var out []pendEntry
+	for k := range pend {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
 }

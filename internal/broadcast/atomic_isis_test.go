@@ -1,0 +1,41 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestPendingKeysTotalOrder pins the comparator behind Recheck's iteration:
+// pendingKeys must order pairs by (origin, seq) — a total order — not by
+// seq alone. With a seq-only comparator, pairs sharing a sequence number
+// keep map iteration order, and Recheck's IsisFinal broadcasts after a view
+// change would go out in an order that differs across replicas. Each round
+// rebuilds the map so Go's randomized iteration gets a fresh shot at
+// exposing a tie-dependent ordering.
+func TestPendingKeysTotalOrder(t *testing.T) {
+	c := sim.NewCluster(1, netsim.Fixed{}, 1)
+	st := New(c.Runtime(0), Config{Atomic: AtomicIsis, Deliver: func(Delivery) {}})
+	keys := []pair{
+		{origin: 2, seq: 1}, {origin: 0, seq: 1}, {origin: 1, seq: 1},
+		{origin: 2, seq: 3}, {origin: 0, seq: 3}, {origin: 1, seq: 3},
+		{origin: 0, seq: 2}, {origin: 1, seq: 2}, {origin: 2, seq: 2},
+	}
+	for round := 0; round < 20; round++ {
+		st.isis.pend = make(map[pair]*isisMsg, len(keys))
+		for _, p := range keys {
+			st.isis.pend[p] = &isisMsg{}
+		}
+		got := st.isis.pendingKeys()
+		if len(got) != len(keys) {
+			t.Fatalf("round %d: %d keys, want %d", round, len(got), len(keys))
+		}
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a.origin > b.origin || (a.origin == b.origin && a.seq >= b.seq) {
+				t.Fatalf("round %d: pendingKeys not in (origin, seq) order: %v before %v", round, a, b)
+			}
+		}
+	}
+}

@@ -9,8 +9,10 @@
 //     vector clocks are exposed to the application (the causal replication
 //     protocol mines them for implicit acknowledgements),
 //   - atomic (total-order) broadcast — all sites deliver in one global
-//     order; two interchangeable implementations are provided, a
-//     fixed-sequencer protocol and an ISIS-style agreed-timestamp protocol.
+//     order; three interchangeable implementations are provided, a
+//     fixed-sequencer protocol, an ISIS-style agreed-timestamp protocol,
+//     and a pipelined batching orderer that amortizes ordering traffic
+//     across whole batches of messages (orderer_batch.go).
 //
 // The stack is a deterministic state machine: it never blocks, never spawns
 // goroutines, and produces deliveries through a callback.
@@ -51,6 +53,13 @@ const (
 	// AtomicIsis uses the ISIS agreed-timestamp protocol: every receiver
 	// proposes a Lamport timestamp, the origin fixes the maximum.
 	AtomicIsis
+	// AtomicBatch routes ordering through a leader (the lowest site in the
+	// current view, like the fixed sequencer) that pipelines consensus
+	// instances: instead of announcing one index per message it accumulates
+	// arrivals for a configurable window / size budget and assigns each
+	// batch one contiguous index range in a single BatchOrder announcement,
+	// amortizing ordering traffic across the batch (see orderer_batch.go).
+	AtomicBatch
 )
 
 // Config parameterizes a Stack.
@@ -71,6 +80,16 @@ type Config struct {
 	// (send/deliver, FIFO and causal holds, sequencer and ISIS ordering)
 	// as spans.
 	Tracer *trace.Tracer
+
+	// BatchWindow bounds how long the batch orderer's leader holds an open
+	// batch before sealing it (AtomicBatch only). Defaults to 1ms.
+	BatchWindow time.Duration
+	// BatchMaxMsgs seals an open batch early once it holds this many
+	// messages (AtomicBatch only). Defaults to 64.
+	BatchMaxMsgs int
+	// BatchMaxBytes seals an open batch early once its payloads exceed
+	// this budget (AtomicBatch only). Defaults to 64KiB.
+	BatchMaxBytes int
 }
 
 // Stack is one site's broadcast endpoint.
@@ -112,6 +131,9 @@ type Stack struct {
 	// Atomic, ISIS mode.
 	isis *isisState
 
+	// Atomic, batch mode.
+	batch *batchState
+
 	// Deliveries counts per-class deliveries, a cheap local metric.
 	Deliveries map[message.Class]int64
 
@@ -152,6 +174,15 @@ func New(rt env.Runtime, cfg Config) *Stack {
 	if cfg.Members == nil {
 		cfg.Members = rt.Peers
 	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = time.Millisecond
+	}
+	if cfg.BatchMaxMsgs <= 0 {
+		cfg.BatchMaxMsgs = 64
+	}
+	if cfg.BatchMaxBytes <= 0 {
+		cfg.BatchMaxBytes = 64 << 10
+	}
 	n := len(rt.Peers())
 	s := &Stack{
 		rt:         rt,
@@ -173,6 +204,7 @@ func New(rt env.Runtime, cfg Config) *Stack {
 		HistoryRetention: 8192,
 	}
 	s.isis = newIsisState(s)
+	s.batch = newBatchState(s)
 	return s
 }
 
@@ -238,6 +270,8 @@ func (s *Stack) Handle(from message.SiteID, m message.Message) {
 		s.handleBcast(from, t)
 	case *message.SeqOrder:
 		s.handleSeqOrder(t)
+	case *message.BatchOrder:
+		s.batch.handleOrder(t)
 	case *message.IsisPropose:
 		s.isis.handlePropose(t)
 	case *message.IsisFinal:
@@ -250,7 +284,7 @@ func (s *Stack) Handle(from message.SiteID, m message.Message) {
 // Handles reports whether the stack is responsible for m.
 func Handles(m message.Message) bool {
 	switch m.Kind() {
-	case message.KindBcast, message.KindSeqOrder, message.KindIsisPropose, message.KindIsisFinal:
+	case message.KindBcast, message.KindSeqOrder, message.KindBatchOrder, message.KindIsisPropose, message.KindIsisFinal:
 		return true
 	default:
 		return false
@@ -412,6 +446,8 @@ func (s *Stack) acceptAtomic(b *message.Bcast) {
 	switch s.cfg.Atomic {
 	case AtomicIsis:
 		s.isis.accept(b)
+	case AtomicBatch:
+		s.batch.accept(b)
 	default:
 		if s.Sequencer() == s.rt.ID() {
 			s.assignIndex(p)
@@ -599,6 +635,8 @@ func (s *Stack) OnViewChange() {
 	switch s.cfg.Atomic {
 	case AtomicIsis:
 		s.isis.Recheck()
+	case AtomicBatch:
+		s.batch.onViewChange()
 	default:
 		s.ReassignUnordered()
 	}

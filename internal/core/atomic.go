@@ -46,6 +46,13 @@ type AtomicEngine struct {
 	syncPending bool
 	lastGap     uint64
 	lastStall   uint64
+
+	// drainScheduled coalesces certification under the batch orderer: the
+	// broadcast stack delivers a sealed batch's requests back to back in
+	// one handler turn, and a single deferred drain turns the whole batch
+	// into one pipeline group (one shared fsync) instead of one per
+	// request.
+	drainScheduled bool
 }
 
 type certItem struct {
@@ -65,11 +72,14 @@ func NewAtomic(rt env.Runtime, cfg Config) *AtomicEngine {
 	}
 	e.initMembership(func(_, _ message.View) { e.onViewChange() })
 	e.stack = broadcast.New(rt, broadcast.Config{
-		Deliver: e.deliver,
-		Relay:   cfg.Relay,
-		Atomic:  cfg.AtomicMode,
-		Members: e.members,
-		Tracer:  cfg.Tracer,
+		Deliver:       e.deliver,
+		Relay:         cfg.Relay,
+		Atomic:        cfg.AtomicMode,
+		Members:       e.members,
+		Tracer:        cfg.Tracer,
+		BatchWindow:   cfg.AtomicBatchWindow,
+		BatchMaxMsgs:  cfg.AtomicBatchMsgs,
+		BatchMaxBytes: cfg.AtomicBatchBytes,
 	})
 	if cfg.InitialStore != nil {
 		// Resume certification from the recovered state: the total-order
@@ -306,17 +316,37 @@ func (e *AtomicEngine) deliver(d broadcast.Delivery) {
 	switch p := d.Payload.(type) {
 	case *message.WriteReq:
 		e.pendingWrites[p.Txn] = append(e.pendingWrites[p.Txn], message.KV{Key: p.Key, Value: p.Value})
-		e.drain()
+		e.scheduleDrain()
 	case *message.Decision:
 		if !p.Commit {
 			delete(e.pendingWrites, p.Txn)
 		}
 	case *message.CommitReq:
 		e.queue = append(e.queue, certItem{idx: d.Index, req: p, at: e.rt.Now()})
-		e.drain()
+		e.scheduleDrain()
 	default:
 		e.rt.Logf("atomic: unexpected payload %v", d.Payload.Kind())
 	}
+}
+
+// scheduleDrain runs certification for newly deliverable requests. Under
+// the batch orderer it defers the drain to a zero-delay timer (armed once
+// per handler turn) so all requests of a sealed batch — delivered back to
+// back by the stack — certify as one pipeline group; the other modes keep
+// the immediate path and their per-delivery group formation.
+func (e *AtomicEngine) scheduleDrain() {
+	if e.cfg.AtomicMode != broadcast.AtomicBatch {
+		e.drain()
+		return
+	}
+	if e.drainScheduled {
+		return
+	}
+	e.drainScheduled = true
+	e.rt.SetTimer(0, func() {
+		e.drainScheduled = false
+		e.drain()
+	})
 }
 
 // drain processes queued commit requests strictly in total order. The head

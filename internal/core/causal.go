@@ -71,13 +71,24 @@ func (e *CausalEngine) Start() {
 }
 
 // heartbeat broadcasts a CausalNull when this site has been silent for a
-// full interval, keeping peers' implicit acknowledgements flowing.
+// full interval, keeping peers' implicit acknowledgements flowing. A site
+// excluded from the primary partition keeps the timer chain alive but
+// stays silent: its null broadcasts carry a vector clock that is about to
+// be superseded by state transfer, and peers mining them for implicit
+// acknowledgements would count a site that is not serving transactions.
+// The chain itself re-arms unconditionally so heartbeats resume the
+// interval after the site rejoins a primary view; the runtime stops the
+// timers when the site goes away entirely (the simulator suppresses a
+// crashed site's timers, the TCP host cancels all timers on Close).
 func (e *CausalEngine) heartbeat() {
 	hb := e.cfg.CausalHeartbeat
+	e.rt.SetTimer(hb, e.heartbeat)
+	if !e.inPrimary() {
+		return
+	}
 	if e.rt.Now()-e.lastSend >= hb {
 		e.cbcast(&message.CausalNull{From: e.rt.ID()})
 	}
-	e.rt.SetTimer(hb, e.heartbeat)
 }
 
 // cbcast broadcasts causally and notes the send time for the heartbeat.

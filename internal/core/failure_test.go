@@ -407,3 +407,47 @@ func TestAtomicSequencerCrashFailover(t *testing.T) {
 		t.Fatalf("serializability: %v", err)
 	}
 }
+
+// TestCausalHeartbeatSilentOutsidePrimary pins the heartbeat's partition
+// behaviour: a site excluded from the primary partition must stop
+// broadcasting CausalNull (its implicit acks are meaningless outside the
+// view, and on a real network the traffic would spam unreachable peers),
+// but its timer chain must keep running so heartbeats resume when the view
+// readmits it.
+func TestCausalHeartbeatSilentOutsidePrimary(t *testing.T) {
+	tc := newTestCluster(t, 3, "causal", failureCfg("causal"), 33)
+	// Crash the other two sites: site 0 survives but is a minority of one,
+	// so the view change excludes it from the primary partition.
+	tc.c.Schedule(500*time.Millisecond, func() {
+		tc.c.Crash(1)
+		tc.c.Crash(2)
+	})
+	// Let the failure detector fire and the view settle.
+	tc.run(2 * time.Second)
+	before := tc.c.Stats().ByPayload[message.KindCausalNull]
+	tc.run(2 * time.Second)
+	after := tc.c.Stats().ByPayload[message.KindCausalNull]
+	if after != before {
+		t.Fatalf("excluded site broadcast %d CausalNull heartbeats outside the primary partition", after-before)
+	}
+	// Readmission: restart the peers (fresh engines, the crash-recovery
+	// pattern); once the view reforms around site 0, its kept timer chain
+	// must resume heartbeating without any external kick.
+	for _, i := range []message.SiteID{1, 2} {
+		i := i
+		tc.c.Schedule(0, func() {
+			tc.c.Recover(i)
+			rcfg := failureCfg("causal")
+			rcfg.Recorder = tc.rec
+			fresh := NewCausal(tc.c.Runtime(i), rcfg)
+			tc.engines[i] = fresh
+			tc.c.Bind(i, fresh)
+			fresh.Start()
+		})
+	}
+	tc.run(4 * time.Second)
+	rejoin := tc.c.Stats().ByPayload[message.KindCausalNull]
+	if rejoin == after {
+		t.Fatal("heartbeats did not resume after the site rejoined the primary partition")
+	}
+}

@@ -129,7 +129,7 @@ func All(cfg Config) ([]*Report, error) {
 	runs := []func(Config) (*Report, error){
 		E1Messages, E2CommitLatency, E3AbortContention, E4ThroughputSites,
 		E5WriteMix, E6CausalHeartbeat, E7Availability, E8Ablation, E9Batching,
-		E10Quorum, E11SlowSite, E12SnapshotReads,
+		E10Quorum, E11SlowSite, E12SnapshotReads, E14OrdererBatching,
 	}
 	out := make([]*Report, 0, len(runs))
 	for _, f := range runs {
@@ -851,6 +851,102 @@ func E13GroupCommit(cfg Config) (*Report, error) {
 	}
 	if speedup < 2 {
 		rep.violate("E13: group-commit wall-clock speedup %.2fx < 2x", speedup)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// E14OrdererBatching compares the two atomic-broadcast ordering modes — the
+// ISIS agreed-timestamp protocol and the leader-based batching orderer —
+// under a saturating burst of update transactions on a sender-serialised
+// network (netsim.SharedMedium), where every message genuinely occupies its
+// sender's transmitter and message count therefore costs throughput. ISIS
+// pays ~3(n-1) unicasts per commit (payload dissemination, n-1 timestamp
+// proposals, n-1 final timestamps); the batching orderer amortises ordering
+// to (n-1)/B announcements per commit on top of the same dissemination, so
+// its ordering traffic per site stays flat as the cluster grows.
+func E14OrdererBatching(cfg Config) (*Report, error) {
+	rep := newReport("E14", "Ordering modes under load: ISIS timestamps vs batching orderer (shared medium)")
+	tbl := harness.NewTable(rep.Title,
+		"sites", "mode", "committed", "msgs/commit", "msgs/commit/site", "txn/s")
+	modes := []struct {
+		name string
+		mode broadcast.AtomicMode
+	}{
+		{"isis", broadcast.AtomicIsis},
+		{"batch", broadcast.AtomicBatch},
+	}
+	sizes := []int{3, 9, 15}
+	perSite := make(map[string]float64) // "mode/n" -> msgs per commit per site
+	tput := make(map[string]float64)
+	for _, n := range sizes {
+		for _, m := range modes {
+			ecfg := engineCfg(harness.ProtoAtomic)
+			ecfg.AtomicMode = m.mode
+			ecfg.PiggybackWrites = true
+			// A wide window lets the message budget (64) seal batches, so
+			// ordering traffic stays ~(n-1)/64 per commit; with a tight
+			// window the leader seals small batches and its transmitter —
+			// which also carries its own payload dissemination — becomes
+			// the bottleneck.
+			ecfg.AtomicBatchWindow = 5 * time.Millisecond
+			count := cfg.txns(900)
+			res, err := harness.Run(harness.Options{
+				Protocol: harness.ProtoAtomic,
+				// Fresh SharedMedium per run: the model keeps per-sender
+				// busy-horizon state.
+				Link: &netsim.SharedMedium{
+					Base:    300 * time.Microsecond,
+					PerMsg:  150 * time.Microsecond,
+					PerByte: 100 * time.Nanosecond,
+				},
+				Seed:   cfg.seed(140),
+				Engine: ecfg,
+				Workload: workload.Spec{
+					// A tight arrival window (50µs spacing ≈ 20k txn/s
+					// offered) saturates the medium so makespan is
+					// wire-time-bound and message count shows up as
+					// throughput.
+					Sites: n, Count: count,
+					Window: time.Duration(count) * 50 * time.Microsecond,
+					Keys:   8192, ReadsPerTxn: 0, WritesPerTxn: 2,
+					Seed: cfg.seed(41),
+				},
+			})
+			if err != nil {
+				return rep, err
+			}
+			label := fmt.Sprintf("%s/n=%d", m.name, n)
+			rep.record(label, res)
+			site := res.ProtocolMsgsPerCommit / float64(n)
+			perSite[label] = site
+			tput[label] = res.ThroughputPerSec
+			tbl.Add(n, m.name, res.Committed,
+				fmt.Sprintf("%.2f", res.ProtocolMsgsPerCommit),
+				fmt.Sprintf("%.3f", site),
+				fmt.Sprintf("%.0f", res.ThroughputPerSec))
+			rep.Metrics[label+"/msgs_per_commit"] = res.ProtocolMsgsPerCommit
+			rep.Metrics[label+"/msgs_per_commit_site"] = site
+			rep.Metrics[label+"/throughput_per_sec"] = res.ThroughputPerSec
+		}
+	}
+	// Gates: the batching orderer must (a) cost at most half of ISIS's
+	// per-site message load at n=9, (b) keep that load flat (within 20%)
+	// from n=9 to n=15, and (c) at least double ISIS's committed-txn
+	// throughput at n=9 on the shared medium.
+	if isis, batch := perSite["isis/n=9"], perSite["batch/n=9"]; isis > 0 && batch > 0.5*isis {
+		rep.violate("E14: batch msgs/commit/site %.3f > 50%% of isis %.3f at n=9", batch, isis)
+	}
+	if b9, b15 := perSite["batch/n=9"], perSite["batch/n=15"]; b9 > 0 && b15 > 1.2*b9 {
+		rep.violate("E14: batch msgs/commit/site grew %.3f -> %.3f (> 20%%) from n=9 to n=15", b9, b15)
+	}
+	ratio := 0.0
+	if tput["isis/n=9"] > 0 {
+		ratio = tput["batch/n=9"] / tput["isis/n=9"]
+	}
+	rep.Metrics["batch_vs_isis_throughput_n9"] = ratio
+	if ratio < 2 {
+		rep.violate("E14: batch throughput %.2fx of isis at n=9 (< 2x)", ratio)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	return rep, nil

@@ -57,6 +57,9 @@ const (
 	// Broadcast-stack state transfer (appended so existing kind values are
 	// stable).
 	KindSyncState
+
+	// Batch orderer (appended so existing kind values are stable).
+	KindBatchOrder
 )
 
 var kindNames = map[Kind]string{
@@ -93,6 +96,7 @@ var kindNames = map[Kind]string{
 	KindQCommit:       "QCommit",
 	KindQRelease:      "QRelease",
 	KindSyncState:     "SyncState",
+	KindBatchOrder:    "BatchOrder",
 }
 
 // String implements fmt.Stringer.
@@ -171,6 +175,21 @@ type SeqOrder struct {
 
 // Kind implements Message.
 func (*SeqOrder) Kind() Kind { return KindSeqOrder }
+
+// BatchOrder announces one consensus instance of the batching orderer: a
+// contiguous range of total-order indices assigned by the current leader to
+// a whole batch of atomic broadcasts at once. Entries carry explicit
+// indices (not just a first index and a count) so receivers record them
+// through the same idempotent path as single SeqOrder announcements and
+// instances from a deposed leader merge safely.
+type BatchOrder struct {
+	Leader   SiteID
+	Instance uint64 // leader-local consensus instance number, for diagnostics
+	Entries  []OrderEntry
+}
+
+// Kind implements Message.
+func (*BatchOrder) Kind() Kind { return KindBatchOrder }
 
 // IsisPropose carries a receiver's proposed timestamp for an atomic
 // broadcast in the ISIS-style agreed-timestamp variant.
@@ -614,6 +633,7 @@ func RegisterGob() {
 	gob.Register(&QCommit{})
 	gob.Register(&QRelease{})
 	gob.Register(&SyncState{})
+	gob.Register(&BatchOrder{})
 }
 
 // TxnOf extracts the transaction a message belongs to, which doubles as
@@ -684,6 +704,8 @@ func EstimateSize(m Message) int {
 		return hdr + 28 + 8*len(t.VC) + EstimateSize(t.Payload)
 	case *SeqOrder:
 		return hdr + 20*len(t.Entries)
+	case *BatchOrder:
+		return hdr + 12 + 20*len(t.Entries)
 	case *IsisPropose, *IsisFinal:
 		return hdr + 28
 	case *Heartbeat:

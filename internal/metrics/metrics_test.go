@@ -299,3 +299,55 @@ func TestSnapshot(t *testing.T) {
 		t.Fatalf("sync snapshot = %+v", sh.Snapshot())
 	}
 }
+
+// TestReservoirReplaceInvalidatesCache pins the cache invalidation on the
+// reservoir-replacement paths — the ones TestMergeCacheInvariant's append
+// paths do not reach. A full reservoir whose slot is overwritten (by
+// Observe or by Merge) must invalidate the sorted cache, or quantile reads
+// keep serving the pre-replacement samples.
+func TestReservoirReplaceInvalidatesCache(t *testing.T) {
+	h := NewHistogram(4)
+	for i := 0; i < 4; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if got := h.Quantile(1.0); got != time.Millisecond {
+		t.Fatalf("p100 = %v", got) // also populates the sort cache
+	}
+	// The xorshift reservoir is deterministic; observe until it replaces a
+	// slot (dirty flips), then the cache must refresh.
+	replaced := false
+	for i := 0; i < 1000 && !replaced; i++ {
+		h.Observe(time.Second)
+		replaced = h.dirty
+	}
+	if !replaced {
+		t.Fatal("reservoir never replaced a slot in 1000 observations")
+	}
+	if got := h.Quantile(1.0); got != time.Second {
+		t.Fatalf("p100 after Observe replacement = %v (sort cache went stale)", got)
+	}
+
+	// Same property for Merge's replacement path.
+	a := NewHistogram(4)
+	for i := 0; i < 4; i++ {
+		a.Observe(time.Millisecond)
+	}
+	if got := a.Quantile(1.0); got != time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	replaced = false
+	for i := 0; i < 1000 && !replaced; i++ {
+		o := NewHistogram(4)
+		for j := 0; j < 4; j++ {
+			o.Observe(time.Second)
+		}
+		a.Merge(o)
+		replaced = a.dirty
+	}
+	if !replaced {
+		t.Fatal("merge never replaced a reservoir slot in 1000 rounds")
+	}
+	if got := a.Quantile(1.0); got != time.Second {
+		t.Fatalf("p100 after Merge replacement = %v (sort cache went stale)", got)
+	}
+}

@@ -66,6 +66,59 @@ func (l LAN) Latency(_, _ message.SiteID, size int, r *rand.Rand) (time.Duration
 	return d, false
 }
 
+// SharedMedium models a sender-serialised network interface: each message
+// occupies its sender's transmitter for PerMsg + size·PerByte of virtual
+// time, and messages sent while the transmitter is busy queue behind it.
+// Unlike LAN — where any number of concurrent sends each pay only their own
+// delay — SharedMedium makes message *count* cost throughput, which is what
+// distinguishes an ordering protocol that sends O(n) messages per commit
+// from one that amortises ordering traffic over batches. Base is added as
+// propagation delay after transmission completes.
+//
+// SharedMedium is stateful (per-sender busy horizon) and must be used by at
+// most one cluster; construct a fresh value per sim run.
+type SharedMedium struct {
+	Base    time.Duration // propagation + stack overhead, after serialisation
+	PerMsg  time.Duration // fixed per-message occupancy (framing, syscalls, MAC)
+	PerByte time.Duration // inverse bandwidth
+	Jitter  time.Duration // mean of the exponential jitter term
+
+	busy map[message.SiteID]time.Duration // per-sender transmitter free time
+}
+
+var _ sim.TimedLinkModel = (*SharedMedium)(nil)
+
+// Latency implements sim.LinkModel. Without a clock it cannot serialise, so
+// it degrades to the unqueued cost (used only if a cluster bypasses
+// LatencyAt).
+func (s *SharedMedium) Latency(_, _ message.SiteID, size int, r *rand.Rand) (time.Duration, bool) {
+	d := s.Base + s.PerMsg + time.Duration(size)*s.PerByte
+	if s.Jitter > 0 {
+		d += time.Duration(r.ExpFloat64() * float64(s.Jitter))
+	}
+	return d, false
+}
+
+// LatencyAt implements sim.TimedLinkModel: the message starts transmitting
+// when the sender's transmitter frees up, occupies it for PerMsg +
+// size·PerByte, then propagates for Base (+ jitter).
+func (s *SharedMedium) LatencyAt(now time.Duration, from, _ message.SiteID, size int, r *rand.Rand) (time.Duration, bool) {
+	if s.busy == nil {
+		s.busy = make(map[message.SiteID]time.Duration)
+	}
+	start := now
+	if b := s.busy[from]; b > start {
+		start = b
+	}
+	occupy := s.PerMsg + time.Duration(size)*s.PerByte
+	s.busy[from] = start + occupy
+	d := start + occupy + s.Base - now
+	if s.Jitter > 0 {
+		d += time.Duration(r.ExpFloat64() * float64(s.Jitter))
+	}
+	return d, false
+}
+
 // Lossy wraps another model and drops each message independently with
 // probability P. The reliable broadcast layer's relaying and retransmission
 // must mask these losses.

@@ -22,6 +22,19 @@ type LinkModel interface {
 	Latency(from, to message.SiteID, size int, r *rand.Rand) (delay time.Duration, drop bool)
 }
 
+// TimedLinkModel is an optional extension of LinkModel for models that keep
+// state keyed to the simulated clock — e.g. a shared medium that serialises a
+// sender's transmissions, so each message occupies the sender's link for a
+// stretch of virtual time and concurrent sends queue behind each other. When
+// a cluster's link implements it, Send calls LatencyAt with the current
+// virtual time instead of Latency.
+type TimedLinkModel interface {
+	LinkModel
+	// LatencyAt is Latency with the sender's current virtual clock; the
+	// returned delay is measured from now.
+	LatencyAt(now time.Duration, from, to message.SiteID, size int, r *rand.Rand) (delay time.Duration, drop bool)
+}
+
 // event is one scheduled callback.
 type event struct {
 	at  time.Duration
@@ -304,7 +317,13 @@ func (s *siteRT) Send(to message.SiteID, m message.Message) {
 		c.stats.Dropped++
 		return
 	}
-	delay, drop := c.link.Latency(s.id, to, size, s.rng)
+	var delay time.Duration
+	var drop bool
+	if tl, ok := c.link.(TimedLinkModel); ok {
+		delay, drop = tl.LatencyAt(c.now, s.id, to, size, s.rng)
+	} else {
+		delay, drop = c.link.Latency(s.id, to, size, s.rng)
+	}
 	if drop {
 		c.stats.Dropped++
 		return

@@ -108,6 +108,11 @@ const (
 	// KindNetRecv marks the TCP transport decoding a message from a peer.
 	// Extra is the message.Kind.
 	KindNetRecv
+	// KindBatchOrder marks the batching orderer's leader assigning a
+	// total-order index to an atomic broadcast as part of a sealed batch.
+	// Seq is the assigned index, Peer the broadcast origin, Extra the batch
+	// size (number of messages sharing the consensus instance).
+	KindBatchOrder
 
 	numKinds
 )
@@ -136,6 +141,7 @@ var kindNames = [numKinds]string{
 	KindLockGrant:    "lock-grant",
 	KindNetSend:      "net-send",
 	KindNetRecv:      "net-recv",
+	KindBatchOrder:   "batch-order",
 }
 
 // String implements fmt.Stringer.
