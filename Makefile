@@ -25,7 +25,10 @@ lint: lint-reprolint
 	@command -v govulncheck >/dev/null 2>&1 && govulncheck ./... || echo "govulncheck not installed; skipping"
 
 # lint-reprolint builds the project's own analyzer suite and runs it over
-# every package via the go vet driver.
+# every package via the go vet driver. Set REPROLINT_FINDINGS=<path> to
+# append every finding (including suppressed-with-reason ones) as JSONL —
+# use a fresh GOCACHE for a complete log, since vet skips cached-clean
+# packages (CI's lint job does both).
 lint-reprolint:
 	$(GO) build -o $(BIN)/reprolint ./cmd/reprolint
 	$(GO) vet -vettool=$(CURDIR)/$(BIN)/reprolint ./...

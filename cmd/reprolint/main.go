@@ -1,5 +1,6 @@
 // Command reprolint runs the repro static-analysis suite (see
-// internal/analysis): detrand, maporder, and looponly.
+// internal/analysis): detrand, maporder, looponly, pipeonly, lockorder,
+// nonblock, and noalloc.
 //
 // It speaks the `go vet -vettool` unit-checker protocol, so the canonical
 // invocation is
@@ -15,8 +16,9 @@
 // is deliberately not vendored here): the go command probes the tool with
 // -V=full for a build ID, then invokes it once per package with a single
 // JSON config-file argument describing the type-checked unit. Facts —
-// looponly markers — travel between packages through the .vetx files the go
-// command threads from dependency to dependent.
+// looponly markers and per-function lockorder/nonblock/noalloc summaries —
+// travel between packages through the .vetx files the go command threads
+// from dependency to dependent.
 package main
 
 import (
@@ -60,12 +62,20 @@ usage:
   go vet -vettool=reprolint pkgs  same, explicitly under go vet
 
 analyzers:
-  detrand   forbid wall-clock time, global math/rand, os.Getenv in engine packages
-  maporder  flag order-sensitive iteration over maps in engine packages
-  looponly  flag calls to reprolint:looponly methods from goroutines
+  detrand    forbid wall-clock time, global math/rand, os.Getenv in engine packages
+  maporder   flag order-sensitive iteration over maps in engine packages
+  looponly   flag calls to reprolint:looponly methods from goroutines
+  pipeonly   flag WAL.Append/Store.Apply calls that bypass internal/commitpipe
+  lockorder  detect lock-order cycles and double acquisition across the call graph
+  nonblock   forbid blocking primitives in code reachable from the event loop
+  noalloc    forbid allocation in reprolint:noalloc-marked functions, transitively
 
-suppress a finding with a trailing comment:
-  //reprolint:allow <analyzer> <reason>
+suppress a finding with a trailing comment (or one on the line above, or on
+any line of the flagged statement):
+  //reprolint:allow <analyzer>[,<analyzer>] <reason>
+
+set REPROLINT_FINDINGS=<file> to append every finding — including
+allow-suppressed ones with their reasons — as JSON lines for auditing.
 `)
 }
 

@@ -105,21 +105,28 @@ func unitcheck(cfgPath string) {
 	path := analysis.TrimTestVariant(cfg.ImportPath)
 
 	var diags []analysis.Diagnostic
+	var suppressed []analysis.Suppressed
 	var markers []string
+	var funcFacts []analysis.FuncFact
 	for _, a := range analysis.All() {
 		pass := analysis.NewPass(a, fset, files, pkg, info, path, imported)
 		if err := a.Run(pass); err != nil {
 			fatalf("%s: %v", a.Name, err)
 		}
 		diags = append(diags, pass.Diagnostics()...)
+		suppressed = append(suppressed, pass.SuppressedDiagnostics()...)
 		markers = append(markers, pass.ExportedMarkers()...)
+		funcFacts = append(funcFacts, pass.ExportedFuncFacts()...)
 	}
 	diags = append(diags, analysis.CheckAllowComments(fset, files)...)
 
 	if cfg.VetxOutput != "" {
-		if err := writeFacts(cfg.VetxOutput, markers); err != nil {
+		if err := writeFacts(cfg.VetxOutput, markers, funcFacts); err != nil {
 			fatalf("writing facts: %v", err)
 		}
+	}
+	if !cfg.VetxOnly {
+		logFindings(fset, path, diags, suppressed)
 	}
 	if cfg.VetxOnly || len(diags) == 0 {
 		os.Exit(0)
@@ -132,41 +139,120 @@ func unitcheck(cfgPath string) {
 	os.Exit(2)
 }
 
-// readFacts loads looponly markers exported by dependencies. A missing or
+// finding is one JSONL record in the findings log: active findings plus
+// allow-suppressed ones with their reasons, so CI can archive the
+// complete audit trail (docs/STATIC_ANALYSIS.md).
+type finding struct {
+	Pos        string `json:"pos"`
+	Package    string `json:"package"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// logFindings appends this unit's findings to $REPROLINT_FINDINGS as JSON
+// lines. Appending keeps concurrent vet workers from clobbering each
+// other; run with a fresh GOCACHE for a complete sweep, since vet skips
+// cached-clean packages entirely.
+func logFindings(fset *token.FileSet, pkgPath string, diags []analysis.Diagnostic, suppressed []analysis.Suppressed) {
+	out := os.Getenv("REPROLINT_FINDINGS")
+	if out == "" {
+		return
+	}
+	var recs []finding
+	for _, d := range diags {
+		recs = append(recs, finding{Pos: fset.Position(d.Pos).String(), Package: pkgPath,
+			Analyzer: d.Analyzer, Message: d.Message})
+	}
+	for _, s := range suppressed {
+		recs = append(recs, finding{Pos: fset.Position(s.Pos).String(), Package: pkgPath,
+			Analyzer: s.Analyzer, Message: s.Message, Suppressed: true, Reason: s.Reason})
+	}
+	if len(recs) == 0 {
+		return
+	}
+	f, err := os.OpenFile(out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, r := range recs {
+		enc.Encode(r)
+	}
+}
+
+// vetxPayload is the gob document a unit writes for its dependents:
+// looponly marker keys plus per-function summary facts (lockorder,
+// nonblock, noalloc). Changing this layout is safe without versioning —
+// the -V=full build ID hashes the executable, so a rebuilt tool busts
+// vet's fact cache.
+type vetxPayload struct {
+	Markers []string
+	Funcs   []analysis.FuncFact
+}
+
+// readFacts loads the facts exported by dependencies. A missing or
 // unreadable vetx (e.g. a package vetted before facts existed) contributes
 // nothing rather than failing the run.
-func readFacts(vetx map[string]string) map[string]bool {
-	out := make(map[string]bool)
+func readFacts(vetx map[string]string) *analysis.Facts {
+	out := &analysis.Facts{Markers: make(map[string]bool)}
 	for _, file := range vetx {
 		f, err := os.Open(file)
 		if err != nil {
 			continue
 		}
-		var keys []string
-		if err := gob.NewDecoder(f).Decode(&keys); err == nil {
-			for _, k := range keys {
-				out[k] = true
+		var payload vetxPayload
+		if err := gob.NewDecoder(f).Decode(&payload); err == nil {
+			for _, k := range payload.Markers {
+				out.Markers[k] = true
 			}
+			out.Funcs = append(out.Funcs, payload.Funcs...)
 		}
 		f.Close()
 	}
 	return out
 }
 
-// writeFacts persists this unit's markers (own plus re-exported imports, so
-// facts flow transitively) for dependents.
-func writeFacts(path string, markers []string) error {
+// writeFacts persists this unit's facts (own plus re-exported imports, so
+// they flow transitively) for dependents.
+func writeFacts(path string, markers []string, funcs []analysis.FuncFact) error {
 	sort.Strings(markers)
-	markers = dedup(markers)
+	markers = dedupStrings(markers)
+	sort.Slice(funcs, func(i, j int) bool {
+		a, b := funcs[i], funcs[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		return a.Detail < b.Detail
+	})
+	funcs = dedupFacts(funcs)
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return gob.NewEncoder(f).Encode(markers)
+	return gob.NewEncoder(f).Encode(vetxPayload{Markers: markers, Funcs: funcs})
 }
 
-func dedup(s []string) []string {
+func dedupStrings(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupFacts(s []analysis.FuncFact) []analysis.FuncFact {
 	out := s[:0]
 	for i, v := range s {
 		if i == 0 || v != s[i-1] {

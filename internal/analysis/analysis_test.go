@@ -10,21 +10,26 @@ import (
 
 func TestParseAllow(t *testing.T) {
 	cases := []struct {
-		text                 string
-		wantOK               bool
-		wantName, wantReason string
+		text       string
+		wantOK     bool
+		wantNames  string // comma-joined
+		wantReason string
 	}{
 		{"//reprolint:allow detrand boot-time banner", true, "detrand", "boot-time banner"},
 		{"//reprolint:allow maporder x", true, "maporder", "x"},
-		{"//reprolint:allow detrand", false, "", ""},         // reason mandatory
-		{"//reprolint:allow", false, "", ""},                 // analyzer mandatory
+		{"//reprolint:allow detrand,looponly shared startup path", true, "detrand,looponly", "shared startup path"},
+		{"//reprolint:allow noalloc,nonblock,lockorder r", true, "noalloc,nonblock,lockorder", "r"},
+		{"//reprolint:allow detrand", false, "", ""},   // reason mandatory
+		{"//reprolint:allow", false, "", ""},           // analyzer mandatory
+		{"//reprolint:allow detrand,, reason", false, "", ""}, // empty name in list
 		{"// plain comment", false, "", ""},
 	}
 	for _, c := range cases {
-		name, reason, ok := parseAllow(c.text)
-		if ok != c.wantOK || name != c.wantName || reason != c.wantReason {
+		names, reason, ok := parseAllow(c.text)
+		joined := strings.Join(names, ",")
+		if ok != c.wantOK || joined != c.wantNames || reason != c.wantReason {
 			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
-				c.text, name, reason, ok, c.wantName, c.wantReason, c.wantOK)
+				c.text, joined, reason, ok, c.wantNames, c.wantReason, c.wantOK)
 		}
 	}
 }
@@ -36,6 +41,8 @@ func f() {
 	_ = 1 //reprolint:allow detrand justified reason
 	_ = 2 //reprolint:allow detrand
 	_ = 3 //reprolint:allow nosuchanalyzer some reason
+	_ = 4 //reprolint:allow detrand,nosuch list with unknown member
+	_ = 5 //reprolint:allow lockorder,nonblock,noalloc all known, fine
 }
 `
 	fset := token.NewFileSet()
@@ -44,14 +51,17 @@ func f() {
 		t.Fatal(err)
 	}
 	diags := CheckAllowComments(fset, []*ast.File{f})
-	if len(diags) != 2 {
-		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
 	}
 	if !strings.Contains(diags[0].Message, "malformed") {
 		t.Errorf("first diagnostic should flag the missing reason, got %q", diags[0].Message)
 	}
 	if !strings.Contains(diags[1].Message, "unknown analyzer") {
 		t.Errorf("second diagnostic should flag the unknown analyzer, got %q", diags[1].Message)
+	}
+	if !strings.Contains(diags[2].Message, `unknown analyzer "nosuch"`) {
+		t.Errorf("third diagnostic should flag the unknown list member, got %q", diags[2].Message)
 	}
 }
 

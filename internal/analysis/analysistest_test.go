@@ -22,15 +22,23 @@ var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
 // with import path pkgpath, runs the analyzer, and compares diagnostics
 // against `// want "regexp"` comments golden-style: every diagnostic must
 // match a want on its line, and every want must be hit.
-func testAnalyzer(t *testing.T, a *Analyzer, dir, pkgpath string, imported map[string]bool) {
+func testAnalyzer(t *testing.T, a *Analyzer, dir, pkgpath string, imported *Facts) *Pass {
 	t.Helper()
-	testAnalyzerImp(t, a, dir, pkgpath, imported, nil)
+	return testAnalyzerImp(t, a, dir, pkgpath, imported, nil)
+}
+
+// runOverTestdata runs one analyzer over a fixture directory, still
+// enforcing its want comments, and returns the pass so callers can
+// inspect exported facts and suppressed diagnostics.
+func runOverTestdata(t *testing.T, a *Analyzer, dir, pkgpath string) *Pass {
+	t.Helper()
+	return testAnalyzer(t, a, dir, pkgpath, nil)
 }
 
 // testAnalyzerImp is testAnalyzer with an explicit importer, for fixtures
 // that import other testdata packages (typechecked separately and supplied
 // via a depImporter). A nil importer means the source importer.
-func testAnalyzerImp(t *testing.T, a *Analyzer, dir, pkgpath string, imported map[string]bool, imp types.Importer) {
+func testAnalyzerImp(t *testing.T, a *Analyzer, dir, pkgpath string, imported *Facts, imp types.Importer) *Pass {
 	t.Helper()
 	root := filepath.Join("testdata", dir)
 	entries, err := os.ReadDir(root)
@@ -124,4 +132,5 @@ func testAnalyzerImp(t *testing.T, a *Analyzer, dir, pkgpath string, imported ma
 	for _, m := range missing {
 		t.Error(m)
 	}
+	return pass
 }

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file holds the shared call-graph plumbing the summary analyzers
+// (lockorder, nonblock, noalloc) build on: resolving declarations and call
+// sites so per-function summaries can be folded to a fixpoint within a
+// package and joined with imported facts across packages.
+
+// funcDecls returns every function declaration with a body in non-test
+// files, in file order, paired with its type object.
+func funcDecls(pass *Pass) []declFunc {
+	var out []declFunc
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			out = append(out, declFunc{fn: fn, decl: fd})
+		}
+	}
+	return out
+}
+
+type declFunc struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+}
+
+// receiverName returns the name of a declaration's receiver variable, or
+// "" for package functions and anonymous receivers.
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// callReceiverText returns the source text of a call's receiver expression
+// ("h", "p.inner"), or "" for package-function calls.
+func callReceiverText(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return types.ExprString(sel.X)
+}
+
+// lockSelfAtCall reports whether an own-receiver acquisition in a callee
+// is still an own-receiver acquisition for the caller: the call must go
+// through the caller's receiver ("h.flush()" inside a method of h).
+func lockSelfAtCall(call *ast.CallExpr, recvName string) bool {
+	return recvName != "" && callReceiverText(call) == recvName
+}
+
+// isLocalFunc reports whether fn is declared in the package under
+// analysis, i.e. its summary comes from the local fixpoint rather than
+// imported facts.
+func isLocalFunc(pass *Pass, fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg() == pass.Pkg
+}

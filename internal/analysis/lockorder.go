@@ -1,0 +1,508 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder detects static deadlocks: cycles in the global lock-order
+// graph and double acquisition of the same lock instance on one path.
+//
+// Lock identity is "pkgpath.Type.field" for sync.Mutex/RWMutex struct
+// fields and "pkgpath.var" for package-level mutexes; locks held in local
+// variables are skipped (they cannot participate in cross-function
+// ordering). RLock counts as an acquisition: recursive read locking
+// deadlocks against a queued writer, which the sync documentation
+// prohibits. The lockmgr grant table is modeled as a pseudo-lock
+// ("<lockmgr>.Manager.table") touched by (*Manager).Acquire and
+// (*Manager).ReleaseAll, so an engine that calls into the lock manager
+// while holding a mutex contributes an ordering edge.
+//
+// Per-function summaries (which locks a function acquires, and whether on
+// its own receiver) fold to a fixpoint within the package and travel
+// across packages as facts, so an edge closed three calls deep in another
+// package is still seen. Double acquisition is only reported when the
+// instance expressions match ("h.mu" twice, not h1.mu then h2.mu); cycles
+// are reported once each, at the latest-position local edge that closes
+// them. defer'd unlocks are deliberately ignored: the lock is treated as
+// held for the rest of the walk, which matches when the deferred release
+// actually runs.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "detect lock-order cycles and double acquisition across the call graph",
+	Run:  runLockOrder,
+}
+
+// lockEvent is one lock-relevant operation found at a call site.
+type lockEvent struct {
+	id      string // lock identity
+	inst    string // instance expression text ("h.mu"); "" if unknown
+	self    bool   // instance is a field of the enclosing receiver
+	release bool   // Unlock/RUnlock
+	touch   bool   // acquire-and-release in one step (lockmgr grant table)
+}
+
+// lockAcquire is one entry in a function's summary.
+type lockAcquire struct {
+	id   string
+	self bool // acquired on the function's own receiver
+}
+
+// lockSummary is the transitive set of locks a function acquires.
+type lockSummary map[lockAcquire]bool
+
+var lockAcquireNames = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+var lockReleaseNames = map[string]bool{"Unlock": true, "RUnlock": true}
+
+func runLockOrder(pass *Pass) error {
+	if !localPackage(pass.Path) {
+		return nil
+	}
+	decls := funcDecls(pass)
+	imported := pass.ImportedFactIndex("lockorder")
+
+	// Phase A: per-function direct acquires and local call lists, folded to
+	// a fixpoint so summaries are transitive within the package.
+	sums := make(map[*types.Func]lockSummary)
+	type callsite struct {
+		callee *types.Func
+		recv   string // receiver expression text at the call
+	}
+	calls := make(map[*types.Func][]callsite)
+	for _, d := range decls {
+		sum := lockSummary{}
+		recv := receiverName(d.decl)
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if ev, ok := lockEventForCall(pass, call, recv); ok {
+				if !ev.release {
+					sum[lockAcquire{ev.id, ev.self}] = true
+				}
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil {
+				return true
+			}
+			if isLocalFunc(pass, fn) {
+				calls[d.fn] = append(calls[d.fn], callsite{fn, callReceiverText(call)})
+			} else {
+				for _, f := range imported[MarkerKey(fn)] {
+					switch f.Attr {
+					case "acquires":
+						sum[lockAcquire{f.Detail, false}] = true
+					case "acquires-self":
+						sum[lockAcquire{f.Detail, lockSelfAtCall(call, recv)}] = true
+					}
+				}
+			}
+			return true
+		})
+		sums[d.fn] = sum
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			sum := sums[d.fn]
+			recv := receiverName(d.decl)
+			for _, cs := range calls[d.fn] {
+				for a := range sums[cs.callee] {
+					// A callee's own-receiver acquisition stays "self" only
+					// when the call goes through this function's receiver too;
+					// otherwise it is an acquisition of some other instance.
+					merged := lockAcquire{a.id, a.self && cs.recv == recv && recv != ""}
+					if !sum[merged] {
+						sum[merged] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase B: held-set walk per function — report double acquisition,
+	// collect ordering edges.
+	lo := &lockOrderCtx{pass: pass, sums: sums, imported: imported, edges: map[[2]string]token.Pos{}}
+	for _, d := range decls {
+		lo.recv = receiverName(d.decl)
+		lo.walk(d.decl.Body, heldSet{})
+	}
+
+	// Export facts: summaries for every function, plus the edges this
+	// package's bodies contribute.
+	for _, d := range decls {
+		key := MarkerKey(d.fn)
+		for a := range sums[d.fn] {
+			attr := "acquires"
+			if a.self {
+				attr = "acquires-self"
+			}
+			pass.ExportFact(FuncFact{Analyzer: "lockorder", Fn: key, Attr: attr, Detail: a.id})
+		}
+	}
+	var localEdges [][2]string
+	for e := range lo.edges {
+		localEdges = append(localEdges, e)
+		pass.ExportFact(FuncFact{Analyzer: "lockorder", Attr: "edge", Detail: e[0] + "->" + e[1]})
+	}
+
+	// Cycle detection over local plus imported edges. Each cycle is
+	// canonicalized and reported once, at the latest local edge on it.
+	adj := make(map[string][]string)
+	addEdge := func(from, to string) {
+		for _, t := range adj[from] {
+			if t == to {
+				return
+			}
+		}
+		adj[from] = append(adj[from], to)
+	}
+	for _, e := range localEdges {
+		addEdge(e[0], e[1])
+	}
+	for _, f := range pass.ImportedFuncs {
+		if f.Analyzer == "lockorder" && f.Attr == "edge" {
+			if from, to, ok := strings.Cut(f.Detail, "->"); ok {
+				addEdge(from, to)
+			}
+		}
+	}
+	for k := range adj {
+		sort.Strings(adj[k])
+	}
+	sort.Slice(localEdges, func(i, j int) bool {
+		return lo.edges[localEdges[i]] < lo.edges[localEdges[j]]
+	})
+	type cycleReport struct {
+		pos  token.Pos
+		desc string
+	}
+	cycles := make(map[string]cycleReport)
+	for _, e := range localEdges {
+		path := lockPath(adj, e[1], e[0]) // [e1 ... e0]
+		if path == nil {
+			continue
+		}
+		cycle := append([]string{e[0]}, path[:len(path)-1]...) // e0 -> e1 -> ... (-> e0)
+		key := canonicalCycle(cycle)
+		// Later local edges overwrite: the report lands on the latest one.
+		cycles[key] = cycleReport{lo.edges[e], fmt.Sprintf("lock-order cycle: %s -> %s (this %s -> %s edge closes it)",
+			strings.Join(cycle, " -> "), cycle[0], e[0], e[1])}
+	}
+	var keys []string
+	for k := range cycles {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pass.Reportf(cycles[k].pos, "%s", cycles[k].desc)
+	}
+	return nil
+}
+
+// heldSet maps lock identity -> instance expression -> acquisition pos.
+type heldSet map[string]map[string]token.Pos
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for id, insts := range h {
+		m := make(map[string]token.Pos, len(insts))
+		for inst, pos := range insts {
+			m[inst] = pos
+		}
+		out[id] = m
+	}
+	return out
+}
+
+// lockOrderCtx carries the reporting walk's shared state.
+type lockOrderCtx struct {
+	pass     *Pass
+	sums     map[*types.Func]lockSummary
+	imported map[string][]FuncFact
+	edges    map[[2]string]token.Pos // from -> to, latest position
+	recv     string                  // current function's receiver name
+}
+
+// walk processes a statement tree in source order. Nested control-flow
+// bodies get a clone of the held set so conditional acquisitions do not
+// leak into the fall-through path; sequential statements share it.
+func (c *lockOrderCtx) walk(n ast.Node, held heldSet) {
+	switch t := n.(type) {
+	case nil:
+		return
+	case *ast.BlockStmt:
+		for _, s := range t.List {
+			c.walk(s, held)
+		}
+	case *ast.IfStmt:
+		c.walk(t.Init, held)
+		c.walkExpr(t.Cond, held)
+		c.walk(t.Body, held.clone())
+		c.walk(t.Else, held.clone())
+	case *ast.ForStmt:
+		c.walk(t.Init, held)
+		c.walkExpr(t.Cond, held)
+		body := held.clone()
+		c.walk(t.Body, body)
+		c.walk(t.Post, body)
+	case *ast.RangeStmt:
+		c.walkExpr(t.X, held)
+		c.walk(t.Body, held.clone())
+	case *ast.SwitchStmt:
+		c.walk(t.Init, held)
+		c.walkExpr(t.Tag, held)
+		for _, s := range t.Body.List {
+			c.walk(s, held.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		c.walk(t.Init, held)
+		for _, s := range t.Body.List {
+			c.walk(s, held.clone())
+		}
+	case *ast.SelectStmt:
+		for _, s := range t.Body.List {
+			c.walk(s, held.clone())
+		}
+	case *ast.CaseClause:
+		for _, s := range t.Body {
+			c.walk(s, held)
+		}
+	case *ast.CommClause:
+		c.walk(t.Comm, held)
+		for _, s := range t.Body {
+			c.walk(s, held)
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock runs at return: the lock stays held for the
+		// rest of the walk, which is exactly right. Other deferred calls
+		// are processed here as an approximation of running under
+		// whatever is held at return.
+		if ev, ok := lockEventForCall(c.pass, t.Call, c.recv); ok && ev.release {
+			return
+		}
+		c.walkExpr(t.Call, held)
+	case *ast.GoStmt:
+		// The goroutine starts with nothing held; its literal body is
+		// walked with an empty set. Argument expressions evaluate here.
+		for _, arg := range t.Call.Args {
+			c.walkExpr(arg, held)
+		}
+		if lit, ok := t.Call.Fun.(*ast.FuncLit); ok {
+			c.walk(lit.Body, heldSet{})
+		}
+	case ast.Stmt:
+		c.walkExpr(t, held)
+	case ast.Expr:
+		c.walkExpr(t, held)
+	}
+}
+
+// walkExpr scans an expression (or simple statement) for calls in source
+// order. Function literals are walked with an empty held set: they run
+// wherever they are handed to.
+func (c *lockOrderCtx) walkExpr(n ast.Node, held heldSet) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch t := x.(type) {
+		case *ast.FuncLit:
+			c.walk(t.Body, heldSet{})
+			return false
+		case *ast.CallExpr:
+			c.handleCall(t, held)
+		}
+		return true
+	})
+}
+
+// handleCall applies one call's lock effects to the held set.
+func (c *lockOrderCtx) handleCall(call *ast.CallExpr, held heldSet) {
+	if ev, ok := lockEventForCall(c.pass, call, c.recv); ok {
+		switch {
+		case ev.release:
+			if insts := held[ev.id]; insts != nil {
+				delete(insts, ev.inst)
+			}
+		case ev.touch:
+			c.addEdges(held, ev.id, call.Pos())
+		default:
+			if insts := held[ev.id]; ev.inst != "" && insts != nil {
+				if prev, dup := insts[ev.inst]; dup {
+					c.pass.Reportf(call.Pos(), "%s (%s) is already held here (acquired at %s): double acquisition self-deadlocks",
+						ev.id, ev.inst, c.pass.Fset.Position(prev))
+				}
+			}
+			c.addEdges(held, ev.id, call.Pos())
+			if held[ev.id] == nil {
+				held[ev.id] = map[string]token.Pos{}
+			}
+			held[ev.id][ev.inst] = call.Pos()
+		}
+		return
+	}
+	fn := calleeFunc(c.pass, call)
+	if fn == nil {
+		return
+	}
+	var sum []lockAcquire
+	if isLocalFunc(c.pass, fn) {
+		for a := range c.sums[fn] {
+			sum = append(sum, a)
+		}
+	} else {
+		for _, f := range c.imported[MarkerKey(fn)] {
+			switch f.Attr {
+			case "acquires":
+				sum = append(sum, lockAcquire{f.Detail, false})
+			case "acquires-self":
+				sum = append(sum, lockAcquire{f.Detail, true})
+			}
+		}
+	}
+	recvText := callReceiverText(call)
+	for _, a := range sum {
+		c.addEdges(held, a.id, call.Pos())
+		if !a.self || recvText == "" {
+			continue
+		}
+		// The callee locks a field of its own receiver: at this call site
+		// that instance is recvText.field.
+		inst := recvText + "." + a.id[strings.LastIndex(a.id, ".")+1:]
+		if prev, dup := held[a.id][inst]; dup {
+			c.pass.Reportf(call.Pos(), "calling %s acquires %s (%s) already held here (acquired at %s): double acquisition self-deadlocks",
+				fn.Name(), a.id, inst, c.pass.Fset.Position(prev))
+		}
+	}
+}
+
+// addEdges records held -> acquired ordering edges. Same-identity edges
+// are skipped: two instances of one type are indistinguishable to the
+// order graph, and the same instance is the double-acquisition report's
+// job.
+func (c *lockOrderCtx) addEdges(held heldSet, to string, pos token.Pos) {
+	for from, insts := range held {
+		if from == to || len(insts) == 0 {
+			continue
+		}
+		key := [2]string{from, to}
+		if prev, ok := c.edges[key]; !ok || pos > prev {
+			c.edges[key] = pos
+		}
+	}
+}
+
+// lockEventForCall decodes a call as a lock operation, if it is one.
+func lockEventForCall(pass *Pass, call *ast.CallExpr, recvName string) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return lockEvent{}, false
+	}
+	recv := recvTypeName(fn)
+	if fn.Pkg().Path() == "sync" && (recv == "Mutex" || recv == "RWMutex") {
+		if !lockAcquireNames[fn.Name()] && !lockReleaseNames[fn.Name()] {
+			return lockEvent{}, false
+		}
+		id, inst, self, ok := lockIdentity(pass, sel.X, recvName)
+		if !ok {
+			return lockEvent{}, false
+		}
+		return lockEvent{id: id, inst: inst, self: self, release: lockReleaseNames[fn.Name()]}, true
+	}
+	// The lockmgr grant table: external callers touch the pseudo-lock.
+	// Inside lockmgr itself the table is the code under analysis, not a
+	// lock it takes.
+	if isLockMgrPackage(fn.Pkg().Path()) && !isLockMgrPackage(pass.Path) && recv == "Manager" &&
+		(fn.Name() == "Acquire" || fn.Name() == "ReleaseAll") {
+		return lockEvent{id: fn.Pkg().Path() + ".Manager.table", inst: types.ExprString(sel.X), touch: true}, true
+	}
+	return lockEvent{}, false
+}
+
+// lockIdentity names the mutex an expression denotes. Struct fields get
+// "pkgpath.Type.field", package-level vars "pkgpath.var"; locals are
+// anonymous to the order graph and skipped.
+func lockIdentity(pass *Pass, x ast.Expr, recvName string) (id, inst string, self, ok bool) {
+	switch t := x.(type) {
+	case *ast.SelectorExpr:
+		ownerT := pass.TypesInfo.TypeOf(t.X)
+		if ownerT == nil {
+			return "", "", false, false
+		}
+		if ptr, isPtr := ownerT.(*types.Pointer); isPtr {
+			ownerT = ptr.Elem()
+		}
+		named, isNamed := ownerT.(*types.Named)
+		if !isNamed || named.Obj().Pkg() == nil {
+			return "", "", false, false
+		}
+		id = named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + t.Sel.Name
+		inst = types.ExprString(t.X) + "." + t.Sel.Name
+		base, isIdent := t.X.(*ast.Ident)
+		return id, inst, isIdent && recvName != "" && base.Name == recvName, true
+	case *ast.Ident:
+		obj, isVar := pass.TypesInfo.Uses[t].(*types.Var)
+		if !isVar || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+			return "", "", false, false
+		}
+		return obj.Pkg().Path() + "." + t.Name, t.Name, false, true
+	}
+	return "", "", false, false
+}
+
+func isLockMgrPackage(path string) bool {
+	return path == "lockmgr" || path == "repro/internal/lockmgr"
+}
+
+// lockPath finds a path from -> to in the edge adjacency, returning the
+// node list starting at from and ending at to, or nil.
+func lockPath(adj map[string][]string, from, to string) []string {
+	prev := map[string]string{from: ""}
+	queue := []string{from}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == to {
+			var path []string
+			for n := to; n != ""; n = prev[n] {
+				path = append([]string{n}, path...)
+				if n == from && len(path) > 1 {
+					break
+				}
+			}
+			return path
+		}
+		for _, v := range adj[u] {
+			if _, seen := prev[v]; !seen {
+				prev[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalCycle rotates a cycle's node list (first == last not included)
+// to start at its smallest element, for dedup.
+func canonicalCycle(nodes []string) string {
+	min := 0
+	for i, n := range nodes {
+		if n < nodes[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, nodes[min:]...), nodes[:min]...)
+	return strings.Join(rot, "->")
+}

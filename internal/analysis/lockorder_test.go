@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/importer"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func TestLockOrder(t *testing.T) {
+	testAnalyzer(t, LockOrder, "lockorder", "core", nil)
+}
+
+// TestLockOrderImportedFacts: dep's summaries and edges arrive as facts,
+// the way the vet driver threads them, and still close double-acquisition
+// and cross-package cycle reports.
+func TestLockOrderImportedFacts(t *testing.T) {
+	dep := loadDepPackage(t, "lockorder_dep", "dep")
+	imp := depImporter{
+		pkgs:     map[string]*types.Package{"dep": dep},
+		fallback: importer.ForCompiler(token.NewFileSet(), "source", nil),
+	}
+	facts := &Facts{Funcs: []FuncFact{
+		{Analyzer: "lockorder", Fn: "dep.L.Grab", Attr: "acquires-self", Detail: "dep.L.Mu"},
+		{Analyzer: "lockorder", Attr: "edge", Detail: "dep.L.Mu->core.A.mu"},
+	}}
+	testAnalyzerImp(t, LockOrder, "lockorder_imported", "core", facts, imp)
+}
+
+// TestLockOrderSkipsForeignPackages: the summary analyzers must not
+// fixpoint over the standard library go vet feeds through the tool.
+func TestLockOrderSkipsForeignPackages(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/lockmgr": true,
+		"repro/cmd/replicadb":    true,
+		"core":                   true, // bare-named test fixture
+		"sync":                   false,
+		"net/http":               false,
+		"golang.org/x/tools":     false,
+	} {
+		if got := localPackage(path); got != want {
+			t.Errorf("localPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestLockOrderExportsFacts: summaries and edges surface as FuncFacts for
+// the driver to persist.
+func TestLockOrderExportsFacts(t *testing.T) {
+	pass := runOverTestdata(t, LockOrder, "lockorder", "core")
+	var haveSelf, haveEdge bool
+	for _, f := range pass.ExportedFuncFacts() {
+		if f.Analyzer != "lockorder" {
+			continue
+		}
+		if f.Fn == "core.A.lockSelf" && f.Attr == "acquires-self" && f.Detail == "core.A.mu" {
+			haveSelf = true
+		}
+		if f.Attr == "edge" && f.Detail == "core.A.mu->core.B.mu" {
+			haveEdge = true
+		}
+	}
+	if !haveSelf {
+		t.Error("missing acquires-self fact for core.A.lockSelf")
+	}
+	if !haveEdge {
+		t.Error("missing edge fact core.A.mu->core.B.mu")
+	}
+	if len(pass.SuppressedDiagnostics()) == 0 {
+		t.Error("the allowed fixture's suppressed double acquisition was not retained")
+	}
+}

@@ -109,8 +109,12 @@ func hasMarker(cg *ast.CommentGroup) bool {
 	return false
 }
 
-// goOnlyFuncs finds package-level functions referenced exclusively as go
-// statement callees: their bodies execute only on goroutines.
+// goOnlyFuncs finds package-level functions and methods referenced
+// exclusively as go statement callees: their bodies execute only on
+// goroutines. Bound-method callees (`go h.flush()`) and method
+// expressions (`go (*Host).flush(h)`) count — both are SelectorExpr
+// callees that calleeFunc resolves, and both previously evaded the
+// analyzer because only plain identifiers were counted.
 func goOnlyFuncs(pass *Pass) map[*types.Func]bool {
 	goUses := make(map[*types.Func]int)
 	allUses := make(map[*types.Func]int)
@@ -121,10 +125,8 @@ func goOnlyFuncs(pass *Pass) map[*types.Func]bool {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch t := n.(type) {
 			case *ast.GoStmt:
-				if id, ok := t.Call.Fun.(*ast.Ident); ok {
-					if fn, isFn := pass.TypesInfo.Uses[id].(*types.Func); isFn {
-						goUses[fn]++
-					}
+				if fn := calleeFunc(pass, t.Call); fn != nil {
+					goUses[fn]++
 				}
 			case *ast.Ident:
 				if fn, ok := pass.TypesInfo.Uses[t].(*types.Func); ok {

@@ -7,7 +7,7 @@ func TestLoopOnly(t *testing.T) {
 }
 
 func TestLoopOnlyImportedFacts(t *testing.T) {
-	testAnalyzer(t, LoopOnly, "looponly_imported", "core", map[string]bool{
+	testAnalyzer(t, LoopOnly, "looponly_imported", "core", &Facts{Markers: map[string]bool{
 		"core.RT2.Tick": true,
-	})
+	}})
 }

@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc enforces allocation-free hot paths. A function whose doc comment
+// carries
+//
+//	// reprolint:noalloc
+//
+// (the trace-ring record path, commitpipe's per-txn enqueue) must not
+// allocate, directly or through anything it calls:
+//
+//   - make/new, slice and map composite literals, &T{} (heap escape),
+//   - append, unless it appends to a struct-field scratch buffer
+//     (p.batch = append(p.batch, ...)) whose growth is amortized and
+//     pinned by an AllocsPerRun test,
+//   - closures that capture variables, go statements, string
+//     concatenation and string<->[]byte conversions, map writes,
+//   - fmt/sort/errors calls and the usual allocating strconv/strings
+//     helpers,
+//   - dynamic calls (func values, interface methods): the analysis cannot
+//     see through them, so they must be individually justified.
+//
+// Transitive allocation folds to a fixpoint within a package and crosses
+// package boundaries as "allocs" facts. The static view is deliberately
+// backed by testing.AllocsPerRun regression tests so the two cannot
+// drift: the analyzer catches the regression at vet time, the test at run
+// time.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid allocation in reprolint:noalloc-marked functions, transitively",
+	Run:  runNoAlloc,
+}
+
+const noallocMarker = "reprolint:noalloc"
+
+// noAllocDenyPkgs denies every package-level function of a package.
+var noAllocDenyPkgs = map[string]bool{"fmt": true, "sort": true, "errors": true}
+
+// noAllocDenyFuncs denies specific allocating helpers by MarkerKey.
+var noAllocDenyFuncs = map[string]bool{
+	"strconv.Itoa":        true,
+	"strconv.FormatInt":   true,
+	"strconv.FormatUint":  true,
+	"strconv.FormatFloat": true,
+	"strconv.Quote":       true,
+	"strings.Join":        true,
+	"strings.Repeat":      true,
+	"strings.Replace":     true,
+	"strings.Split":       true,
+	"strings.ToUpper":     true,
+	"strings.ToLower":     true,
+	"bytes.Join":          true,
+	"bytes.Repeat":        true,
+}
+
+func runNoAlloc(pass *Pass) error {
+	if !localPackage(pass.Path) {
+		return nil
+	}
+	decls := funcDecls(pass)
+	imported := pass.ImportedFactIndex("noalloc")
+
+	marked := make(map[*types.Func]bool)
+	for _, d := range decls {
+		if hasNoAllocMarker(d.decl.Doc) {
+			marked[d.fn] = true
+		}
+	}
+
+	seeds := make(map[*types.Func][]nbSeed)
+	calls := make(map[*types.Func][]nbCall)
+	for _, d := range decls {
+		s, c := noAllocScan(pass, d.decl.Body)
+		seeds[d.fn], calls[d.fn] = s, c
+	}
+
+	allocs := make(map[*types.Func]nbBlock)
+	calleeAlloc := func(fn *types.Func) (nbBlock, bool) {
+		if isLocalFunc(pass, fn) {
+			b, ok := allocs[fn]
+			return b, ok
+		}
+		for _, f := range imported[MarkerKey(fn)] {
+			if f.Attr == "allocs" {
+				return nbBlock{detail: f.Detail}, true
+			}
+		}
+		return nbBlock{}, false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if _, done := allocs[d.fn]; done {
+				continue
+			}
+			var found *nbBlock
+			for _, s := range seeds[d.fn] {
+				if !s.allowed {
+					found = &nbBlock{s.pos, s.detail}
+					break
+				}
+			}
+			if found == nil {
+				for _, c := range calls[d.fn] {
+					if c.allowed {
+						continue
+					}
+					if b, ok := calleeAlloc(c.callee); ok {
+						found = &nbBlock{c.pos, b.detail + " (via " + MarkerKey(c.callee) + ")"}
+						break
+					}
+				}
+			}
+			if found != nil {
+				allocs[d.fn] = *found
+				changed = true
+			}
+		}
+	}
+
+	// Report only in marked functions; the rest of the package may
+	// allocate freely.
+	for _, d := range decls {
+		if !marked[d.fn] {
+			continue
+		}
+		name := d.fn.Name()
+		for _, s := range seeds[d.fn] {
+			pass.Reportf(s.pos, "%s is marked reprolint:noalloc but allocates: %s", name, s.detail)
+		}
+		for _, c := range calls[d.fn] {
+			if b, ok := calleeAlloc(c.callee); ok {
+				pass.Reportf(c.pos, "%s is marked reprolint:noalloc but allocates: %s", name, b.detail+" (via "+MarkerKey(c.callee)+")")
+			}
+		}
+	}
+
+	for _, d := range decls {
+		if b, ok := allocs[d.fn]; ok {
+			pass.ExportFact(FuncFact{Analyzer: "noalloc", Fn: MarkerKey(d.fn), Attr: "allocs", Detail: b.detail})
+		}
+	}
+	return nil
+}
+
+func hasNoAllocMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, noallocMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// noAllocScan finds a body's direct allocation sites and resolvable call
+// sites. Function literal bodies are not descended into (the literal's
+// creation is the caller's allocation; its execution belongs to whoever
+// invokes it), but a capturing literal is itself a seed.
+func noAllocScan(pass *Pass, body *ast.BlockStmt) ([]nbSeed, []nbCall) {
+	var seeds []nbSeed
+	var calls []nbCall
+	addSeed := func(pos token.Pos, detail string) {
+		_, allowed := pass.allowedAt("noalloc", pos)
+		seeds = append(seeds, nbSeed{pos, detail, allowed})
+	}
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			if captured := freeVars(pass, t); len(captured) > 0 {
+				addSeed(t.Pos(), "closure captures "+strings.Join(captured, ", "))
+			}
+			return false
+		case *ast.GoStmt:
+			addSeed(t.Pos(), "go statement (new goroutine)")
+			return false
+		case *ast.UnaryExpr:
+			if t.Op == token.AND {
+				if _, isLit := t.X.(*ast.CompositeLit); isLit {
+					addSeed(t.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv := pass.TypesInfo.TypeOf(t); tv != nil {
+				switch tv.Underlying().(type) {
+				case *types.Slice:
+					addSeed(t.Pos(), "slice literal allocates backing array")
+				case *types.Map:
+					addSeed(t.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if t.Op == token.ADD {
+				if tv := pass.TypesInfo.TypeOf(t); tv != nil {
+					if b, isBasic := tv.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
+						addSeed(t.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range t.Lhs {
+				if ix, isIndex := lhs.(*ast.IndexExpr); isIndex {
+					if tv := pass.TypesInfo.TypeOf(ix.X); tv != nil {
+						if _, isMap := tv.Underlying().(*types.Map); isMap {
+							addSeed(ix.Pos(), "map write may grow the table")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			noAllocScanCall(pass, t, addSeed, &calls)
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return seeds, calls
+}
+
+// noAllocScanCall classifies one call expression.
+func noAllocScanCall(pass *Pass, call *ast.CallExpr, addSeed func(token.Pos, string), calls *[]nbCall) {
+	// Type conversions: interface boxing and string<->byte-slice copies
+	// allocate.
+	if tv, isConv := pass.TypesInfo.Types[call.Fun]; isConv && tv.IsType() {
+		target := tv.Type
+		var opT types.Type
+		if len(call.Args) == 1 {
+			opT = pass.TypesInfo.TypeOf(call.Args[0])
+		}
+		switch target.Underlying().(type) {
+		case *types.Interface:
+			if opT != nil {
+				if _, isPtr := opT.Underlying().(*types.Pointer); !isPtr {
+					if _, isIface := opT.Underlying().(*types.Interface); !isIface {
+						addSeed(call.Pos(), "interface conversion boxes a value")
+					}
+				}
+			}
+		case *types.Slice:
+			if opT != nil {
+				if b, isBasic := opT.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
+					addSeed(call.Pos(), "string-to-slice conversion copies")
+				}
+			}
+		case *types.Basic:
+			if target.Underlying().(*types.Basic).Info()&types.IsString != 0 && opT != nil {
+				if _, isSlice := opT.Underlying().(*types.Slice); isSlice {
+					addSeed(call.Pos(), "slice-to-string conversion copies")
+				}
+			}
+		}
+		return
+	}
+	if id, isIdent := call.Fun.(*ast.Ident); isIdent {
+		if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				addSeed(call.Pos(), "make allocates")
+			case "new":
+				addSeed(call.Pos(), "new allocates")
+			case "append":
+				// Appending to a struct-field scratch buffer is the
+				// sanctioned amortized-growth pattern; anything else may
+				// allocate a fresh backing array.
+				if len(call.Args) > 0 {
+					if _, isField := call.Args[0].(*ast.SelectorExpr); !isField {
+						addSeed(call.Pos(), "append may grow a non-scratch slice")
+					}
+				}
+			}
+			return
+		}
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		addSeed(call.Pos(), "dynamic call (func value or interface method): cannot prove allocation-free")
+		return
+	}
+	key := MarkerKey(fn)
+	if fn.Pkg() != nil && noAllocDenyPkgs[fn.Pkg().Path()] {
+		addSeed(call.Pos(), key+" allocates")
+		return
+	}
+	if noAllocDenyFuncs[key] {
+		addSeed(call.Pos(), key+" allocates")
+		return
+	}
+	_, allowed := pass.allowedAt("noalloc", call.Pos())
+	*calls = append(*calls, nbCall{call.Pos(), fn, allowed})
+}
+
+// freeVars lists the variables a function literal captures from its
+// enclosing scope: objects referenced inside whose declarations lie
+// outside the literal.
+func freeVars(pass *Pass, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, isVar := pass.TypesInfo.Uses[id].(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		// Package-level vars are not captures; anything declared before
+		// the literal's own extent is.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			if !seen[id.Name] {
+				seen[id.Name] = true
+				out = append(out, id.Name)
+			}
+		}
+		return true
+	})
+	return out
+}

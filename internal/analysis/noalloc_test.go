@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/importer"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func TestNoAlloc(t *testing.T) {
+	pass := testAnalyzer(t, NoAlloc, "noalloc", "core", nil)
+	// recordAllowedDirect's suppressed make must be retained for audit.
+	if n := len(pass.SuppressedDiagnostics()); n != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (recordAllowedDirect's make)", n)
+	}
+	// Unmarked allocators still export allocs facts; allow-suppressed
+	// seeds must not.
+	var haveFill, haveAllowed bool
+	for _, f := range pass.ExportedFuncFacts() {
+		if f.Analyzer != "noalloc" || f.Attr != "allocs" {
+			continue
+		}
+		switch f.Fn {
+		case "core.R.fill":
+			haveFill = true
+		case "core.R.allowedSeed":
+			haveAllowed = true
+		}
+	}
+	if !haveFill {
+		t.Error("missing allocs fact for core.R.fill")
+	}
+	if haveAllowed {
+		t.Error("core.R.allowedSeed's suppressed seed leaked into its summary")
+	}
+}
+
+// TestNoAllocImportedFacts: an allocs fact from a dependency fires in a
+// local marked function.
+func TestNoAllocImportedFacts(t *testing.T) {
+	dep := loadDepPackage(t, "lockorder_dep", "dep")
+	imp := depImporter{
+		pkgs:     map[string]*types.Package{"dep": dep},
+		fallback: importer.ForCompiler(token.NewFileSet(), "source", nil),
+	}
+	facts := &Facts{Funcs: []FuncFact{
+		{Analyzer: "noalloc", Fn: "dep.L.Grab", Attr: "allocs", Detail: "make allocates"},
+	}}
+	testAnalyzerImp(t, NoAlloc, "noalloc_imported", "core", facts, imp)
+}
+
+// TestNoAllocRegistered: the full suite is exactly the seven analyzers,
+// in registration order.
+func TestNoAllocRegistered(t *testing.T) {
+	want := []string{"detrand", "maporder", "looponly", "pipeonly", "lockorder", "nonblock", "noalloc"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import "testing"
+
+// TestSuppressStatementExtent: an allow above (or trailing inside) a
+// multi-line statement covers the statement's full extent, but a comment
+// inside a control body does not reach the header finding.
+func TestSuppressStatementExtent(t *testing.T) {
+	pass := testAnalyzer(t, DetRand, "suppress", "core", nil)
+	// multiLine (2) + trailingOnContinuation (1).
+	if n := len(pass.SuppressedDiagnostics()); n != 3 {
+		t.Errorf("detrand suppressed findings = %d, want 3: %v", n, pass.SuppressedDiagnostics())
+	}
+	for _, s := range pass.SuppressedDiagnostics() {
+		if s.Reason == "" {
+			t.Errorf("suppressed finding %q lost its reason", s.Message)
+		}
+	}
+}
+
+// TestSuppressMultiAnalyzer: the same comma-list comment covers both
+// analyzers' findings on one line.
+func TestSuppressMultiAnalyzer(t *testing.T) {
+	for _, a := range []*Analyzer{DetRand, MapOrder} {
+		pass := testAnalyzer(t, a, "suppress_multi", "core", nil)
+		if n := len(pass.SuppressedDiagnostics()); n != 1 {
+			t.Errorf("%s suppressed findings = %d, want 1: %v", a.Name, n, pass.SuppressedDiagnostics())
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package core mimics an engine package for lockorder tests.
+package core
+
+import "sync"
+
+// A and B each own a mutex field.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// pkgMu is a package-level mutex.
+var pkgMu sync.Mutex
+
+// doubleLock reacquires the same instance on one path.
+func doubleLock(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want "core.A.mu .a.mu. is already held here .acquired at .*: double acquisition self-deadlocks"
+	a.mu.Unlock()
+}
+
+// doublePkg reacquires the package-level mutex.
+func doublePkg() {
+	pkgMu.Lock()
+	pkgMu.Lock() // want "core.pkgMu .pkgMu. is already held"
+	pkgMu.Unlock()
+}
+
+// seqLock releases before reacquiring: clean.
+func seqLock(a *A) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+// twoInstances locks two different instances of one type: no double
+// acquisition, and no self-edge in the order graph.
+func twoInstances(a1, a2 *A) {
+	a1.mu.Lock()
+	a2.mu.Lock()
+	a2.mu.Unlock()
+	a1.mu.Unlock()
+}
+
+// rlockTwice: recursive read locking deadlocks against a queued writer.
+func rlockTwice(b *B) {
+	b.mu.RLock()
+	b.mu.RLock() // want "core.B.mu .b.mu. is already held"
+	b.mu.RUnlock()
+	b.mu.RUnlock()
+}
+
+// branchScoped acquisitions do not leak past their branch.
+func branchScoped(a *A, cond bool) {
+	if cond {
+		a.mu.Lock()
+		a.n++
+	}
+	a.mu.Lock() // no report: the branch acquisition is not on this path
+	a.n++
+	a.mu.Unlock()
+}
+
+// deferHeld: a deferred unlock keeps the lock held for the walk, so a
+// later reacquire on the same path is caught.
+func deferHeld(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	a.mu.Lock() // want "core.A.mu .a.mu. is already held"
+}
+
+// lockSelf acquires its own receiver's mutex; callers holding it double
+// acquire. Summaries make that visible at the call site.
+func (a *A) lockSelf() {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+func viaCallee(a *A) {
+	a.mu.Lock()
+	a.lockSelf() // want "calling lockSelf acquires core.A.mu .a.mu. already held"
+	a.mu.Unlock()
+}
+
+// viaCalleeOther calls lockSelf on a different instance: clean.
+func viaCalleeOther(a1, a2 *A) {
+	a1.mu.Lock()
+	a2.lockSelf()
+	a1.mu.Unlock()
+}
+
+// viaCalleeDeep: the self acquisition is two calls down but the summary
+// fixpoint still carries it up through the caller's receiver.
+func (a *A) lockSelfDeep() {
+	a.lockSelf()
+}
+
+func viaCalleeDeep(a *A) {
+	a.mu.Lock()
+	a.lockSelfDeep() // want "calling lockSelfDeep acquires core.A.mu .a.mu. already held"
+	a.mu.Unlock()
+}
+
+// lockAB and lockBA together close an order cycle. The report lands once,
+// on the latest-position local edge (lockBA's inner acquire).
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "lock-order cycle: core.B.mu -> core.A.mu -> core.B.mu .this core.B.mu -> core.A.mu edge closes it."
+	a.n++
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// goBody starts with nothing held: no edge from the spawner's locks.
+func goBody(a *A, b *B) {
+	go func() {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}()
+}
+
+// localMutex is anonymous to the order graph: skipped entirely.
+func localMutex() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Lock()
+	mu.Unlock()
+}
+
+// allowed carries a justified suppression.
+func allowed(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() //reprolint:allow lockorder fixture: intentionally suppressed
+	a.mu.Unlock()
+}

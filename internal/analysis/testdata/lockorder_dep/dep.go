@@ -1,0 +1,19 @@
+// Package dep is a stand-in dependency whose lockorder facts arrive
+// pre-computed, the way the vet driver threads them between packages.
+package dep
+
+import "sync"
+
+// L owns an exported mutex so importers can hold the same instance its
+// methods acquire.
+type L struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Grab acquires the receiver's mutex.
+func (l *L) Grab() {
+	l.Mu.Lock()
+	l.n++
+	l.Mu.Unlock()
+}

@@ -1,0 +1,40 @@
+// Package core exercises lockorder's imported facts: the dep package's
+// summaries and edges come from the fact stream, not local analysis.
+package core
+
+import (
+	"sync"
+
+	"dep"
+)
+
+// A owns a local mutex.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+// doubleViaImported holds l.Mu and calls Grab, which the imported
+// acquires-self fact says reacquires it.
+func doubleViaImported(l *dep.L) {
+	l.Mu.Lock()
+	l.Grab() // want "calling Grab acquires dep.L.Mu .l.Mu. already held"
+	l.Mu.Unlock()
+}
+
+// cycleViaImported contributes the local core.A.mu -> dep.L.Mu edge; the
+// imported dep.L.Mu -> core.A.mu edge closes the cross-package cycle.
+func cycleViaImported(a *A, l *dep.L) {
+	a.mu.Lock()
+	l.Grab() // want "lock-order cycle"
+	a.n++
+	a.mu.Unlock()
+}
+
+// otherInstance holds a different L: the imported self fact does not
+// match, so no double acquisition.
+func otherInstance(l1, l2 *dep.L) {
+	l1.Mu.Lock()
+	l2.Grab()
+	l1.Mu.Unlock()
+}

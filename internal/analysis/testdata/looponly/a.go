@@ -89,3 +89,36 @@ func goodAllowed(r *RT) {
 		_ = r.Rand() //reprolint:allow looponly startup path, loop not running yet
 	}()
 }
+
+// flushWorker is referenced only as a bound-method go callee
+// (`go r.flushWorker()`). Before the goOnlyFuncs fix, SelectorExpr go
+// callees were never counted, so this body was scanned as loop context
+// and the call below went unreported.
+func (r *RT) flushWorker() {
+	_ = r.Rand() // want "Rand is event-loop-only .reprolint:looponly. but is called from a goroutine"
+}
+
+func spawnFlush(r *RT) {
+	go r.flushWorker()
+}
+
+// exprWorker is referenced only through a method-expression go callee
+// (`go (*RT).exprWorker(r)`), the other shape that evaded detection.
+func (r *RT) exprWorker() {
+	_ = r.Rand() // want "Rand is event-loop-only .reprolint:looponly. but is called from a goroutine"
+}
+
+func spawnExpr(r *RT) {
+	go (*RT).exprWorker(r)
+}
+
+// mixedWorker is launched on a goroutine but also called synchronously,
+// so it is not goroutine-only: no report.
+func (r *RT) mixedWorker() {
+	_ = r.Rand()
+}
+
+func spawnMixed(r *RT) {
+	go r.mixedWorker()
+	r.mixedWorker()
+}

@@ -1,0 +1,113 @@
+// Package core mimics a hot-path package for noalloc tests. Only
+// functions marked reprolint:noalloc report; everything else may
+// allocate freely (but contributes summaries).
+package core
+
+import "fmt"
+
+// R is a ring-buffer stand-in: buf is the sanctioned field scratch
+// buffer, now a func-typed field (a dynamic call).
+type R struct {
+	buf []int
+	now func() int64
+	m   map[string]int
+}
+
+// record fires one seed per line.
+//
+// reprolint:noalloc
+func (r *R) record(v int) {
+	r.buf = append(r.buf, v) // field scratch append: clean
+	s := make([]int, 4)      // want "record is marked reprolint:noalloc but allocates: make allocates"
+	p := new(int)            // want "new allocates"
+	var q []int
+	q = append(q, v) // want "append may grow a non-scratch slice"
+	l := []int{1, 2} // want "slice literal allocates backing array"
+	mm := map[int]int{} // want "map literal allocates"
+	r.m["k"] = v     // want "map write may grow the table"
+	t := &R{}        // want "&composite literal escapes to the heap"
+	_ = fmt.Sprint(v) // want "fmt.Sprint allocates"
+	_ = r.now()       // want "dynamic call .func value or interface method.: cannot prove allocation-free"
+	f := func() int { return v } // want "closure captures v"
+	go noop()                    // want "go statement .new goroutine."
+	_ = any(v)                   // want "interface conversion boxes a value"
+	b := []byte("x")             // want "string-to-slice conversion copies"
+	_ = string(b)                // want "slice-to-string conversion copies"
+	_, _, _, _, _, _ = s, p, q, l, mm, t
+	_ = f
+}
+
+func noop() {}
+
+// concat allocates via string +; hello is marked so it fires.
+//
+// reprolint:noalloc
+func hello(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// fill is unmarked: no report, but its make seed lands in its summary.
+func (r *R) fill() {
+	x := make([]int, 1)
+	_ = x
+	r.buf = append(r.buf, 0)
+}
+
+// recordVia calls an allocating helper; the summary carries it up.
+//
+// reprolint:noalloc
+func (r *R) recordVia() {
+	r.fill() // want "recordVia is marked reprolint:noalloc but allocates: make allocates .via core.R.fill."
+}
+
+// clean is a clean helper.
+func (r *R) clean(v int) {
+	r.buf = append(r.buf, v)
+}
+
+// recordClean calls only allocation-free code: no report.
+//
+// reprolint:noalloc
+func (r *R) recordClean(v int) {
+	r.clean(v)
+	if len(r.buf) > 0 {
+		r.buf[0] = v
+	}
+}
+
+// allowedSeed is unmarked and its one seed carries a justified allow, so
+// its summary stays clean...
+func (r *R) allowedSeed() {
+	x := make([]int, 1) //reprolint:allow noalloc fixture: cold path taken once
+	_ = x
+}
+
+// recordViaAllowed ...and calling it from a marked function is clean.
+//
+// reprolint:noalloc
+func (r *R) recordViaAllowed() {
+	r.allowedSeed()
+}
+
+// recordAllowedDirect suppresses its own seed; the finding is retained
+// as suppressed, not reported.
+//
+// reprolint:noalloc
+func (r *R) recordAllowedDirect() {
+	x := make([]int, 1) //reprolint:allow noalloc fixture: cold path, justified
+	_ = x
+}
+
+// allowedCall is unmarked; its allocating *call* carries a justified
+// allow, which excludes the call from its summary just like an allowed
+// seed (the dedupWrites fast-path/slow-path pattern)...
+func (r *R) allowedCall() {
+	r.fill() //reprolint:allow noalloc fixture: slow path runs only on duplicates
+}
+
+// recordViaAllowedCall ...so a marked caller stays clean.
+//
+// reprolint:noalloc
+func (r *R) recordViaAllowedCall() {
+	r.allowedCall()
+}

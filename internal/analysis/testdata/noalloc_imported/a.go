@@ -1,0 +1,19 @@
+// Package core exercises noalloc's imported facts: dep.L.Grab's allocs
+// summary arrives through the fact stream.
+package core
+
+import "dep"
+
+// touch calls the allocating dependency.
+//
+// reprolint:noalloc
+func touch(l *dep.L) {
+	l.Grab() // want "touch is marked reprolint:noalloc but allocates: make allocates .via dep.L.Grab."
+}
+
+// peek calls nothing with an allocating fact: clean.
+//
+// reprolint:noalloc
+func peek(l *dep.L) {
+	_ = l
+}

@@ -1,0 +1,93 @@
+// Package core mimics an engine package for nonblock tests: Receive,
+// Start, Handle*/Deliver*/On* methods and looponly-marked functions are
+// loop-bound roots.
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// E is a stand-in engine.
+type E struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+// Receive is an engine entry point: direct blocking primitives fire.
+func (e *E) Receive() {
+	time.Sleep(time.Millisecond) // want "Receive is loop-bound .engine entry point Receive. but may block: time.Sleep"
+}
+
+// HandleMsg blocks two calls down; the fixpoint carries it up.
+func (e *E) HandleMsg() {
+	e.helper() // want "HandleMsg is loop-bound .engine entry point HandleMsg. but may block: channel send .via core.E.helper."
+}
+
+func (e *E) helper() {
+	e.ch <- 1
+}
+
+// DeliverAll blocks on a WaitGroup.
+func (e *E) DeliverAll() {
+	e.wg.Wait() // want "DeliverAll is loop-bound .engine entry point DeliverAll. but may block: sync.WaitGroup.Wait"
+}
+
+// OnTick: select with default is the sanctioned non-blocking poll;
+// select without default may park the loop.
+func (e *E) OnTick() {
+	select {
+	case v := <-e.ch:
+		_ = v
+	default:
+	}
+	select { // want "OnTick is loop-bound .engine entry point OnTick. but may block: select without default"
+	case v := <-e.ch:
+		_ = v
+	}
+}
+
+// OnDrain blocks by ranging over a channel.
+func (e *E) OnDrain() {
+	for v := range e.ch { // want "OnDrain is loop-bound .engine entry point OnDrain. but may block: range over channel"
+		_ = v
+	}
+}
+
+// Start spawns a goroutine: the goroutine body may block freely, it is
+// not on the loop.
+func (e *E) Start() {
+	go func() {
+		time.Sleep(time.Millisecond)
+		e.ch <- 1
+	}()
+}
+
+// background is not a root: it may block without a report (but exports a
+// blocks fact for dependents).
+func (e *E) background() {
+	time.Sleep(time.Millisecond)
+}
+
+// SetThing carries the looponly marker, so it is a root even though its
+// name matches no engine entry pattern.
+//
+// reprolint:looponly
+func (e *E) SetThing() {
+	e.ch <- 1 // want "SetThing is loop-bound .reprolint:looponly. but may block: channel send"
+}
+
+// HandleAllowed carries a justified suppression on the blocking site.
+func (e *E) HandleAllowed() {
+	e.ch <- 1 //reprolint:allow nonblock fixture: documented handoff
+}
+
+// sendAllowed's suppressed seed must not poison its summary...
+func (e *E) sendAllowed() {
+	e.ch <- 1 //reprolint:allow nonblock fixture: sanctioned at source
+}
+
+// HandleViaAllowed ...so calling it stays clean.
+func (e *E) HandleViaAllowed() {
+	e.sendAllowed()
+}

@@ -1,0 +1,14 @@
+// Package livenet is a stand-in transport: Do is the sanctioned
+// loop-handoff bridge, Flush a function whose blocking arrives as an
+// imported fact.
+package livenet
+
+// Host mimics the transport host.
+type Host struct{}
+
+// Do hands a thunk to the event loop. Its internal channel send is the
+// bridge mechanism, not a violation.
+func (h *Host) Do(f func()) {}
+
+// Flush blocks (per the imported fact; the body is irrelevant here).
+func Flush() {}

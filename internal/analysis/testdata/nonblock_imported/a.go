@@ -1,0 +1,22 @@
+// Package core exercises nonblock's imported facts and sanctioned
+// escapes.
+package core
+
+import "livenet"
+
+// F is a stand-in engine fronting the transport.
+type F struct {
+	h *livenet.Host
+}
+
+// Receive calls an imported function whose blocks fact arrived through
+// the fact stream.
+func (f *F) Receive() {
+	livenet.Flush() // want "Receive is loop-bound .engine entry point Receive. but may block: fsync .os.File.Sync. .via livenet.Flush."
+}
+
+// HandleOK uses the sanctioned Do bridge: clean even though Do's own
+// fact claims it blocks.
+func (f *F) HandleOK() {
+	f.h.Do(func() {})
+}

@@ -1,0 +1,35 @@
+// Package core exercises statement-extent and multi-analyzer
+// suppression (an engine package, so detrand and maporder both apply).
+package core
+
+import "time"
+
+// multiLine: the allow sits above a statement whose findings are on
+// continuation lines; before extent-aware suppression only the first
+// line was covered.
+func multiLine() [2]int64 {
+	//reprolint:allow detrand fixture: covers the whole statement extent
+	v := [2]int64{
+		time.Now().Unix(),
+		time.Now().UnixNano(),
+	}
+	return v
+}
+
+// trailingOnContinuation: a trailing allow on a continuation line covers
+// that line's finding.
+func trailingOnContinuation() int64 {
+	v := [2]int64{
+		time.Now().Unix(), //reprolint:allow detrand fixture: trailing on continuation line
+		0,
+	}
+	return v[0]
+}
+
+// headerClipped: an allow inside a control statement's body must not
+// suppress a finding in its header.
+func headerClipped() {
+	if time.Now().Unix() > 0 { // want "nondeterministic time.Now"
+		_ = 1 //reprolint:allow detrand fixture: must not reach the header
+	}
+}

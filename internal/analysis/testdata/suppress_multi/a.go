@@ -1,0 +1,12 @@
+// Package core: one comma-list allow comment suppresses two analyzers'
+// findings on the same line (maporder flags the send-like call in a map
+// range, detrand flags time.Now).
+package core
+
+import "time"
+
+func oneLineTwoAnalyzers(m map[int]int, send func(int64)) {
+	for range m {
+		send(time.Now().Unix()) //reprolint:allow detrand,maporder fixture: one line, two analyzers
+	}
+}

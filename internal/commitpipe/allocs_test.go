@@ -1,0 +1,52 @@
+package commitpipe
+
+import (
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/storage"
+)
+
+// TestEnqueueAllocs pins the reprolint:noalloc contract on the per-txn
+// enqueue path dynamically: with the batch scratch warmed to capacity
+// (AllocsPerRun's warm-up call grows it once), staging a transaction's
+// records — commit-index assignment, write dedup, batch append —
+// allocates nothing per operation.
+func TestEnqueueAllocs(t *testing.T) {
+	p := New(Config{Store: storage.New(nil)})
+	txns := []Txn{{
+		ID: txn(1, 1),
+		Entries: []Entry{{
+			Writes: []message.KV{kv("a", "1"), kv("b", "2"), kv("c", "3")},
+		}},
+	}}
+	allocs := testing.AllocsPerRun(200, func() {
+		p.batch = p.batch[:0]
+		txns[0].Entries[0].Index = 0 // re-assign a fresh commit index each run
+		p.enqueue(&txns[0])
+	})
+	if allocs != 0 {
+		t.Fatalf("enqueue = %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDedupWritesFastPath: a duplicate-free write set passes through
+// unchanged (no copy), while a rewritten key takes the slow path and
+// keeps each key's final write.
+func TestDedupWritesFastPath(t *testing.T) {
+	w := []message.KV{kv("a", "1"), kv("b", "2")}
+	if got := dedupWrites(w); len(got) != 2 || &got[0] != &w[0] {
+		t.Fatalf("fast path copied: got %v", got)
+	}
+	d := []message.KV{kv("a", "1"), kv("b", "2"), kv("a", "3")}
+	got := dedupWrites(d)
+	want := []message.KV{kv("b", "2"), kv("a", "3")}
+	if len(got) != len(want) {
+		t.Fatalf("slow path: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key || string(got[i].Value) != string(want[i].Value) {
+			t.Fatalf("slow path: got %v, want %v", got, want)
+		}
+	}
+}

@@ -181,22 +181,7 @@ func (p *Pipeline) SubmitGroup(txns []Txn) {
 		if t.Certified != nil {
 			t.Certified()
 		}
-		for j := range t.Entries {
-			e := &t.Entries[j]
-			if e.Index == 0 {
-				p.lsn++
-				e.Index = p.lsn
-			} else if e.Index > p.lsn {
-				p.lsn = e.Index
-			}
-			if len(e.Writes) == 0 {
-				continue
-			}
-			p.batch = append(p.batch, storage.BatchEntry{
-				Txn: t.ID, Writes: dedupWrites(e.Writes), Index: e.Index,
-			})
-			nrecs[i]++
-		}
+		nrecs[i] = p.enqueue(t)
 	}
 	recs := len(p.batch)
 	var applyErr error
@@ -262,6 +247,35 @@ func (p *Pipeline) SubmitGroup(txns []Txn) {
 			txns[i].Ack(!failed(i))
 		}
 	}
+}
+
+// enqueue assigns commit indexes to one certified transaction's entries
+// and stages its non-empty write records into the reusable batch scratch,
+// returning how many records it contributed. This runs once per decided
+// transaction on the event loop — the commit hot path — and must stay
+// allocation-free: the batch scratch's amortized growth is the sanctioned
+// exception, and TestEnqueueAllocs pins the whole path at 0 allocs/op.
+//
+// reprolint:noalloc
+func (p *Pipeline) enqueue(t *Txn) int {
+	n := 0
+	for j := range t.Entries {
+		e := &t.Entries[j]
+		if e.Index == 0 {
+			p.lsn++
+			e.Index = p.lsn
+		} else if e.Index > p.lsn {
+			p.lsn = e.Index
+		}
+		if len(e.Writes) == 0 {
+			continue
+		}
+		p.batch = append(p.batch, storage.BatchEntry{
+			Txn: t.ID, Writes: dedupWrites(e.Writes), Index: e.Index,
+		})
+		n++
+	}
+	return n
 }
 
 // bookkeep emits the recorder entries, the apply span, and the stats hook
@@ -368,17 +382,33 @@ func (p *Pipeline) Summary() string {
 }
 
 // dedupWrites collapses a write sequence so each key appears once with its
-// final value, preserving first-write order between keys (the same rule the
-// engines apply when building protocol messages).
+// final value (the same rule the engines apply when building protocol
+// messages). The common case — no key written twice — returns the input
+// slice unchanged: the quadratic duplicate scan over a transaction's
+// (small) write set costs less than the map the slow path builds, and it
+// keeps the commit hot path allocation-free.
 func dedupWrites(writes []message.KV) []message.KV {
 	if len(writes) <= 1 {
 		return writes
 	}
+	for i := 1; i < len(writes); i++ {
+		for j := 0; j < i; j++ {
+			if writes[j].Key == writes[i].Key {
+				return dedupWritesSlow(writes) //reprolint:allow noalloc slow path runs only when a txn rewrites a key; the duplicate-free fast path is pinned at 0 allocs/op by TestEnqueueAllocs
+			}
+		}
+	}
+	return writes
+}
+
+// dedupWritesSlow rebuilds a write set that contains duplicate keys,
+// keeping each key's final write.
+func dedupWritesSlow(writes []message.KV) []message.KV {
 	last := make(map[message.Key]int, len(writes))
 	for i, w := range writes {
 		last[w.Key] = i
 	}
-	out := writes[:0:0]
+	out := make([]message.KV, 0, len(writes))
 	for i, w := range writes {
 		if last[w.Key] == i {
 			out = append(out, w)

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/message"
+)
+
+// TestEmitAllocs pins the reprolint:noalloc contract on the span record
+// path dynamically: once the ring exists, Point and Interval allocate
+// nothing. The static analyzer catches a regression at vet time; this
+// test catches one the analyzer cannot see (an escape the compiler
+// introduces, or an allocating clock implementation).
+func TestEmitAllocs(t *testing.T) {
+	tr := New(3, 16, func() time.Duration { return 42 * time.Millisecond })
+	id := message.TxnID{Site: 1, Seq: 9}
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.Point(id, KindApply, 7, NoPeer, 1)
+		tr.Interval(id, KindAckWait, 5*time.Millisecond, 7, 2, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Point+Interval = %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEmitAllocsNilTracer: the nil-receiver fast path is also free.
+func TestEmitAllocsNilTracer(t *testing.T) {
+	var tr *Tracer
+	id := message.TxnID{Site: 1, Seq: 9}
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.Point(id, KindApply, 7, NoPeer, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer Point = %v allocs/op, want 0", allocs)
+	}
+}

@@ -239,26 +239,33 @@ func (t *Tracer) Now() time.Duration {
 // Zero-ID events are dropped: background traffic with no transaction
 // attribution (heartbeats, causal nulls, view changes) would otherwise
 // flood the ring.
+//
+// reprolint:noalloc
 func (t *Tracer) Point(id message.TxnID, k Kind, seq uint64, peer message.SiteID, extra int64) {
 	if t == nil || id.IsZero() {
 		return
 	}
-	at := t.now()
+	at := t.now() //reprolint:allow noalloc injected clock func field; both implementations (sim virtual time, monotonic since start) are allocation-free and TestEmitAllocs pins the whole path
 	t.emit(Span{Trace: id, Site: t.site, Kind: k, Start: at, End: at, Seq: seq, Peer: peer, Extra: extra})
 }
 
 // Interval records an event that began at start and ends now. Zero-ID
 // events are dropped, as in Point.
+//
+// reprolint:noalloc
 func (t *Tracer) Interval(id message.TxnID, k Kind, start time.Duration, seq uint64, peer message.SiteID, extra int64) {
 	if t == nil || id.IsZero() {
 		return
 	}
-	t.emit(Span{Trace: id, Site: t.site, Kind: k, Start: start, End: t.now(), Seq: seq, Peer: peer, Extra: extra})
+	end := t.now() //reprolint:allow noalloc injected clock func field; see Point
+	t.emit(Span{Trace: id, Site: t.site, Kind: k, Start: start, End: end, Seq: seq, Peer: peer, Extra: extra})
 }
 
 // emit reserves the next ring slot and writes the span into it. The slot
 // counter never resets, so slot%cap walks the ring and drop-oldest falls
 // out of wraparound.
+//
+// reprolint:noalloc
 func (t *Tracer) emit(s Span) {
 	t.mu.RLock()
 	slot := t.next.Add(1) - 1
