@@ -115,8 +115,9 @@ func run() error {
 		"E12": experiments.E12SnapshotReads,
 		"E13": experiments.E13GroupCommit,
 		"E14": experiments.E14OrdererBatching,
+		"E15": experiments.E15CheckpointRecovery,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 
 	violations := 0
 	doc := benchDoc{

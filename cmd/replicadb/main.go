@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/broadcast"
+	"repro/internal/checkpoint"
 	"repro/internal/commitpipe"
 	"repro/internal/core"
 	"repro/internal/livenet"
@@ -59,6 +60,9 @@ func run() error {
 		walBatch   = flag.Int("wal-batch", 64, "group-commit batch size in records; <= 1 syncs every record")
 		walFlush   = flag.Duration("wal-flush", 2*time.Millisecond, "group-commit max delay before a partial batch fsyncs")
 		walSegMB   = flag.Int64("wal-seg-bytes", storage.DefaultSegmentBytes, "segment rotation threshold in bytes (directory logs)")
+		ckptIval   = flag.Duration("checkpoint-interval", 0, "periodic checkpoint interval (0 disables the timer trigger; requires a directory -wal)")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "checkpoint once this many bytes were appended to the WAL since the last one (0 disables the bytes trigger)")
+		ckptRetain = flag.Int("checkpoint-retain", 3, "completed checkpoints to keep on disk")
 		heartbeat  = flag.Duration("heartbeat", 25*time.Millisecond, "protocol C null-broadcast interval")
 		atomicMode = flag.String("atomic-mode", "sequencer", "protocol A total-order mode: sequencer|isis|batch")
 		batchWin   = flag.Duration("batch-window", time.Millisecond, "batch orderer: accumulation window before a batch seals")
@@ -101,6 +105,7 @@ func run() error {
 		ecfg.Tracer = tr
 		host.SetTracer(tr)
 	}
+	ckptEnabled := *ckptIval > 0 || *ckptBytes > 0
 	var wal *storage.WAL
 	if *walPath != "" {
 		var st *storage.Store
@@ -108,10 +113,33 @@ func run() error {
 			// Legacy single-file log: replay it (truncating any torn tail so
 			// appends resume on the valid prefix) and keep appending to the
 			// same file.
+			if ckptEnabled {
+				return fmt.Errorf("checkpointing requires a directory -wal (got file %s)", *walPath)
+			}
 			var ferr error
 			st, wal, ferr = storage.RecoverFile(*walPath)
 			if ferr != nil {
 				return fmt.Errorf("recover wal: %w", ferr)
+			}
+		} else if ckptEnabled {
+			// Checkpoint-aware recovery: load the newest valid checkpoint,
+			// replay only the WAL suffix above it, and resume the broadcast
+			// stack's frontiers from the checkpoint.
+			st2, w2, info, rerr := checkpoint.Recover(*walPath, *walSegMB)
+			if rerr != nil {
+				return fmt.Errorf("recover checkpoint+wal: %w", rerr)
+			}
+			st, wal = st2, w2
+			ecfg.InitialStack = info.Stack
+			ecfg.Checkpoint = checkpoint.Policy{
+				Dir:         *walPath,
+				Interval:    *ckptIval,
+				MaxWALBytes: *ckptBytes,
+				Retain:      *ckptRetain,
+			}
+			if info.CheckpointIndex > 0 {
+				log.Printf("site %d loaded checkpoint %s (index %d), replayed %d wal records (skipped %d below the floor)",
+					*id, info.CheckpointPath, info.CheckpointIndex, info.Replayed, info.Skipped)
 			}
 		} else {
 			// Segmented directory log (the default for new deployments):
@@ -131,6 +159,8 @@ func run() error {
 		ecfg.WAL = wal
 		ecfg.InitialStore = st
 		ecfg.GroupCommit = commitpipe.Policy{MaxBatch: *walBatch, MaxDelay: *walFlush}
+	} else if ckptEnabled {
+		return fmt.Errorf("checkpointing requires -wal")
 	}
 	var engine core.Engine
 	switch *proto {
@@ -303,16 +333,26 @@ func (r *replica) execute(line string) string {
 	case "STATS":
 		var s *core.Stats
 		var keys int
-		var pipe string
+		var pipe, ckpt string
 		r.host.Do(func() {
 			s = r.engine.Stats()
 			keys = r.engine.Store().Len()
 			pipe = r.engine.Pipeline().Summary()
+			if cp := r.engine.Checkpointer(); cp != nil {
+				cs := cp.Stats()
+				age := time.Duration(0)
+				if cs.Checkpoints > 0 {
+					age = r.host.Now() - cs.LastUnix
+				}
+				ckpt = fmt.Sprintf(" ckpt_count=%d ckpt_index=%d ckpt_bytes=%d ckpt_age=%s segs_truncated=%d state_chunks=%d state_bytes=%d",
+					cs.Checkpoints, cs.LastIndex, cs.LastBytes, age.Round(time.Millisecond),
+					cs.SegmentsTruncated, s.StateChunksSent, s.StateBytesSent)
+			}
 		})
 		sent, recv, dropped := r.host.Counters()
-		return fmt.Sprintf("OK begun=%d committed=%d ro=%d aborted=%d keys=%d sent=%d recv=%d dropped=%d %s %s",
+		return fmt.Sprintf("OK begun=%d committed=%d ro=%d aborted=%d keys=%d sent=%d recv=%d dropped=%d %s %s%s",
 			s.Begun, s.Committed, s.ReadOnlyCommitted, s.Aborted, keys, sent, recv, dropped,
-			pipe, r.host.TransportSummary())
+			pipe, r.host.TransportSummary(), ckpt)
 	case "TRACE":
 		if r.tracer == nil {
 			return "ERR tracing disabled (-trace-buf 0)"

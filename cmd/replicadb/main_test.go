@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/livenet"
 	"repro/internal/message"
@@ -34,7 +35,8 @@ func TestParsePeers(t *testing.T) {
 }
 
 // newTestReplica boots an in-process cluster backing the client protocol
-// handler, with tracing enabled at every site.
+// handler, with tracing enabled at every site and checkpointing backed by a
+// per-site temp WAL directory (so STATS exposes checkpoint counters).
 func newTestReplica(t *testing.T, n int) []*replica {
 	t.Helper()
 	listeners := make([]net.Listener, n)
@@ -55,7 +57,19 @@ func newTestReplica(t *testing.T, n int) []*replica {
 		}
 		tr := trace.New(message.SiteID(i), 1<<12, h.Now)
 		h.SetTracer(tr)
-		e := core.NewCausal(h, core.Config{CausalHeartbeat: 20 * time.Millisecond, Tracer: tr})
+		dir := t.TempDir()
+		st, wal, info, err := checkpoint.Recover(dir, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := core.NewCausal(h, core.Config{
+			CausalHeartbeat: 20 * time.Millisecond,
+			Tracer:          tr,
+			WAL:             wal,
+			InitialStore:    st,
+			InitialStack:    info.Stack,
+			Checkpoint:      checkpoint.Policy{Dir: dir, Interval: 25 * time.Millisecond, Retain: 2},
+		})
 		h.Bind(e)
 		replicas[i] = &replica{host: h, engine: e, tracer: tr, proto: "causal", sites: n}
 	}
@@ -86,11 +100,30 @@ func TestClientProtocolExecute(t *testing.T) {
 	if !strings.HasPrefix(resp, "OK begun=") {
 		t.Fatalf("STATS: %q", resp)
 	}
-	// Per-peer transport counters for every site (loopback included).
-	for _, want := range []string{"peer0=[", "peer1=[", "peer2=[", "connects=", "queue=", "batch=("} {
+	// Per-peer transport counters for every site (loopback included),
+	// plus the checkpoint counters exposed when checkpointing is enabled.
+	for _, want := range []string{
+		"peer0=[", "peer1=[", "peer2=[", "connects=", "queue=", "batch=(",
+		"ckpt_count=", "ckpt_index=", "ckpt_bytes=", "ckpt_age=",
+		"segs_truncated=", "state_chunks=", "state_bytes=",
+	} {
 		if !strings.Contains(resp, want) {
-			t.Fatalf("STATS %q missing transport token %q", resp, want)
+			t.Fatalf("STATS %q missing token %q", resp, want)
 		}
+	}
+	// The interval checkpointer must eventually persist the committed state:
+	// poll STATS until a checkpoint at a non-zero applied index appears.
+	ckptDeadline := time.Now().Add(10 * time.Second)
+	for {
+		s := r0.execute("STATS")
+		if strings.Contains(s, "ckpt_count=") && !strings.Contains(s, "ckpt_count=0 ") &&
+			!strings.Contains(s, "ckpt_index=0 ") {
+			break
+		}
+		if time.Now().After(ckptDeadline) {
+			t.Fatalf("checkpoint never taken: %q", s)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 	// Replication: the value becomes readable at another site.
 	deadline := time.Now().Add(10 * time.Second)

@@ -18,6 +18,15 @@
 // mid-log), is corruption: walcheck warns, cross-checks the valid prefix
 // anyway, and exits nonzero.
 //
+// Segmented directories may also hold checkpoint files (ckpt-*.ckpt) written
+// by internal/checkpoint. walcheck verifies each one's checksum, seeds the
+// site's version chains from the newest valid checkpoint before replaying the
+// WAL suffix above its applied index, and cross-checks that the truncated WAL
+// still meets the checkpoint (a first record more than one index above the
+// checkpoint's applied index means truncation outran durability). Orphaned
+// ckpt-*.ckpt.tmp files — a crash mid-checkpoint-write — are reported but are
+// not corruption: recovery ignores them by design.
+//
 // Exit status: 0 consistent, 1 divergence, corruption, or unreadable log.
 package main
 
@@ -27,6 +36,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/checkpoint"
 	"repro/internal/message"
 	"repro/internal/sgraph"
 	"repro/internal/storage"
@@ -49,9 +59,26 @@ func run() error {
 	corrupt := false
 	for i, path := range flag.Args() {
 		site := message.SiteID(i)
-		var records, writes int
-		var last uint64
+		var floor uint64
+		var ckptNote string
+		isDir := storage.IsSegmentDir(path)
+		if isDir {
+			var ckptCorrupt bool
+			floor, ckptNote, ckptCorrupt = seedFromCheckpoint(path, site, rec)
+			corrupt = corrupt || ckptCorrupt
+		}
+		var records, writes, skipped int
+		var first, last uint64
 		scan := func(r storage.Record) error {
+			if first == 0 {
+				first = r.Index
+			}
+			if r.Index <= floor {
+				// Already covered by the checkpoint: recovery skips these
+				// too (the crash-between-rename-and-truncation window).
+				skipped++
+				return nil
+			}
 			records++
 			writes += len(r.Writes)
 			last = r.Index
@@ -61,7 +88,7 @@ func run() error {
 			return nil
 		}
 		var err error
-		if storage.IsSegmentDir(path) {
+		if isDir {
 			err = storage.ReplaySegments(path, scan)
 		} else {
 			f, oerr := os.Open(path)
@@ -83,7 +110,18 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "walcheck: %v (checking the valid prefix)\n", err)
 			corrupt = true
 		}
-		fmt.Printf("%-24s site %v: %d commits, %d writes, last index %d\n", path, site, records, writes, last)
+		if floor > 0 && first > floor+1 {
+			// The retained WAL does not reach back to the checkpoint: records
+			// between applied index floor and `first` are gone from both the
+			// checkpoint and the log.
+			fmt.Fprintf(os.Stderr, "walcheck: %s: gap between checkpoint (applied index %d) and first WAL record (index %d)\n",
+				path, floor, first)
+			corrupt = true
+		}
+		if skipped > 0 {
+			ckptNote += fmt.Sprintf(", %d records below the checkpoint", skipped)
+		}
+		fmt.Printf("%-24s site %v: %d commits, %d writes, last index %d%s\n", path, site, records, writes, last, ckptNote)
 	}
 	orders, err := rec.VersionOrders()
 	if err != nil {
@@ -103,4 +141,42 @@ func run() error {
 		return fmt.Errorf("corruption detected (the valid prefixes are consistent)")
 	}
 	return nil
+}
+
+// seedFromCheckpoint audits the checkpoint files beside a segmented WAL:
+// every ckpt-*.ckpt is checksum-verified (a mismatch is corruption), orphaned
+// ckpt-*.ckpt.tmp files are reported, and the newest valid checkpoint seeds
+// the recorder with the site's retained version chains. It returns the
+// checkpoint's applied index (the replay floor), a note for the per-site
+// summary line, and whether any checkpoint file was corrupt.
+func seedFromCheckpoint(dir string, site message.SiteID, rec *sgraph.Recorder) (floor uint64, note string, corrupt bool) {
+	files, err := checkpoint.Files(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "walcheck: %s: listing checkpoints: %v\n", dir, err)
+		return 0, "", true
+	}
+	var newest *checkpoint.Checkpoint
+	for _, f := range files {
+		ck, err := checkpoint.Read(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "walcheck: %s: %v\n", f, err)
+			corrupt = true
+			continue
+		}
+		newest = ck // Files sorts ascending, so the last valid one is newest.
+	}
+	if tmps, err := checkpoint.TempFiles(dir); err == nil {
+		for _, f := range tmps {
+			fmt.Fprintf(os.Stderr, "walcheck: %s: orphaned checkpoint temp file (crash mid-write; ignored by recovery, safe to delete)\n", f)
+		}
+	}
+	if newest == nil {
+		return 0, "", corrupt
+	}
+	for _, e := range newest.Entries {
+		for _, v := range e.Versions {
+			rec.RecordApply(site, e.Key, v.Writer)
+		}
+	}
+	return newest.Applied, fmt.Sprintf(", checkpoint at index %d (%d keys)", newest.Applied, len(newest.Entries)), corrupt
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/checkpoint"
 	"repro/internal/message"
 	"repro/internal/storage"
 )
@@ -177,6 +178,115 @@ func TestWalcheckTornTailWithinBatch(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "2 commits") {
 		t.Fatalf("torn site did not recover the 2-record prefix:\n%s", out)
+	}
+}
+
+func TestWalcheckCheckpointedDir(t *testing.T) {
+	bin := buildWalcheck(t)
+	dir := t.TempDir()
+
+	// Site 0: a checkpointed, truncated directory — the checkpoint covers
+	// indexes 1-2 and the WAL holds only index 3. Site 1: a plain full log.
+	segDir := filepath.Join(dir, "ckpt")
+	w, err := storage.OpenSegments(segDir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rec(3, txn(0, 2), "y", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ck := &checkpoint.Checkpoint{
+		Applied: 2,
+		Entries: []message.SnapshotEntry{{
+			Key: "x",
+			Versions: []message.VersionRec{
+				{Index: 1, Writer: txn(0, 1), Value: message.Value("1")},
+				{Index: 2, Writer: txn(1, 1), Value: message.Value("2")},
+			},
+		}},
+	}
+	if _, _, err := checkpoint.Write(segDir, ck); err != nil {
+		t.Fatal(err)
+	}
+	// An orphaned temp file must be reported without failing the check.
+	tmp := filepath.Join(segDir, "ckpt-00000000000000ff.ckpt.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	peer := filepath.Join(dir, "peer.wal")
+	writeWAL(t, peer, []storage.Record{
+		rec(1, txn(0, 1), "x", "1"),
+		rec(2, txn(1, 1), "x", "2"),
+		rec(3, txn(0, 2), "y", "1"),
+	})
+	out, err := exec.Command(bin, segDir, peer).CombinedOutput()
+	if err != nil {
+		t.Fatalf("checkpointed dir rejected: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "checkpoint at index 2 (1 keys)") {
+		t.Fatalf("checkpoint not surfaced in the summary:\n%s", s)
+	}
+	if !strings.Contains(s, "orphaned checkpoint temp file") {
+		t.Fatalf("orphaned temp file not reported:\n%s", s)
+	}
+
+	// Corrupt the checkpoint body: walcheck must flag it and exit nonzero
+	// (the WAL alone no longer proves the truncated prefix).
+	files, err := checkpoint.Files(segDir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("checkpoint files: %v %v", files, err)
+	}
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(files[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, segDir, peer).CombinedOutput()
+	if err == nil {
+		t.Fatalf("corrupt checkpoint accepted:\n%s", out)
+	}
+}
+
+func TestWalcheckCheckpointWALGap(t *testing.T) {
+	bin := buildWalcheck(t)
+	dir := t.TempDir()
+
+	// The checkpoint says applied=1 but the surviving WAL starts at index 3:
+	// record 2 is gone from both — truncation outran durability.
+	segDir := filepath.Join(dir, "gap")
+	w, err := storage.OpenSegments(segDir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rec(3, txn(0, 2), "y", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ck := &checkpoint.Checkpoint{
+		Applied: 1,
+		Entries: []message.SnapshotEntry{{
+			Key:      "x",
+			Versions: []message.VersionRec{{Index: 1, Writer: txn(0, 1), Value: message.Value("1")}},
+		}},
+	}
+	if _, _, err := checkpoint.Write(segDir, ck); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, segDir).CombinedOutput()
+	if err == nil {
+		t.Fatalf("gapped checkpoint+WAL accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "gap between checkpoint") {
+		t.Fatalf("gap not diagnosed:\n%s", out)
 	}
 }
 

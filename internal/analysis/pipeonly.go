@@ -11,8 +11,10 @@ import (
 // traces, and recorder bookkeeping cannot be bypassed. Direct calls to the
 // write-side storage primitives — (*storage.WAL).Append and
 // (*storage.Store).Apply/ApplyBatch — are flagged everywhere except
-// internal/commitpipe itself and internal/storage (whose recovery paths
-// legitimately re-apply replayed records). Read paths (Get, GetAt,
+// internal/commitpipe itself, internal/storage (whose recovery paths
+// legitimately re-apply replayed records), and internal/checkpoint (whose
+// recovery replays the WAL suffix above the checkpoint floor into a store
+// that is not yet attached to any pipeline). Read paths (Get, GetAt,
 // Snapshot, Replay) are unrestricted, and test files are exempt.
 var PipeOnly = &Analyzer{
 	Name: "pipeonly",
@@ -27,11 +29,13 @@ var pipeOnlyDeny = map[string]map[string]bool{
 }
 
 // pipeOnlyExempt names the packages allowed to touch the primitives: the
-// pipeline itself and storage. Bare names are accepted so analyzer tests
-// can synthesize packages without the module prefix.
+// pipeline itself, storage, and checkpoint recovery. Bare names are
+// accepted so analyzer tests can synthesize packages without the module
+// prefix.
 var pipeOnlyExempt = map[string]bool{
 	"commitpipe": true,
 	"storage":    true,
+	"checkpoint": true,
 }
 
 func runPipeOnly(pass *Pass) error {

@@ -83,11 +83,18 @@ func TestPipeOnlyCommitpipeExempt(t *testing.T) {
 	testAnalyzerImp(t, PipeOnly, "pipeonly_commitpipe", "commitpipe", nil, pipeOnlyImporter(t))
 }
 
+// TestPipeOnlyCheckpointExempt: checkpoint recovery replays the WAL suffix
+// into a detached store; the package is a sanctioned barrier like the
+// pipeline itself.
+func TestPipeOnlyCheckpointExempt(t *testing.T) {
+	testAnalyzerImp(t, PipeOnly, "pipeonly_checkpoint", "checkpoint", nil, pipeOnlyImporter(t))
+}
+
 // TestPipeOnlyStorageExempt: storage's own recovery paths re-apply
 // replayed records; the analyzer must skip the package entirely — both
 // under the bare test path and the full module path.
 func TestPipeOnlyStorageExempt(t *testing.T) {
-	for _, path := range []string{"storage", "repro/internal/storage", "commitpipe", "repro/internal/commitpipe"} {
+	for _, path := range []string{"storage", "repro/internal/storage", "commitpipe", "repro/internal/commitpipe", "checkpoint", "repro/internal/checkpoint"} {
 		if !isPipeOnlyExempt(path) {
 			t.Errorf("isPipeOnlyExempt(%q) = false, want true", path)
 		}

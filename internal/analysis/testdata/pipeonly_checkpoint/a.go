@@ -1,0 +1,18 @@
+// Package checkpoint is the sanctioned recovery barrier: replaying the WAL
+// suffix above a checkpoint floor applies records to a store that is not yet
+// attached to any pipeline, so nothing here diagnoses.
+package checkpoint
+
+import "storage"
+
+func replaySuffix(s *storage.Store, recs []storage.Record, floor uint64) error {
+	for _, r := range recs {
+		if r.Index <= floor {
+			continue
+		}
+		if err := s.Apply(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

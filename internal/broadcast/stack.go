@@ -87,6 +87,11 @@ type Config struct {
 	// BatchMaxMsgs seals an open batch early once it holds this many
 	// messages (AtomicBatch only). Defaults to 64.
 	BatchMaxMsgs int
+	// HistoryRetention caps the delivered-atomic-broadcast retransmission
+	// history (Stack.HistoryRetention); 0 keeps the 8192 default. Small
+	// values force retention misses onto the state-transfer path, which
+	// the checkpoint/rejoin experiments exercise deliberately.
+	HistoryRetention int
 	// BatchMaxBytes seals an open batch early once its payloads exceed
 	// this budget (AtomicBatch only). Defaults to 64KiB.
 	BatchMaxBytes int
@@ -202,6 +207,9 @@ func New(rt env.Runtime, cfg Config) *Stack {
 		Deliveries: make(map[message.Class]int64),
 
 		HistoryRetention: 8192,
+	}
+	if cfg.HistoryRetention > 0 {
+		s.HistoryRetention = cfg.HistoryRetention
 	}
 	s.isis = newIsisState(s)
 	s.batch = newBatchState(s)

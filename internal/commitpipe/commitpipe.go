@@ -321,6 +321,16 @@ func (p *Pipeline) Flush() {
 // next fsync (tests).
 func (p *Pipeline) Pending() int { return len(p.pendingAcks) }
 
+// Barrier flushes any buffered group commit and returns the pipeline's
+// current commit index. The checkpointer calls it before capturing store
+// state so the WAL on disk covers everything the capture reflects — a
+// checkpoint must never get ahead of the log it is about to truncate
+// behind.
+func (p *Pipeline) Barrier() uint64 {
+	p.Flush()
+	return p.lsn
+}
+
 // flush writes and syncs the batch, observes the batch metrics, then fires
 // the queued acknowledgements. The queue is snapshotted first: an
 // acknowledgement callback may re-enter the pipeline with a new submission.

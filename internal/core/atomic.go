@@ -47,6 +47,15 @@ type AtomicEngine struct {
 	lastGap     uint64
 	lastStall   uint64
 
+	// Chunked state-transfer reassembly: chunks of one transfer share
+	// (From, Applied, Since); a newer generation discards a stale partial
+	// one. chunkLast is -1 until the Last chunk names the set's extent.
+	chunkFrom    message.SiteID
+	chunkApplied uint64
+	chunkSince   uint64
+	chunkBuf     map[int]*message.SnapshotChunk
+	chunkLast    int
+
 	// drainScheduled coalesces certification under the batch orderer: the
 	// broadcast stack delivers a sealed batch's requests back to back in
 	// one handler turn, and a single deferred drain turns the whole batch
@@ -69,17 +78,19 @@ func NewAtomic(rt env.Runtime, cfg Config) *AtomicEngine {
 		base:          newBase(rt, cfg, "atomic"),
 		pendingWrites: make(map[message.TxnID][]message.KV),
 		lastCommit:    make(map[message.Key]uint64),
+		chunkLast:     -1,
 	}
 	e.initMembership(func(_, _ message.View) { e.onViewChange() })
 	e.stack = broadcast.New(rt, broadcast.Config{
-		Deliver:       e.deliver,
-		Relay:         cfg.Relay,
-		Atomic:        cfg.AtomicMode,
-		Members:       e.members,
-		Tracer:        cfg.Tracer,
-		BatchWindow:   cfg.AtomicBatchWindow,
-		BatchMaxMsgs:  cfg.AtomicBatchMsgs,
-		BatchMaxBytes: cfg.AtomicBatchBytes,
+		Deliver:          e.deliver,
+		Relay:            cfg.Relay,
+		Atomic:           cfg.AtomicMode,
+		Members:          e.members,
+		Tracer:           cfg.Tracer,
+		BatchWindow:      cfg.AtomicBatchWindow,
+		BatchMaxMsgs:     cfg.AtomicBatchMsgs,
+		BatchMaxBytes:    cfg.AtomicBatchBytes,
+		HistoryRetention: cfg.HistoryRetention,
 	})
 	if cfg.InitialStore != nil {
 		// Resume certification from the recovered state: the total-order
@@ -93,15 +104,31 @@ func NewAtomic(rt env.Runtime, cfg Config) *AtomicEngine {
 		}
 		e.stack.SkipTo(e.certIndex + 1)
 	}
+	if cfg.InitialStack != nil {
+		// Resume broadcast frontiers from the recovered checkpoint so new
+		// broadcasts number above the pre-crash sequences and peers'
+		// deliveries are not held for seq 1.
+		e.stack.ImportSync(cfg.InitialStack)
+	}
+	e.initCheckpoint(e.stack.ExportSync)
 	return e
 }
 
 // Start implements env.Node.
 func (e *AtomicEngine) Start() {
 	e.startMembership()
+	e.startCheckpoint()
 	if e.cfg.Membership {
-		e.rt.SetTimer(gapProbeInterval, e.gapProbe)
+		e.rt.SetTimer(e.probeInterval(), e.gapProbe)
 	}
+}
+
+// probeInterval is the gap-detector pace, configurable for experiments.
+func (e *AtomicEngine) probeInterval() time.Duration {
+	if e.cfg.GapProbeInterval > 0 {
+		return e.cfg.GapProbeInterval
+	}
+	return gapProbeInterval
 }
 
 // gapProbeInterval paces the ordered-stream gap detector.
@@ -112,7 +139,7 @@ const gapProbeInterval = 200 * time.Millisecond
 // escalates to a full state transfer when retransmission cannot help: a
 // certification stall (see below) only a snapshot can clear.
 func (e *AtomicEngine) gapProbe() {
-	defer e.rt.SetTimer(gapProbeInterval, e.gapProbe)
+	defer e.rt.SetTimer(e.probeInterval(), e.gapProbe)
 	if e.stale {
 		return
 	}
@@ -126,7 +153,7 @@ func (e *AtomicEngine) gapProbe() {
 		if donor == e.rt.ID() {
 			return
 		}
-		e.rt.Send(donor, &message.RetransmitReq{From: e.rt.ID(), FromIndex: idx})
+		e.rt.Send(donor, &message.RetransmitReq{From: e.rt.ID(), FromIndex: idx, Applied: e.haveIndex()})
 		return
 	}
 	e.lastGap = 0
@@ -191,6 +218,8 @@ func (e *AtomicEngine) Receive(from message.SiteID, m message.Message) {
 			e.onStateRequest(t)
 		case *message.StateSnapshot:
 			e.onStateSnapshot(t)
+		case *message.SnapshotChunk:
+			e.onSnapshotChunk(t)
 		case *message.RetransmitReq:
 			e.onRetransmitReq(t)
 		case *message.SyncState:
@@ -448,7 +477,19 @@ func (e *AtomicEngine) onViewChange() {
 	}
 }
 
-// requestState asks a donor for a snapshot, retrying until one arrives.
+// haveIndex is the applied index advertised on state requests: the donor
+// ships only the delta above it. The FullResync ablation always requests
+// the whole state.
+func (e *AtomicEngine) haveIndex() uint64 {
+	if e.cfg.FullResync {
+		return 0
+	}
+	return e.certIndex
+}
+
+// requestState asks a donor for a state transfer, retrying until one
+// arrives. The request carries this site's applied index so the donor can
+// ship O(delta) instead of the full store.
 func (e *AtomicEngine) requestState() {
 	donor := e.donor()
 	if donor == e.rt.ID() {
@@ -457,7 +498,7 @@ func (e *AtomicEngine) requestState() {
 		return
 	}
 	e.syncPending = true
-	e.rt.Send(donor, &message.StateRequest{From: e.rt.ID()})
+	e.rt.Send(donor, &message.StateRequest{From: e.rt.ID(), HaveIndex: e.haveIndex()})
 	e.rt.SetTimer(time.Second, func() {
 		if e.syncPending {
 			// No snapshot arrived: clear the guard so the next trigger (view
@@ -470,26 +511,69 @@ func (e *AtomicEngine) requestState() {
 	})
 }
 
-// onStateRequest serves a snapshot to a resynchronizing peer; a stale site
-// must not serve.
+// onStateRequest serves a state transfer to a resynchronizing peer; a stale
+// site must not serve.
 func (e *AtomicEngine) onStateRequest(req *message.StateRequest) {
 	if e.stale {
 		return
 	}
-	e.rt.Send(req.From, e.snapshotMsg())
+	e.sendSnapshot(req.From, req.HaveIndex)
 }
 
-// snapshotMsg builds a full state transfer: store contents, broadcast-stack
-// frontiers, and in-flight write dissemination. The pending map is copied so
-// later local mutation cannot race an in-flight message.
-func (e *AtomicEngine) snapshotMsg() *message.StateSnapshot {
-	return &message.StateSnapshot{
-		From:    e.rt.ID(),
-		Applied: e.certIndex,
-		Entries: e.store.Snapshot(),
-		Stack:   e.stack.ExportSync(),
-		Pending: e.clonePending(),
+// snapshotChunkBytes bounds the estimated payload of one SnapshotChunk.
+const snapshotChunkBytes = 64 << 10
+
+// sendSnapshot streams this site's state to a resynchronizing peer as a
+// sequence of bounded-size chunks. since is the requester's applied index:
+// when our store still retains versions above it only the delta ships;
+// since 0 (or an implausible future index) ships the full state. The final
+// chunk carries the broadcast-stack frontiers and the in-flight write
+// dissemination, so the receiver installs everything atomically once the
+// set completes.
+func (e *AtomicEngine) sendSnapshot(to message.SiteID, since uint64) {
+	if since > e.certIndex {
+		since = 0
 	}
+	var entries []message.SnapshotEntry
+	if since > 0 {
+		entries = e.store.Delta(since)
+	} else {
+		entries = e.store.Snapshot()
+	}
+	var chunks []*message.SnapshotChunk
+	cur := &message.SnapshotChunk{From: e.rt.ID(), Applied: e.certIndex, Since: since}
+	size := 0
+	for _, ent := range entries {
+		esz := len(ent.Key)
+		for _, v := range ent.Versions {
+			esz += 20 + len(v.Value)
+		}
+		if size > 0 && size+esz > snapshotChunkBytes {
+			chunks = append(chunks, cur)
+			cur = &message.SnapshotChunk{From: e.rt.ID(), Applied: e.certIndex, Since: since}
+			size = 0
+		}
+		cur.Entries = append(cur.Entries, ent)
+		size += esz
+	}
+	chunks = append(chunks, cur) // always at least one (carries the stack)
+	last := chunks[len(chunks)-1]
+	last.Last = true
+	last.Stack = e.stack.ExportSync()
+	last.Pending = e.clonePending()
+	for i, c := range chunks {
+		c.Seq = i
+		e.stats.StateChunksSent++
+		e.stats.StateBytesSent += int64(message.EstimateSize(c))
+		e.stats.StateEntriesSent += int64(len(c.Entries))
+		e.rt.Send(to, c)
+	}
+	mode := "delta"
+	if since == 0 {
+		mode = "full"
+	}
+	e.rt.Logf("atomic: sent %s state transfer to %v: %d entries in %d chunks (applied %d, since %d)",
+		mode, to, len(entries), len(chunks), e.certIndex, since)
 }
 
 // clonePending copies the pending-write map (slice headers shared: senders
@@ -523,28 +607,79 @@ func (e *AtomicEngine) onSyncState(ss *message.SyncState) {
 	e.drain()
 }
 
-// onStateSnapshot installs a transferred state and fast-forwards the
-// ordered stream past it. The site's pre-transfer apply history is dropped
-// from the recorder: it replays from the snapshot, not the stream.
+// onStateSnapshot installs a legacy monolithic state transfer. Current
+// donors stream SnapshotChunk sets instead; this path remains for mixed
+// clusters and tests that hand-build a full snapshot.
 func (e *AtomicEngine) onStateSnapshot(snap *message.StateSnapshot) {
 	// Accept when resynchronizing, or when a gap outran the donor's
 	// retransmission window and the snapshot is genuinely ahead.
 	if !e.stale && snap.Applied <= e.certIndex {
 		return
 	}
-	e.store.Restore(snap.Entries, snap.Applied)
-	e.lastCommit = make(map[message.Key]uint64, len(snap.Entries))
-	for _, entry := range snap.Entries {
-		if n := len(entry.Versions); n > 0 {
-			e.lastCommit[entry.Key] = entry.Versions[n-1].Index
+	e.installState(snap.Entries, snap.Applied, 0, snap.Stack, snap.Pending)
+}
+
+// onSnapshotChunk buffers one piece of a chunked state transfer and
+// installs the whole set once every chunk has arrived. Chunks may reorder
+// in flight; (From, Applied, Since) identifies the transfer generation and
+// a newer generation discards a stale partial one.
+func (e *AtomicEngine) onSnapshotChunk(c *message.SnapshotChunk) {
+	if !e.stale && c.Applied <= e.certIndex {
+		return // already caught up past this transfer
+	}
+	if c.From != e.chunkFrom || c.Applied != e.chunkApplied || c.Since != e.chunkSince {
+		if len(e.chunkBuf) > 0 && c.Applied < e.chunkApplied {
+			return // stale straggler from an older transfer
+		}
+		e.chunkFrom, e.chunkApplied, e.chunkSince = c.From, c.Applied, c.Since
+		e.chunkBuf = make(map[int]*message.SnapshotChunk)
+		e.chunkLast = -1
+	}
+	e.chunkBuf[c.Seq] = c
+	if c.Last {
+		e.chunkLast = c.Seq
+	}
+	if e.chunkLast < 0 || len(e.chunkBuf) != e.chunkLast+1 {
+		return // incomplete
+	}
+	var entries []message.SnapshotEntry
+	for i := 0; i <= e.chunkLast; i++ {
+		entries = append(entries, e.chunkBuf[i].Entries...)
+	}
+	last := e.chunkBuf[e.chunkLast]
+	e.chunkBuf = nil
+	e.chunkLast = -1
+	e.installState(entries, last.Applied, last.Since, last.Stack, last.Pending)
+}
+
+// installState adopts a completed state transfer and fast-forwards the
+// ordered stream past it. since > 0 marks a delta computed against our own
+// applied index: the entries merge into the existing chains instead of
+// replacing the store wholesale. The site's pre-transfer apply history is
+// dropped from the recorder: it replays from the transfer, not the stream.
+func (e *AtomicEngine) installState(entries []message.SnapshotEntry, applied, since uint64, stack *message.StackSync, pending map[message.TxnID][]message.KV) {
+	if since > 0 {
+		e.store.MergeDelta(entries, applied)
+		for _, entry := range entries {
+			if n := len(entry.Versions); n > 0 {
+				e.lastCommit[entry.Key] = entry.Versions[n-1].Index
+			}
+		}
+	} else {
+		e.store.Restore(entries, applied)
+		e.lastCommit = make(map[message.Key]uint64, len(entries))
+		for _, entry := range entries {
+			if n := len(entry.Versions); n > 0 {
+				e.lastCommit[entry.Key] = entry.Versions[n-1].Index
+			}
 		}
 	}
-	e.certIndex = snap.Applied
+	e.certIndex = applied
 	e.queue = nil
 	e.pendingWrites = make(map[message.TxnID][]message.KV)
-	e.mergePending(snap.Pending)
-	e.stack.ImportSync(snap.Stack)
-	e.stack.SkipTo(snap.Applied + 1)
+	e.mergePending(pending)
+	e.stack.ImportSync(stack)
+	e.stack.SkipTo(applied + 1)
 	if e.cfg.Recorder != nil {
 		e.cfg.Recorder.DropSite(e.rt.ID())
 	}
@@ -552,17 +687,18 @@ func (e *AtomicEngine) onStateSnapshot(snap *message.StateSnapshot) {
 	e.syncPending = false
 	e.lastGap = 0
 	e.lastStall = 0
-	e.rt.Logf("atomic: resynchronized at index %d (%d keys)", snap.Applied, len(snap.Entries))
+	e.rt.Logf("atomic: resynchronized at index %d (%d keys, since %d)", applied, len(entries), since)
 }
 
 // onRetransmitReq resends retained ordered broadcasts; if the requester is
-// below the retention window it gets a snapshot instead.
+// below the retention window it gets a state transfer instead, computed
+// against the applied index it advertised.
 func (e *AtomicEngine) onRetransmitReq(req *message.RetransmitReq) {
 	if e.stale {
 		return
 	}
 	if n := e.stack.Retransmit(req.From, req.FromIndex); n == 0 {
-		e.rt.Send(req.From, e.snapshotMsg())
+		e.sendSnapshot(req.From, req.Applied)
 		return
 	}
 	// Retransmission alone rebuilds the ordered stream but not the causal

@@ -38,11 +38,15 @@ func NewBaseline(rt env.Runtime, cfg Config) *BaselineEngine {
 	// The baseline runs without the broadcast stack; membership is still
 	// available for failure experiments.
 	e.initMembership(func(_, _ message.View) {})
+	e.initCheckpoint(nil)
 	return e
 }
 
 // Start implements env.Node.
-func (e *BaselineEngine) Start() { e.startMembership() }
+func (e *BaselineEngine) Start() {
+	e.startMembership()
+	e.startCheckpoint()
+}
 
 // Receive implements env.Node.
 func (e *BaselineEngine) Receive(from message.SiteID, m message.Message) {

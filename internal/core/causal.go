@@ -54,17 +54,23 @@ func NewCausal(rt env.Runtime, cfg Config) *CausalEngine {
 	}
 	e.initMembership(func(_, _ message.View) { e.onViewChange() })
 	e.stack = broadcast.New(rt, broadcast.Config{
-		Deliver: e.deliver,
-		Relay:   cfg.Relay,
-		Members: e.members,
-		Tracer:  cfg.Tracer,
+		Deliver:          e.deliver,
+		Relay:            cfg.Relay,
+		Members:          e.members,
+		Tracer:           cfg.Tracer,
+		HistoryRetention: cfg.HistoryRetention,
 	})
+	if cfg.InitialStack != nil {
+		e.stack.ImportSync(cfg.InitialStack)
+	}
+	e.initCheckpoint(e.stack.ExportSync)
 	return e
 }
 
 // Start implements env.Node.
 func (e *CausalEngine) Start() {
 	e.startMembership()
+	e.startCheckpoint()
 	if e.cfg.CausalHeartbeat > 0 {
 		e.rt.SetTimer(e.cfg.CausalHeartbeat, e.heartbeat)
 	}

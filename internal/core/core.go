@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/broadcast"
+	"repro/internal/checkpoint"
 	"repro/internal/commitpipe"
 	"repro/internal/env"
 	"repro/internal/failure"
@@ -195,6 +196,29 @@ type Config struct {
 	// engine, its broadcast stack, and its lock table (internal/trace).
 	// Timestamps come from the runtime's clock.
 	Tracer *trace.Tracer
+	// Checkpoint enables the background checkpointer (internal/checkpoint):
+	// periodic durable snapshots of the store + broadcast-stack frontiers
+	// into Checkpoint.Dir, with truncation of fully-checkpointed WAL
+	// segments. The zero policy disables it. Checkpoint.Dir should be the
+	// WAL's segment directory.
+	Checkpoint checkpoint.Policy
+	// InitialStack seeds a restarted engine's broadcast-stack frontiers
+	// from a recovered checkpoint (checkpoint.RecoverInfo.Stack) so its
+	// send sequence numbers and delivery expectations resume instead of
+	// restarting from zero. Ignored by engines without a stack.
+	InitialStack *message.StackSync
+	// HistoryRetention overrides the broadcast stack's retransmission
+	// history cap (0 keeps the stack default). Experiments shrink it to
+	// force rejoins onto the state-transfer path.
+	HistoryRetention int
+	// FullResync makes a resynchronizing atomic engine request the full
+	// state instead of a delta above its applied index — the ablation arm
+	// of the O(delta) catch-up experiment.
+	FullResync bool
+	// GapProbeInterval overrides the atomic engine's ordered-stream gap
+	// detector pace (0 keeps the 200ms default). Rejoin experiments tighten
+	// it so catch-up latency is small against their arrival windows.
+	GapProbeInterval time.Duration
 }
 
 // Local aliases keep the engines' lock-table calls compact.
@@ -268,12 +292,22 @@ type Stats struct {
 	AbortsByReason    map[AbortReason]int64
 	CommitLatency     *metrics.Histogram // update transactions only
 	Applied           int64              // remote transactions applied at this site
+
+	// State-transfer donor counters: chunks, wire bytes, and snapshot
+	// entries shipped to resynchronizing peers (atomic engine).
+	StateChunksSent  int64
+	StateBytesSent   int64
+	StateEntriesSent int64
+	// CheckpointLatency observes the wall time of each durable checkpoint
+	// (barrier through WAL truncation).
+	CheckpointLatency *metrics.Histogram
 }
 
 func newStats() Stats {
 	return Stats{
-		AbortsByReason: make(map[AbortReason]int64),
-		CommitLatency:  metrics.NewHistogram(0),
+		AbortsByReason:    make(map[AbortReason]int64),
+		CommitLatency:     metrics.NewHistogram(0),
+		CheckpointLatency: metrics.NewHistogram(0),
 	}
 }
 
@@ -300,6 +334,9 @@ type Engine interface {
 	// Pipeline exposes the site's commit pipeline: its group-commit
 	// metrics, and Flush for shutdown.
 	Pipeline() *commitpipe.Pipeline
+	// Checkpointer exposes the background checkpointer (nil when
+	// Config.Checkpoint is disabled).
+	Checkpointer() *checkpoint.Checkpointer
 }
 
 // base carries the state and helpers shared by every engine.
@@ -317,6 +354,7 @@ type base struct {
 	pipe    *commitpipe.Pipeline
 	stats   Stats
 	tr      *trace.Tracer
+	ckpt    *checkpoint.Checkpointer
 }
 
 func newBase(rt env.Runtime, cfg Config, name string) *base {
@@ -354,6 +392,49 @@ func newBase(rt env.Runtime, cfg Config, name string) *base {
 	}
 	return b
 }
+
+// initCheckpoint wires the background checkpointer when Config.Checkpoint
+// is enabled. exportStack captures the engine's broadcast-stack frontiers
+// alongside the store (nil for the stackless baseline/quorum engines). All
+// hooks run on the event loop.
+func (b *base) initCheckpoint(exportStack func() *message.StackSync) {
+	if !b.cfg.Checkpoint.Enabled() {
+		return
+	}
+	src := checkpoint.Source{
+		Capture: func() *checkpoint.Checkpoint {
+			ck := &checkpoint.Checkpoint{
+				Applied: b.store.Applied(),
+				Entries: b.store.Snapshot(),
+			}
+			if exportStack != nil {
+				ck.Stack = exportStack()
+			}
+			return ck
+		},
+		Barrier: b.pipe.Barrier,
+		Observe: func(start time.Duration, bytes int64, applied uint64, truncated int) {
+			b.stats.CheckpointLatency.Observe(b.rt.Now() - start)
+			b.tr.Interval(message.TxnID{}, trace.KindCheckpoint, start, applied, b.rt.ID(), bytes)
+		},
+	}
+	if w := b.store.WAL(); w != nil {
+		src.WALBytes = w.AppendedBytes
+	}
+	rt := checkpoint.Runtime{
+		SetTimer: func(d time.Duration, fn func()) { b.rt.SetTimer(d, fn) },
+		Now:      b.rt.Now,
+		Logf:     b.rt.Logf,
+	}
+	b.ckpt = checkpoint.NewCheckpointer(b.cfg.Checkpoint, src, rt)
+}
+
+// startCheckpoint arms the checkpointer's trigger (no-op when disabled).
+func (b *base) startCheckpoint() { b.ckpt.Start() }
+
+// Checkpointer exposes the background checkpointer (nil when disabled) for
+// STATS reporting and tests.
+func (b *base) Checkpointer() *checkpoint.Checkpointer { return b.ckpt }
 
 // initMembership wires the failure detector and view manager when enabled.
 // onViewChange runs after each installed view, with the manager available.

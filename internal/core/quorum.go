@@ -75,6 +75,7 @@ func NewQuorum(rt env.Runtime, cfg Config) *QuorumEngine {
 	}
 	// No membership service: quorum protocols tolerate minority failures
 	// structurally.
+	e.initCheckpoint(nil)
 	return e
 }
 
@@ -82,7 +83,7 @@ func NewQuorum(rt env.Runtime, cfg Config) *QuorumEngine {
 func (e *QuorumEngine) majority() int { return len(e.rt.Peers())/2 + 1 }
 
 // Start implements env.Node.
-func (e *QuorumEngine) Start() {}
+func (e *QuorumEngine) Start() { e.startCheckpoint() }
 
 // Receive implements env.Node.
 func (e *QuorumEngine) Receive(from message.SiteID, m message.Message) {

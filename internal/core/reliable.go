@@ -46,16 +46,24 @@ func NewReliable(rt env.Runtime, cfg Config) *ReliableEngine {
 	}
 	e.initMembership(func(_, _ message.View) { e.onViewChange() })
 	e.stack = broadcast.New(rt, broadcast.Config{
-		Deliver: e.deliver,
-		Relay:   cfg.Relay,
-		Members: e.members,
-		Tracer:  cfg.Tracer,
+		Deliver:          e.deliver,
+		Relay:            cfg.Relay,
+		Members:          e.members,
+		Tracer:           cfg.Tracer,
+		HistoryRetention: cfg.HistoryRetention,
 	})
+	if cfg.InitialStack != nil {
+		e.stack.ImportSync(cfg.InitialStack)
+	}
+	e.initCheckpoint(e.stack.ExportSync)
 	return e
 }
 
 // Start implements env.Node.
-func (e *ReliableEngine) Start() { e.startMembership() }
+func (e *ReliableEngine) Start() {
+	e.startMembership()
+	e.startCheckpoint()
+}
 
 // Receive implements env.Node.
 func (e *ReliableEngine) Receive(from message.SiteID, m message.Message) {

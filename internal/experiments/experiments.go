@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/broadcast"
+	"repro/internal/checkpoint"
 	"repro/internal/commitpipe"
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -130,6 +131,7 @@ func All(cfg Config) ([]*Report, error) {
 		E1Messages, E2CommitLatency, E3AbortContention, E4ThroughputSites,
 		E5WriteMix, E6CausalHeartbeat, E7Availability, E8Ablation, E9Batching,
 		E10Quorum, E11SlowSite, E12SnapshotReads, E14OrdererBatching,
+		E15CheckpointRecovery,
 	}
 	out := make([]*Report, 0, len(runs))
 	for _, f := range runs {
@@ -854,6 +856,224 @@ func E13GroupCommit(cfg Config) (*Report, error) {
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	return rep, nil
+}
+
+// E15CheckpointRecovery measures the two costs the checkpoint subsystem is
+// built to bound, each against its ablation:
+//
+// Part A (restart replay): a write-heavy reliable run against real segmented
+// WALs, with and without a background interval checkpointer. Recovery cost
+// is the number of WAL records checkpoint.Recover replays above the newest
+// checkpoint. Without checkpoints that is the entire history — it doubles
+// when the history doubles. With checkpoints it is the suffix since the last
+// checkpoint, bounded by the checkpoint cadence and flat in history length.
+//
+// Part B (rejoin transfer): an atomic cluster partitions one site away long
+// enough to outrun the donors' retransmission window, then heals; the
+// rejoining site catches up through a chunked state transfer. With delta
+// negotiation the donor ships only versions above the rejoiner's advertised
+// applied index — bytes proportional to the commits missed, flat in total
+// history. The FullResync ablation always requests the whole store — bytes
+// proportional to history.
+func E15CheckpointRecovery(cfg Config) (*Report, error) {
+	rep := newReport("E15", "Checkpointing: O(delta) restart replay and rejoin transfer")
+	root, err := os.MkdirTemp("", "e15-ckpt-")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(root)
+
+	// --- Part A: WAL records replayed by restart recovery ---
+	tblA := harness.NewTable("Restart replay at site 0: WAL records applied by checkpoint.Recover",
+		"history H", "mode", "committed", "ckpt index", "replayed", "segs truncated")
+	const segBytes = 4096
+	sizesA := []int{240, 480}
+	if cfg.Quick {
+		sizesA = []int{120, 240}
+	}
+	replayed := make(map[string]float64)
+	for _, h := range sizesA {
+		for _, mode := range []string{"full-replay", "checkpoint"} {
+			var wals []*storage.WAL
+			var engines []core.Engine
+			var dir0 string
+			dirFor := func(site message.SiteID) string {
+				return filepath.Join(root, fmt.Sprintf("a-%s-%d", mode, h), fmt.Sprintf("site-%d", site))
+			}
+			opts := harness.Options{
+				Protocol: harness.ProtoReliable,
+				Link:     netsim.Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond},
+				Seed:     cfg.seed(150),
+				Engine:   engineCfg(harness.ProtoReliable),
+				Workload: workload.Spec{
+					Sites: 3, Count: h, Window: time.Duration(h) * 750 * time.Microsecond,
+					Keys: 8192, ReadsPerTxn: 0, WritesPerTxn: 2, Seed: cfg.seed(51),
+				},
+				WAL: func(site message.SiteID) *storage.WAL {
+					w, werr := storage.OpenSegments(dirFor(site), segBytes)
+					if werr != nil {
+						panic(werr)
+					}
+					if site == 0 {
+						dir0 = dirFor(site)
+					}
+					wals = append(wals, w)
+					return w
+				},
+				Engines: &engines,
+			}
+			if mode == "checkpoint" {
+				opts.Checkpoint = func(site message.SiteID) checkpoint.Policy {
+					return checkpoint.Policy{Dir: dirFor(site), Interval: 25 * time.Millisecond, Retain: 2}
+				}
+			}
+			res, rerr := harness.Run(opts)
+			for _, e := range engines {
+				e.Pipeline().Flush()
+			}
+			truncated := 0
+			if mode == "checkpoint" && len(engines) > 0 && engines[0].Checkpointer() != nil {
+				truncated = engines[0].Checkpointer().Stats().SegmentsTruncated
+			}
+			for _, w := range wals {
+				if cerr := w.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+			if rerr != nil {
+				return rep, rerr
+			}
+			if err != nil {
+				return rep, err
+			}
+			label := fmt.Sprintf("%s/H=%d", mode, h)
+			rep.record(label, res)
+			_, w, info, rerr := checkpoint.Recover(dir0, segBytes)
+			if rerr != nil {
+				return rep, fmt.Errorf("E15 recover %s: %w", label, rerr)
+			}
+			w.Close()
+			replayed[label] = float64(info.Replayed)
+			tblA.Add(h, mode, res.Committed, info.CheckpointIndex, info.Replayed, truncated)
+			rep.Metrics[label+"/replayed"] = float64(info.Replayed)
+			rep.Metrics[label+"/ckpt_index"] = float64(info.CheckpointIndex)
+			if mode == "checkpoint" && truncated == 0 {
+				rep.violate("E15: checkpointer truncated no WAL segments at H=%d", h)
+			}
+		}
+	}
+	// Gates: replay after a checkpointed run stays flat as history doubles
+	// (constant cadence bound, with a small absolute allowance for the final
+	// suffix); replay without checkpoints tracks history; and at the largest
+	// history the checkpointed recovery replays at most half the ablation's.
+	hs, hb := sizesA[0], sizesA[len(sizesA)-1]
+	cs, cb := replayed[fmt.Sprintf("checkpoint/H=%d", hs)], replayed[fmt.Sprintf("checkpoint/H=%d", hb)]
+	fs, fb := replayed[fmt.Sprintf("full-replay/H=%d", hs)], replayed[fmt.Sprintf("full-replay/H=%d", hb)]
+	if cb > 1.25*cs+24 {
+		rep.violate("E15: checkpointed replay grew %.0f -> %.0f records as H doubled (not flat)", cs, cb)
+	}
+	if fb < 1.6*fs {
+		rep.violate("E15: full replay %.0f -> %.0f records did not track history (ablation broken?)", fs, fb)
+	}
+	if cb > 0.5*fb {
+		rep.violate("E15: checkpointed replay %.0f > 50%% of full replay %.0f at H=%d", cb, fb, hb)
+	}
+	rep.Metrics["replay_ratio_checkpoint"] = ratioOr(cb, cs, 0)
+	rep.Metrics["replay_ratio_full"] = ratioOr(fb, fs, 0)
+	rep.Tables = append(rep.Tables, tblA)
+
+	// --- Part B: rejoin state-transfer bytes after a heal ---
+	tblB := harness.NewTable("Rejoin transfer: snapshot-chunk traffic after a partition heals",
+		"history H", "mode", "committed", "unfinished", "chunk msgs", "chunk bytes")
+	const (
+		during = 60  // arrivals while partitioned (> retention, so retransmission cannot serve)
+		post   = 600 // arrivals after the heal: ordered traffic that exposes the gap and keeps the run alive through catch-up
+	)
+	sizesB := []int{1200, 2400}
+	if cfg.Quick {
+		sizesB = []int{600, 1200}
+	}
+	chunkBytes := make(map[string]float64)
+	for _, h := range sizesB {
+		for _, mode := range []string{"delta", "full"} {
+			ecfg := engineCfg(harness.ProtoAtomic)
+			ecfg.AtomicMode = broadcast.AtomicSequencer
+			// The gap probe only runs under membership; the partition stays
+			// shorter than the failure timeout so no view change intervenes —
+			// catch-up goes through gap detection, not a rejoin view.
+			ecfg.Membership = true
+			ecfg.FailureInterval = 30 * time.Millisecond
+			ecfg.FailureTimeout = 150 * time.Millisecond
+			// A short retransmission window forces the rejoin onto the
+			// snapshot path, and a tight probe keeps the catch-up latency
+			// (which adds commits to every transfer) small against H.
+			ecfg.HistoryRetention = 8
+			ecfg.GapProbeInterval = 25 * time.Millisecond
+			ecfg.FullResync = mode == "full"
+			count := h + during + post
+			spacing := time.Millisecond
+			res, rerr := harness.Run(harness.Options{
+				Protocol: harness.ProtoAtomic,
+				Link:     netsim.Uniform{Min: 500 * time.Microsecond, Max: 2 * time.Millisecond},
+				Seed:     cfg.seed(151),
+				Engine:   ecfg,
+				Workload: workload.Spec{
+					// Site 2 is a pure replica (OriginSites 2): a site that
+					// lives through a partition cannot replay broadcasts its
+					// peers never received — only restart recovery resets
+					// send sequences — so the rejoiner must not originate.
+					Sites: 3, OriginSites: 2, Count: count, Window: time.Duration(count) * spacing,
+					Keys: 16384, ReadsPerTxn: 0, WritesPerTxn: 2, Seed: cfg.seed(52),
+				},
+				NetEvents: []harness.NetEvent{
+					{At: time.Duration(h) * spacing, Groups: [][]message.SiteID{{0, 1}, {2}}},
+					{At: time.Duration(h+during) * spacing, Heal: true},
+				},
+			})
+			if rerr != nil {
+				return rep, rerr
+			}
+			label := fmt.Sprintf("%s/H=%d", mode, h)
+			rep.record(label, res)
+			msgs := res.Net.ByKind[message.KindSnapshotChunk]
+			bytes := float64(res.Net.KindBytes[message.KindSnapshotChunk])
+			chunkBytes[label] = bytes
+			tblB.Add(h, mode, res.Committed, res.Unfinished, msgs, fmt.Sprintf("%.0f", bytes))
+			rep.Metrics[label+"/chunk_msgs"] = float64(msgs)
+			rep.Metrics[label+"/chunk_bytes"] = bytes
+			if bytes == 0 {
+				rep.violate("E15: no snapshot-chunk traffic in %s (rejoin never escalated to a transfer)", label)
+			}
+		}
+	}
+	// Gates mirror Part A's: delta transfer bytes stay flat as history
+	// doubles (the commits missed are held constant), the full-resync
+	// ablation tracks history, and delta costs at most half of full at the
+	// largest history.
+	hs, hb = sizesB[0], sizesB[len(sizesB)-1]
+	ds, db := chunkBytes[fmt.Sprintf("delta/H=%d", hs)], chunkBytes[fmt.Sprintf("delta/H=%d", hb)]
+	fs, fb = chunkBytes[fmt.Sprintf("full/H=%d", hs)], chunkBytes[fmt.Sprintf("full/H=%d", hb)]
+	if db > 1.25*ds+4096 {
+		rep.violate("E15: delta transfer grew %.0f -> %.0f bytes as H doubled (not flat)", ds, db)
+	}
+	if fb < 1.6*fs {
+		rep.violate("E15: full-resync transfer %.0f -> %.0f bytes did not track history (ablation broken?)", fs, fb)
+	}
+	if db > 0.5*fb {
+		rep.violate("E15: delta transfer %.0f bytes > 50%% of full resync %.0f at H=%d", db, fb, hb)
+	}
+	rep.Metrics["transfer_ratio_delta"] = ratioOr(db, ds, 0)
+	rep.Metrics["transfer_ratio_full"] = ratioOr(fb, fs, 0)
+	rep.Tables = append(rep.Tables, tblB)
+	return rep, nil
+}
+
+// ratioOr returns num/den, or def when the denominator is zero.
+func ratioOr(num, den, def float64) float64 {
+	if den == 0 {
+		return def
+	}
+	return num / den
 }
 
 // E14OrdererBatching compares the two atomic-broadcast ordering modes — the

@@ -9,8 +9,10 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/message"
 	"repro/internal/metrics"
@@ -65,16 +67,32 @@ type Options struct {
 	// WAL, when set, supplies each site's write-ahead log (durability and
 	// group-commit experiments). It overrides Engine.WAL per site.
 	WAL func(message.SiteID) *storage.WAL
+	// Checkpoint, when set, supplies each site's checkpoint policy
+	// (durability/rejoin experiments). It overrides Engine.Checkpoint per
+	// site; Policy.Dir should match the site's WAL segment directory.
+	Checkpoint func(message.SiteID) checkpoint.Policy
 	// Engines, when non-nil, receives the constructed per-site engines so
 	// callers can inspect them after the run (commit-pipeline counters,
 	// final flushes).
 	Engines *[]core.Engine
+	// NetEvents schedules partitions and heals during the run (rejoin
+	// experiments). Requires Engine.Membership for the primary partition
+	// to reconfigure around the isolated sites.
+	NetEvents []NetEvent
 }
 
 // Fault crashes one site at a virtual time.
 type Fault struct {
 	At    time.Duration
 	Crash message.SiteID
+}
+
+// NetEvent partitions the network into groups at a virtual time, or heals
+// it (Heal true; Groups ignored).
+type NetEvent struct {
+	At     time.Duration
+	Groups [][]message.SiteID
+	Heal   bool
 }
 
 // Result carries one run's measurements.
@@ -166,6 +184,11 @@ func Run(opts Options) (Result, error) {
 	}
 
 	cluster := sim.NewCluster(n, link, opts.Seed)
+	// HARNESS_LOG=1 streams every engine's Logf to stderr with virtual
+	// timestamps — the debugging view for partition/rejoin runs.
+	if os.Getenv("HARNESS_LOG") != "" {
+		cluster.LogWriter = os.Stderr
+	}
 	cfg := opts.Engine
 	var rec *sgraph.Recorder
 	if opts.Check {
@@ -181,6 +204,9 @@ func Run(opts Options) (Result, error) {
 		cfg := cfg
 		if opts.WAL != nil {
 			cfg.WAL = opts.WAL(message.SiteID(i))
+		}
+		if opts.Checkpoint != nil {
+			cfg.Checkpoint = opts.Checkpoint(message.SiteID(i))
 		}
 		if opts.TraceCap > 0 {
 			cfg.Tracer = trace.New(message.SiteID(i), opts.TraceCap, rt.Now)
@@ -211,6 +237,16 @@ func Run(opts Options) (Result, error) {
 	for _, f := range opts.Faults {
 		f := f
 		cluster.Schedule(f.At, func() { cluster.Crash(f.Crash) })
+	}
+	for _, ev := range opts.NetEvents {
+		ev := ev
+		cluster.Schedule(ev.At, func() {
+			if ev.Heal {
+				cluster.Heal()
+			} else {
+				cluster.Partition(ev.Groups...)
+			}
+		})
 	}
 
 	type outcomeRec struct {

@@ -60,6 +60,9 @@ const (
 
 	// Batch orderer (appended so existing kind values are stable).
 	KindBatchOrder
+
+	// Chunked state transfer (appended so existing kind values are stable).
+	KindSnapshotChunk
 )
 
 var kindNames = map[Kind]string{
@@ -97,6 +100,7 @@ var kindNames = map[Kind]string{
 	KindQRelease:      "QRelease",
 	KindSyncState:     "SyncState",
 	KindBatchOrder:    "BatchOrder",
+	KindSnapshotChunk: "SnapshotChunk",
 }
 
 // String implements fmt.Stringer.
@@ -272,10 +276,13 @@ type ViewInstall struct {
 // Kind implements Message.
 func (*ViewInstall) Kind() Kind { return KindViewInstall }
 
-// StateRequest asks a peer for a state snapshot, used when a recovered site
-// rejoins the primary partition.
+// StateRequest asks a peer for a state transfer, used when a recovered site
+// rejoins the primary partition. HaveIndex is the requester's applied
+// commit index: a donor that still retains versions above it ships only the
+// delta (HaveIndex 0 requests the full state).
 type StateRequest struct {
-	From SiteID
+	From      SiteID
+	HaveIndex uint64
 }
 
 // Kind implements Message.
@@ -288,10 +295,15 @@ type VersionRec struct {
 	Value  Value
 }
 
-// SnapshotEntry is the full version chain of one key inside a snapshot.
+// SnapshotEntry is one key's version chain (or chain suffix, in a delta
+// transfer) inside a snapshot.
 type SnapshotEntry struct {
 	Key      Key
 	Versions []VersionRec
+	// Replace marks a delta entry whose donor chain was GC'd below the
+	// requested since-index: the receiver must swap its whole chain for
+	// Versions (and mark the key truncated) instead of appending.
+	Replace bool
 }
 
 // StackSync carries a donor's broadcast-stack progress frontiers so a state
@@ -333,6 +345,30 @@ type StateSnapshot struct {
 // Kind implements Message.
 func (*StateSnapshot) Kind() Kind { return KindStateSnapshot }
 
+// SnapshotChunk is one piece of a chunked state transfer. The donor splits
+// the snapshot (or, when the requester's applied index is recent enough,
+// just the delta above it) into bounded-size chunks so a rejoining site
+// catches up in O(delta) bytes instead of receiving one monolithic
+// StateSnapshot blob. Chunks of one transfer share (From, Applied, Since);
+// Seq runs 0..N-1 and the chunk with Last set carries the broadcast-stack
+// frontiers and in-flight writes, which the receiver installs only once the
+// whole set has arrived.
+type SnapshotChunk struct {
+	From    SiteID
+	Applied uint64 // commit index the transfer reflects
+	Since   uint64 // requester index the delta starts above (0 = full state)
+	Seq     int    // chunk position within the transfer
+	Last    bool   // set on the final chunk
+	Entries []SnapshotEntry
+	// Stack and Pending ride only the final chunk (nil elsewhere); see
+	// StateSnapshot for their semantics.
+	Stack   *StackSync
+	Pending map[TxnID][]KV
+}
+
+// Kind implements Message.
+func (*SnapshotChunk) Kind() Kind { return KindSnapshotChunk }
+
 // SyncState piggybacks the donor's stack frontiers and in-flight writes on
 // the gap-repair (retransmission) path, where no full snapshot is sent.
 type SyncState struct {
@@ -346,10 +382,13 @@ func (*SyncState) Kind() Kind { return KindSyncState }
 
 // RetransmitReq asks a peer to resend the totally ordered atomic
 // broadcasts from the given index: the gap-repair path a resynchronizing
-// site uses after state transfer.
+// site uses after state transfer. Applied is the requester's applied commit
+// index; when the donor's retention no longer covers FromIndex it falls
+// back to a state transfer computed against Applied (0 = full state).
 type RetransmitReq struct {
 	From      SiteID
 	FromIndex uint64
+	Applied   uint64
 }
 
 // Kind implements Message.
@@ -634,6 +673,7 @@ func RegisterGob() {
 	gob.Register(&QRelease{})
 	gob.Register(&SyncState{})
 	gob.Register(&BatchOrder{})
+	gob.Register(&SnapshotChunk{})
 }
 
 // TxnOf extracts the transaction a message belongs to, which doubles as
@@ -717,13 +757,23 @@ func EstimateSize(m Message) int {
 	case *ViewInstall:
 		return hdr + 8 + 4*len(t.View.Members)
 	case *StateRequest:
-		return hdr + 4
-	case *RetransmitReq:
 		return hdr + 12
+	case *RetransmitReq:
+		return hdr + 20
 	case *StateSnapshot:
 		n := hdr + 12
 		for _, e := range t.Entries {
 			n += len(e.Key)
+			for _, v := range e.Versions {
+				n += 20 + len(v.Value)
+			}
+		}
+		n += stackSyncSize(t.Stack) + pendingSize(t.Pending)
+		return n
+	case *SnapshotChunk:
+		n := hdr + 29 // From + Applied + Since + Seq + Last
+		for _, e := range t.Entries {
+			n += 1 + len(e.Key)
 			for _, v := range e.Versions {
 				n += 20 + len(v.Value)
 			}

@@ -58,6 +58,11 @@ func New(wal *WAL) *Store {
 // WAL returns the log this store appends to (nil when logging is disabled).
 func (s *Store) WAL() *WAL { return s.wal }
 
+// SetWAL attaches (or detaches, with nil) the log future applies append to.
+// Recovery paths that replay without re-logging use it to wire the reopened
+// log after replay finishes.
+func (s *Store) SetWAL(w *WAL) { s.wal = w }
+
 // Get returns the newest committed version of key.
 func (s *Store) Get(key message.Key) (message.VersionRec, bool) {
 	vs := s.versions[key]
@@ -198,16 +203,99 @@ func (s *Store) Snapshot() []message.SnapshotEntry {
 	return out
 }
 
-// Restore replaces the store's contents with a snapshot.
+// Restore replaces the store's contents with a snapshot. Each restored
+// chain is trimmed to this store's MaxVersions bound — the donor may retain
+// more versions than we do — and trimmed keys are marked truncated so old
+// snapshot reads fail with ErrVersionGone instead of misreading a hole.
 func (s *Store) Restore(entries []message.SnapshotEntry, applied uint64) {
 	s.versions = make(map[message.Key][]message.VersionRec, len(entries))
 	s.truncated = make(map[message.Key]bool)
 	for _, e := range entries {
-		vs := make([]message.VersionRec, len(e.Versions))
-		copy(vs, e.Versions)
+		src := e.Versions
+		if s.MaxVersions > 0 && len(src) > s.MaxVersions {
+			src = src[len(src)-s.MaxVersions:]
+			s.truncated[e.Key] = true
+		}
+		vs := make([]message.VersionRec, len(src))
+		copy(vs, src)
 		s.versions[e.Key] = vs
+		if e.Replace {
+			// The donor's own chain was GC'd below its oldest shipped
+			// version; reads below it must not report key-absent.
+			s.truncated[e.Key] = true
+		}
 	}
 	s.applied = applied
+}
+
+// Delta serializes the state a peer that has applied every commit index
+// <= since is missing, keys in sorted order. For most keys that is just the
+// versions with Index > since (the peer appends them to its chain). When
+// GC has already discarded versions in (since, oldest-retained) the whole
+// retained chain is sent with Replace set: appending would leave a silent
+// hole, so the receiver swaps its chain and marks the key truncated.
+func (s *Store) Delta(since uint64) []message.SnapshotEntry {
+	keys := make([]message.Key, 0, len(s.versions))
+	for k, vs := range s.versions {
+		if len(vs) > 0 && vs[len(vs)-1].Index > since {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]message.SnapshotEntry, 0, len(keys))
+	for _, k := range keys {
+		src := s.versions[k]
+		i := sort.Search(len(src), func(i int) bool { return src[i].Index > since })
+		replace := false
+		if i == 0 && s.truncated[k] {
+			// Versions at or below since were GC'd here; the receiver's
+			// chain cannot be patched by appending alone.
+			replace = true
+		}
+		vs := make([]message.VersionRec, len(src)-i)
+		copy(vs, src[i:])
+		out = append(out, message.SnapshotEntry{Key: k, Versions: vs, Replace: replace})
+	}
+	return out
+}
+
+// MergeDelta applies a Delta produced against this store's applied index:
+// Replace entries swap the key's chain (marking it truncated), others
+// append the versions newer than the local tip. applied becomes the
+// donor's applied index when it is ahead. MaxVersions is enforced on the
+// merged chains like any other install.
+func (s *Store) MergeDelta(entries []message.SnapshotEntry, applied uint64) {
+	for _, e := range entries {
+		if e.Replace {
+			src := e.Versions
+			if s.MaxVersions > 0 && len(src) > s.MaxVersions {
+				src = src[len(src)-s.MaxVersions:]
+			}
+			vs := make([]message.VersionRec, len(src))
+			copy(vs, src)
+			s.versions[e.Key] = vs
+			s.truncated[e.Key] = true
+			continue
+		}
+		vs := s.versions[e.Key]
+		tip := uint64(0)
+		if len(vs) > 0 {
+			tip = vs[len(vs)-1].Index
+		}
+		for _, v := range e.Versions {
+			if v.Index > tip {
+				vs = append(vs, v)
+			}
+		}
+		if s.MaxVersions > 0 && len(vs) > s.MaxVersions {
+			vs = append([]message.VersionRec(nil), vs[len(vs)-s.MaxVersions:]...)
+			s.truncated[e.Key] = true
+		}
+		s.versions[e.Key] = vs
+	}
+	if applied > s.applied {
+		s.applied = applied
+	}
 }
 
 // VersionOrder returns the writer transactions of key's retained versions

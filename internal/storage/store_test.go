@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -258,5 +259,89 @@ func TestRandomAppliesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRestoreEnforcesMaxVersions: a donor with a deeper retention window
+// must not inflate the receiver's chains past its own MaxVersions bound —
+// and the trimmed keys must read as truncated below the horizon, not as
+// silent holes.
+func TestRestoreEnforcesMaxVersions(t *testing.T) {
+	donor := New(nil)
+	donor.MaxVersions = 0 // unbounded: retain all 8 versions
+	for i := 1; i <= 8; i++ {
+		mustApply(t, donor, txn(0, i), uint64(i), kv("x", fmt.Sprintf("v%d", i)))
+	}
+	r := New(nil)
+	r.MaxVersions = 3
+	r.Restore(donor.Snapshot(), donor.Applied())
+	if r.VersionCount() != 3 {
+		t.Fatalf("restored versions = %d, want 3", r.VersionCount())
+	}
+	if v, ok := r.Get("x"); !ok || string(v.Value) != "v8" {
+		t.Fatalf("tip after trimmed restore = %+v ok=%v", v, ok)
+	}
+	if v, ok, err := r.GetAt("x", 6); err != nil || !ok || string(v.Value) != "v6" {
+		t.Fatalf("GetAt(6) inside the window = %+v ok=%v err=%v", v, ok, err)
+	}
+	if _, _, err := r.GetAt("x", 4); !errors.Is(err, ErrVersionGone) {
+		t.Fatalf("GetAt below the trimmed horizon: err = %v, want ErrVersionGone", err)
+	}
+}
+
+// TestDeltaMergeDelta: a lagging receiver patched with Delta(since) must
+// converge to the donor's exact state, and re-merging the same delta must
+// be a no-op (idempotence over the resync crash window).
+func TestDeltaMergeDelta(t *testing.T) {
+	donor := New(nil)
+	mustApply(t, donor, txn(0, 1), 1, kv("x", "1"))
+	mustApply(t, donor, txn(1, 1), 2, kv("y", "1"))
+	mustApply(t, donor, txn(0, 2), 3, kv("x", "2"))
+	mustApply(t, donor, txn(1, 2), 4, kv("z", "1"))
+
+	recv := New(nil)
+	mustApply(t, recv, txn(0, 1), 1, kv("x", "1"))
+	mustApply(t, recv, txn(1, 1), 2, kv("y", "1"))
+
+	d := donor.Delta(recv.Applied())
+	if len(d) != 2 || d[0].Key != "x" || d[1].Key != "z" {
+		t.Fatalf("delta keys = %+v, want x and z only", d)
+	}
+	if len(d[0].Versions) != 1 || d[0].Versions[0].Index != 3 {
+		t.Fatalf("delta for x = %+v, want just index 3", d[0].Versions)
+	}
+	for range [2]int{} { // twice: the merge must be idempotent
+		recv.MergeDelta(d, donor.Applied())
+		if recv.Applied() != donor.Applied() {
+			t.Fatalf("applied = %d, want %d", recv.Applied(), donor.Applied())
+		}
+		if !reflect.DeepEqual(recv.Snapshot(), donor.Snapshot()) {
+			t.Fatalf("snapshots diverge:\n recv %+v\ndonor %+v", recv.Snapshot(), donor.Snapshot())
+		}
+	}
+}
+
+// TestDeltaReplaceAfterGC: when the donor GC'd versions inside (since, tip],
+// appending would leave a silent hole — the entry must carry Replace, and
+// the receiver must swap its chain and report truncation below the horizon.
+func TestDeltaReplaceAfterGC(t *testing.T) {
+	donor := New(nil)
+	donor.MaxVersions = 2
+	for i := 1; i <= 5; i++ {
+		mustApply(t, donor, txn(0, i), uint64(i), kv("x", fmt.Sprintf("v%d", i)))
+	}
+	d := donor.Delta(2) // donor retains only indexes 4,5: a gap at 3
+	if len(d) != 1 || !d[0].Replace {
+		t.Fatalf("delta = %+v, want one Replace entry", d)
+	}
+	recv := New(nil)
+	mustApply(t, recv, txn(0, 1), 1, kv("x", "v1"))
+	mustApply(t, recv, txn(0, 2), 2, kv("x", "v2"))
+	recv.MergeDelta(d, donor.Applied())
+	if got := recv.VersionOrder("x"); len(got) != 2 || got[0] != txn(0, 4) || got[1] != txn(0, 5) {
+		t.Fatalf("merged chain = %v, want the donor's retained window", got)
+	}
+	if _, _, err := recv.GetAt("x", 1); !errors.Is(err, ErrVersionGone) {
+		t.Fatalf("read below the replaced chain: err = %v, want ErrVersionGone", err)
 	}
 }

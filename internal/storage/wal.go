@@ -51,6 +51,7 @@ type WAL struct {
 	grouped  bool
 	pending  []byte // encoded records buffered since the last Flush
 	pendingN int
+	appended int64 // bytes written through write() over this WAL's lifetime
 
 	seg    *segState // non-nil for segmented logs (OpenSegments)
 	closer io.Closer // non-nil when the WAL owns its file (RecoverFile)
@@ -143,9 +144,15 @@ func (l *WAL) write(b []byte) error {
 		}
 		l.seg.size += int64(len(b))
 	}
+	l.appended += int64(len(b))
 	_, err := l.w.Write(b)
 	return err
 }
+
+// AppendedBytes returns the total bytes written to the log since this WAL
+// was opened (buffered-but-unflushed records excluded). The checkpointer
+// uses the delta since its last run as a bytes-since-checkpoint trigger.
+func (l *WAL) AppendedBytes() int64 { return l.appended }
 
 func (l *WAL) sync() error {
 	if l.Sync != nil {
@@ -282,6 +289,72 @@ func replaySegments(dir string, fn func(Record) error) (lastPath string, validOf
 		lastPath, validOff = path, off
 	}
 	return lastPath, validOff, nil
+}
+
+// ReplaySegmentsPrefix is ReplaySegments, additionally reporting the final
+// segment's path and the byte offset where its valid record prefix ends.
+// Recovery layers that replay only a log suffix (internal/checkpoint) use
+// the pair with TruncateTail to chop a torn tail before reopening for
+// append. lastPath is "" for an empty log.
+func ReplaySegmentsPrefix(dir string, fn func(Record) error) (lastPath string, validOff int64, err error) {
+	return replaySegments(dir, fn)
+}
+
+// TruncateTail chops a torn record tail off a log file, leaving the first
+// off valid bytes. A no-op when the file is already no larger than off.
+func TruncateTail(path string, off int64) error {
+	return truncateTail(path, off)
+}
+
+// TruncateSegments deletes sealed (non-final) segment files whose every
+// record has Index <= floor — they are fully covered by a checkpoint at
+// that applied index and replay would skip all of them. The active (last)
+// segment is never deleted, so OpenSegments still resumes on it. Returns
+// the number of segments removed.
+//
+// A segment that fails to decode is left in place: truncation must never
+// outrun what recovery can actually read, and the corrupt segment will
+// surface on the next replay instead of being silently discarded.
+func TruncateSegments(dir string, floor uint64) (int, error) {
+	files, err := SegmentFiles(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, path := range files {
+		if i == len(files)-1 {
+			break // never the active segment
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return removed, err
+		}
+		maxIdx := uint64(0)
+		off, rerr := ReplayPrefix(f, func(r Record) error {
+			if r.Index > maxIdx {
+				maxIdx = r.Index
+			}
+			return nil
+		})
+		var size int64
+		if fi, serr := f.Stat(); serr == nil {
+			size = fi.Size()
+		}
+		f.Close()
+		if rerr != nil || off < size {
+			// Undecodable or short mid-log segment: leave it for replay to
+			// diagnose.
+			break
+		}
+		if maxIdx > floor {
+			break // later segments only hold higher indexes
+		}
+		if err := os.Remove(path); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
 }
 
 // RecoverSegments rebuilds a store from a segmented log and reopens the log

@@ -503,3 +503,141 @@ func TestApplyBatchIntraGroupMonotonicity(t *testing.T) {
 		t.Fatalf("x index = %d, want 4", rec.Index)
 	}
 }
+
+// TestTruncateSegments: only sealed segments wholly at or below the floor
+// are removed; the active segment survives even when fully covered, and a
+// reopened log appends where it left off.
+func TestTruncateSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSegments(dir, 64) // tiny: one record per segment
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	big := make(message.Value, 50)
+	for i := 1; i <= 4; i++ {
+		if err := l.Append(Record{Index: uint64(i), Txn: txn(0, i), Writes: []message.KV{{Key: "k", Value: big}}}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	files, _ := SegmentFiles(dir)
+	if len(files) < 3 {
+		t.Fatalf("rotation did not happen: %v", files)
+	}
+
+	// Floor 2: only segments whose every index is <= 2 go.
+	n, err := TruncateSegments(dir, 2)
+	if err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("no segments truncated at floor 2")
+	}
+	var got []uint64
+	if err := ReplaySegments(dir, func(r Record) error {
+		got = append(got, r.Index)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay after truncation: %v", err)
+	}
+	if len(got) == 0 || got[0] > 3 || got[len(got)-1] != 4 {
+		t.Fatalf("surviving indexes %v: truncation removed records above the floor", got)
+	}
+
+	// Floor past everything: the final (active) segment still survives.
+	if _, err := TruncateSegments(dir, 100); err != nil {
+		t.Fatalf("truncate all: %v", err)
+	}
+	files, _ = SegmentFiles(dir)
+	if len(files) != 1 {
+		t.Fatalf("active segment not preserved: %v", files)
+	}
+
+	// The truncated log reopens and appends.
+	l2, err := OpenSegments(dir, 1<<20)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := l2.Append(Record{Index: 5, Txn: txn(0, 5), Writes: []message.KV{kv("k", "tail")}}); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("close 2: %v", err)
+	}
+}
+
+// TestTruncateSegmentsStopsAtCorruptSegment: an undecodable sealed segment
+// blocks truncation of itself and everything after it — deleting segments
+// beyond what replay can read would turn recoverable corruption into silent
+// data loss.
+func TestTruncateSegmentsStopsAtCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSegments(dir, 64)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	big := make(message.Value, 50)
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(Record{Index: uint64(i), Txn: txn(0, i), Writes: []message.KV{{Key: "k", Value: big}}}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	files, _ := SegmentFiles(dir)
+	if len(files) < 3 {
+		t.Fatalf("rotation did not happen: %v", files)
+	}
+	// Corrupt the FIRST sealed segment: nothing may be removed.
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(files[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := TruncateSegments(dir, 100)
+	if err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("truncated %d segments past a corrupt one", n)
+	}
+	after, _ := SegmentFiles(dir)
+	if len(after) != len(files) {
+		t.Fatalf("segments removed despite corruption: %v -> %v", files, after)
+	}
+}
+
+// TestAppendedBytes: the byte counter feeding the checkpoint bytes-trigger
+// grows with every append and survives nothing — it is per-process state.
+func TestAppendedBytes(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenSegments(dir, 1<<20)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if l.AppendedBytes() != 0 {
+		t.Fatalf("fresh log AppendedBytes = %d", l.AppendedBytes())
+	}
+	if err := l.Append(Record{Index: 1, Txn: txn(0, 1), Writes: []message.KV{kv("k", "v")}}); err != nil {
+		t.Fatal(err)
+	}
+	first := l.AppendedBytes()
+	if first <= 0 {
+		t.Fatalf("AppendedBytes after one append = %d", first)
+	}
+	if err := l.Append(Record{Index: 2, Txn: txn(0, 2), Writes: []message.KV{kv("k", "w")}}); err != nil {
+		t.Fatal(err)
+	}
+	if l.AppendedBytes() <= first {
+		t.Fatalf("AppendedBytes did not grow: %d -> %d", first, l.AppendedBytes())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

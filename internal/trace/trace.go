@@ -114,6 +114,12 @@ const (
 	// size (number of messages sharing the consensus instance).
 	KindBatchOrder
 
+	// KindCheckpoint is an interval spanning one durable checkpoint:
+	// group-commit barrier through WAL truncation. Non-transactional
+	// (zero trace ID); Seq is the checkpointed applied index, Extra the
+	// checkpoint file's size in bytes.
+	KindCheckpoint
+
 	numKinds
 )
 
@@ -142,6 +148,7 @@ var kindNames = [numKinds]string{
 	KindNetSend:      "net-send",
 	KindNetRecv:      "net-recv",
 	KindBatchOrder:   "batch-order",
+	KindCheckpoint:   "checkpoint",
 }
 
 // String implements fmt.Stringer.

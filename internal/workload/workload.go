@@ -17,6 +17,12 @@ type Spec struct {
 	// Sites is the cluster size; transactions are assigned home sites
 	// round-robin with random jitter.
 	Sites int
+	// OriginSites, when positive, homes every transaction on the first
+	// OriginSites sites only; the rest are pure replicas. Rejoin
+	// experiments use this to keep a partitioned site from originating
+	// broadcasts while isolated (a live site cannot replay sends its peers
+	// never saw — only restart recovery resets send sequences).
+	OriginSites int
 	// Count is the total number of transactions.
 	Count int
 	// Window is the virtual-time span over which arrivals are spread.
@@ -50,6 +56,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Count <= 0 {
 		return fmt.Errorf("workload: Count must be positive, got %d", s.Count)
+	}
+	if s.OriginSites < 0 || s.OriginSites > s.Sites {
+		return fmt.Errorf("workload: OriginSites %d outside [0, Sites=%d]", s.OriginSites, s.Sites)
 	}
 	if s.Keys <= 0 {
 		s.Keys = 64
@@ -138,11 +147,15 @@ func Generate(spec Spec) ([]Txn, error) {
 	for i := range val {
 		val[i] = byte('a' + i%26)
 	}
+	origins := spec.Sites
+	if spec.OriginSites > 0 {
+		origins = spec.OriginSites
+	}
 	out := make([]Txn, 0, spec.Count)
 	for i := 0; i < spec.Count; i++ {
 		t := Txn{
 			At:       time.Duration(r.Int63n(int64(spec.Window))),
-			Site:     message.SiteID(r.Intn(spec.Sites)),
+			Site:     message.SiteID(r.Intn(origins)),
 			ReadOnly: r.Float64() < spec.ReadOnlyFraction,
 		}
 		t.Reads = picker.pickDistinct(spec.ReadsPerTxn)
