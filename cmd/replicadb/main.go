@@ -18,6 +18,18 @@
 //	SET k1=v1 [k2=v2 ...]    update transaction
 //	STATS                    engine counters plus per-peer transport counters
 //	TRACE                    dump this site's span ring as JSONL (see docs/TRACING.md)
+//
+// Partial replication (-proto atomic only): -shards splits the keyspace
+// into that many replication groups, each replicated by -rf sites chosen
+// deterministically from the static site set. A site's -wal directory then
+// holds one segmented log (plus checkpoints) per local group, g0/, g1/,
+// ..., recovered independently on restart; walcheck understands the same
+// layout. Reads must be issued at a site replicating the key's group —
+// a GET elsewhere reports the key as not replicated. Writes route
+// automatically: single-group transactions forward to the group, and
+// multi-group transactions run the cross-shard certification round.
+//
+//	replicadb -id 0 -peers ... -proto atomic -shards 2 -rf 2 -wal wal0/
 package main
 
 import (
@@ -28,6 +40,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -39,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/livenet"
 	"repro/internal/message"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
@@ -69,6 +83,8 @@ func run() error {
 		batchMsgs  = flag.Int("batch-msgs", 64, "batch orderer: message budget that seals a batch early")
 		dialRetry  = flag.Duration("dial-retry", 500*time.Millisecond, "initial peer reconnect backoff (doubles with jitter)")
 		sendQueue  = flag.Int("send-queue", 1024, "per-peer outgoing message buffer")
+		shards     = flag.Int("shards", 1, "partial replication: number of replication groups (1 = full replication; requires -proto atomic)")
+		rf         = flag.Int("rf", 0, "sites replicating each group under -shards (0 = every site)")
 		member     = flag.Bool("membership", false, "enable failure detection and majority views")
 		traceBuf   = flag.Int("trace-buf", trace.DefaultCap, "per-site span ring capacity for TRACE (0 disables tracing)")
 		verbose    = flag.Bool("v", false, "log runtime diagnostics")
@@ -105,9 +121,77 @@ func run() error {
 		ecfg.Tracer = tr
 		host.SetTracer(tr)
 	}
+	var ring *shard.Ring
+	if *shards > 1 {
+		if *proto != "atomic" {
+			return fmt.Errorf("-shards requires -proto atomic (got %q)", *proto)
+		}
+		if *member {
+			return fmt.Errorf("-shards does not combine with -membership (group placement is static)")
+		}
+		ecfg.Shard = &shard.Config{Groups: *shards, RF: *rf}
+		ring, err = shard.NewRing(*ecfg.Shard, len(addrs))
+		if err != nil {
+			return err
+		}
+	} else if *rf > 0 {
+		return fmt.Errorf("-rf needs -shards > 1")
+	}
 	ckptEnabled := *ckptIval > 0 || *ckptBytes > 0
 	var wal *storage.WAL
-	if *walPath != "" {
+	var groupWALs map[message.GroupID]*storage.WAL
+	if *walPath != "" && ring != nil {
+		// Per-group durability: one segmented WAL (plus checkpoints when
+		// enabled) per local replication group, under <wal>/g<N>/, each
+		// recovered independently so a restarted site resumes every group
+		// from its own durable floor.
+		if fi, serr := os.Stat(*walPath); serr == nil && !fi.IsDir() {
+			return fmt.Errorf("partial replication requires a directory -wal (got file %s)", *walPath)
+		}
+		groupWALs = make(map[message.GroupID]*storage.WAL)
+		stores := make(map[message.GroupID]*storage.Store)
+		stacks := make(map[message.GroupID]*message.StackSync)
+		pols := make(map[message.GroupID]checkpoint.Policy)
+		for _, g := range ring.SiteGroups(message.SiteID(*id)) {
+			gdir := filepath.Join(*walPath, g.String())
+			var st *storage.Store
+			if ckptEnabled {
+				st2, w2, info, rerr := checkpoint.Recover(gdir, *walSegMB)
+				if rerr != nil {
+					return fmt.Errorf("recover group %s: %w", g, rerr)
+				}
+				st, groupWALs[g], stacks[g] = st2, w2, info.Stack
+				pols[g] = checkpoint.Policy{
+					Dir:         gdir,
+					Interval:    *ckptIval,
+					MaxWALBytes: *ckptBytes,
+					Retain:      *ckptRetain,
+				}
+				if info.CheckpointIndex > 0 {
+					log.Printf("site %d group %s loaded checkpoint %s (index %d), replayed %d wal records (skipped %d below the floor)",
+						*id, g, info.CheckpointPath, info.CheckpointIndex, info.Replayed, info.Skipped)
+				}
+			} else {
+				var rerr error
+				st, groupWALs[g], rerr = storage.RecoverSegments(gdir, *walSegMB)
+				if rerr != nil {
+					return fmt.Errorf("recover group %s: %w", g, rerr)
+				}
+			}
+			stores[g] = st
+			if st.Applied() > 0 {
+				log.Printf("site %d group %s recovered %d keys up to order index %d from %s",
+					*id, g, st.Len(), st.Applied(), gdir)
+			}
+		}
+		ecfg.GroupWAL = func(g message.GroupID) *storage.WAL { return groupWALs[g] }
+		ecfg.GroupInitialStore = func(g message.GroupID) *storage.Store { return stores[g] }
+		ecfg.GroupInitialStack = func(g message.GroupID) *message.StackSync { return stacks[g] }
+		if ckptEnabled {
+			ecfg.GroupCheckpoint = func(g message.GroupID) checkpoint.Policy { return pols[g] }
+		}
+		ecfg.GroupCommit = commitpipe.Policy{MaxBatch: *walBatch, MaxDelay: *walFlush}
+	} else if *walPath != "" {
 		var st *storage.Store
 		if fi, serr := os.Stat(*walPath); serr == nil && !fi.IsDir() {
 			// Legacy single-file log: replay it (truncating any torn tail so
@@ -182,7 +266,15 @@ func run() error {
 		default:
 			return fmt.Errorf("unknown atomic mode %q", *atomicMode)
 		}
-		engine = core.NewAtomic(host, ecfg)
+		if ecfg.Shard != nil {
+			se, serr := core.NewSharded(host, ecfg)
+			if serr != nil {
+				return serr
+			}
+			engine = se
+		} else {
+			engine = core.NewAtomic(host, ecfg)
+		}
 	case "baseline":
 		engine = core.NewBaseline(host, ecfg)
 	case "quorum":
@@ -195,7 +287,13 @@ func run() error {
 		return err
 	}
 	defer host.Close()
-	log.Printf("site %d serving %s replication on %s", *id, *proto, host.Addr())
+	sharded, _ := engine.(*core.ShardedEngine)
+	if sharded != nil {
+		log.Printf("site %d serving atomic replication over %d groups (rf %d) on %s; local groups %v",
+			*id, ring.Groups(), len(ring.Members(0)), host.Addr(), sharded.LocalGroups())
+	} else {
+		log.Printf("site %d serving %s replication on %s", *id, *proto, host.Addr())
+	}
 
 	if *client != "" {
 		ln, lerr := net.Listen("tcp", *client)
@@ -204,7 +302,10 @@ func run() error {
 		}
 		defer ln.Close()
 		log.Printf("site %d client port on %s", *id, ln.Addr())
-		r := &replica{host: host, engine: engine, tracer: tr, proto: *proto, sites: len(addrs)}
+		r := &replica{host: host, engine: engine, sharded: sharded, tracer: tr, proto: *proto, sites: len(addrs)}
+		if ring != nil {
+			r.groups = ring.Groups()
+		}
 		go r.serveClients(ln)
 	}
 
@@ -212,7 +313,18 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("site %d shutting down", *id)
-	if wal != nil {
+	if len(groupWALs) > 0 {
+		// Flush every local group's open group-commit batch (releasing its
+		// deferred client acknowledgements) before closing the logs.
+		host.Do(func() { sharded.FlushPipelines() })
+		for _, g := range sharded.LocalGroups() {
+			if w := groupWALs[g]; w != nil {
+				if cerr := w.Close(); cerr != nil {
+					log.Printf("site %d group %s wal close: %v", *id, g, cerr)
+				}
+			}
+		}
+	} else if wal != nil {
 		// Flush the open group-commit batch (releasing its deferred client
 		// acknowledgements) before closing the log.
 		host.Do(func() { engine.Pipeline().Flush() })
@@ -249,11 +361,13 @@ func parsePeers(s string) (map[message.SiteID]string, error) {
 // replica bundles what the client protocol needs: the transport, the
 // engine, and the span ring the TRACE command dumps.
 type replica struct {
-	host   *livenet.Host
-	engine core.Engine
-	tracer *trace.Tracer
-	proto  string
-	sites  int
+	host    *livenet.Host
+	engine  core.Engine
+	sharded *core.ShardedEngine // non-nil under partial replication
+	tracer  *trace.Tracer
+	proto   string
+	sites   int
+	groups  int // replication groups (0 or 1 = full replication)
 }
 
 func (r *replica) serveClients(ln net.Listener) {
@@ -333,11 +447,22 @@ func (r *replica) execute(line string) string {
 	case "STATS":
 		var s *core.Stats
 		var keys int
-		var pipe, ckpt string
+		var pipe, ckpt, sharded string
 		r.host.Do(func() {
 			s = r.engine.Stats()
 			keys = r.engine.Store().Len()
 			pipe = r.engine.Pipeline().Summary()
+			if r.sharded != nil {
+				// Per-group progress plus the cross-shard leak oracle: keys
+				// and last processed order index of every local group.
+				parts := make([]string, 0, len(r.sharded.LocalGroups())+1)
+				for _, g := range r.sharded.LocalGroups() {
+					parts = append(parts, fmt.Sprintf("%s_keys=%d %s_idx=%d",
+						g, r.sharded.GroupStore(g).Len(), g, r.sharded.GroupCertIndex(g)))
+				}
+				parts = append(parts, fmt.Sprintf("pending_coord=%d", r.sharded.PendingCoord()))
+				sharded = " " + strings.Join(parts, " ")
+			}
 			if cp := r.engine.Checkpointer(); cp != nil {
 				cs := cp.Stats()
 				age := time.Duration(0)
@@ -350,15 +475,15 @@ func (r *replica) execute(line string) string {
 			}
 		})
 		sent, recv, dropped := r.host.Counters()
-		return fmt.Sprintf("OK begun=%d committed=%d ro=%d aborted=%d keys=%d sent=%d recv=%d dropped=%d %s %s%s",
+		return fmt.Sprintf("OK begun=%d committed=%d ro=%d aborted=%d keys=%d sent=%d recv=%d dropped=%d %s %s%s%s",
 			s.Begun, s.Committed, s.ReadOnlyCommitted, s.Aborted, keys, sent, recv, dropped,
-			pipe, r.host.TransportSummary(), ckpt)
+			pipe, r.host.TransportSummary(), ckpt, sharded)
 	case "TRACE":
 		if r.tracer == nil {
 			return "ERR tracing disabled (-trace-buf 0)"
 		}
 		var sb strings.Builder
-		meta := trace.Meta{Proto: r.proto, Sites: r.sites}
+		meta := trace.Meta{Proto: r.proto, Sites: r.sites, Groups: r.groups}
 		if err := trace.WriteTracer(&sb, meta, r.tracer); err != nil {
 			return "ERR " + err.Error()
 		}

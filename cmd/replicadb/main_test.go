@@ -1,15 +1,20 @@
 package main
 
 import (
+	"fmt"
 	"net"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/commitpipe"
 	"repro/internal/core"
 	"repro/internal/livenet"
 	"repro/internal/message"
+	"repro/internal/shard"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -171,5 +176,156 @@ func TestClientProtocolExecute(t *testing.T) {
 		if resp := r0.execute(bad); !strings.HasPrefix(resp, "ERR") {
 			t.Fatalf("execute(%q) = %q, want ERR", bad, resp)
 		}
+	}
+}
+
+// newShardedReplicas boots a 4-site partially replicated cluster (2 groups,
+// RF 2) the way run() wires it: per-group WAL directories recovered via the
+// checkpoint path, a ShardedEngine per site, and the client protocol on top.
+func newShardedReplicas(t *testing.T) ([]*replica, *shard.Ring) {
+	t.Helper()
+	const n = 4
+	scfg := &shard.Config{Groups: 2, RF: 2}
+	ring, err := shard.NewRing(*scfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listeners := make([]net.Listener, n)
+	addrs := make(map[message.SiteID]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[message.SiteID(i)] = ln.Addr().String()
+	}
+	replicas := make([]*replica, n)
+	for i := 0; i < n; i++ {
+		h, err := livenet.New(livenet.Config{ID: message.SiteID(i), Addrs: addrs, Listener: listeners[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.New(message.SiteID(i), 1<<12, h.Now)
+		h.SetTracer(tr)
+		base := t.TempDir()
+		wals := make(map[message.GroupID]*storage.WAL)
+		stores := make(map[message.GroupID]*storage.Store)
+		stacks := make(map[message.GroupID]*message.StackSync)
+		pols := make(map[message.GroupID]checkpoint.Policy)
+		for _, g := range ring.SiteGroups(message.SiteID(i)) {
+			gdir := filepath.Join(base, g.String())
+			st, w, info, err := checkpoint.Recover(gdir, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stores[g], wals[g], stacks[g] = st, w, info.Stack
+			pols[g] = checkpoint.Policy{Dir: gdir, Interval: 25 * time.Millisecond, Retain: 2}
+		}
+		se, err := core.NewSharded(h, core.Config{
+			Tracer:            tr,
+			Shard:             scfg,
+			GroupWAL:          func(g message.GroupID) *storage.WAL { return wals[g] },
+			GroupInitialStore: func(g message.GroupID) *storage.Store { return stores[g] },
+			GroupInitialStack: func(g message.GroupID) *message.StackSync { return stacks[g] },
+			GroupCheckpoint:   func(g message.GroupID) checkpoint.Policy { return pols[g] },
+			GroupCommit:       commitpipe.Policy{MaxBatch: 8, MaxDelay: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Bind(se)
+		replicas[i] = &replica{host: h, engine: se, sharded: se, tracer: tr, proto: "atomic", sites: n, groups: 2}
+	}
+	for _, r := range replicas {
+		if err := r.host.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, r := range replicas {
+			r.host.Close()
+		}
+	})
+	return replicas, ring
+}
+
+// TestShardedClientProtocol drives single-shard, forwarded, and cross-shard
+// commits through the client protocol and checks the sharded STATS tokens
+// and TRACE metadata.
+func TestShardedClientProtocol(t *testing.T) {
+	rs, ring := newShardedReplicas(t)
+	keyIn := func(g message.GroupID, tag string) string {
+		for i := 0; i < 10000; i++ {
+			k := fmt.Sprintf("%s%d", tag, i)
+			if ring.GroupOf(message.Key(k)) == g {
+				return k
+			}
+		}
+		t.Fatalf("no key in group %v", g)
+		return ""
+	}
+	a, b := keyIn(0, "a"), keyIn(1, "b")
+	// With the deterministic placement, group 0 lives at sites {0,1} and
+	// group 1 at {2,3}: site 0 is a member for a, a non-member for b.
+	r0, r2 := rs[0], rs[2]
+
+	// Single-shard commit at a member, then a forwarded one from a non-member.
+	if resp := r0.execute("SET " + a + "=1"); resp != "OK committed" {
+		t.Fatalf("member SET: %q", resp)
+	}
+	if resp := r2.execute("SET " + a + "=2"); resp != "OK committed" {
+		t.Fatalf("forwarded SET: %q", resp)
+	}
+	// Cross-shard commit touching both groups.
+	if resp := r0.execute(fmt.Sprintf("SET %s=x %s=y", a, b)); resp != "OK committed" {
+		t.Fatalf("cross-shard SET: %q", resp)
+	}
+	// Reads route by membership: a is readable at site 0, b is not.
+	if resp := r0.execute("GET " + a); resp != "OK "+a+"=x" {
+		t.Fatalf("local GET: %q", resp)
+	}
+	if resp := r0.execute("GET " + b); !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("non-member GET should error: %q", resp)
+	}
+	// The cross-shard write converges at group 1's replicas.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := r2.execute("GET " + b)
+		if resp == "OK "+b+"=y" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("group-1 GET never converged: %q", resp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// STATS exposes per-group progress and the cross-shard leak oracle.
+	resp := r0.execute("STATS")
+	for _, want := range []string{"g0_keys=", "g0_idx=", "pending_coord=0", "ckpt_count="} {
+		if !strings.Contains(resp, want) {
+			t.Fatalf("STATS %q missing token %q", resp, want)
+		}
+	}
+	if strings.Contains(resp, "g1_keys=") {
+		t.Fatalf("STATS at a group-0 site reports group 1: %q", resp)
+	}
+	// TRACE carries the group count and the cross-shard coordination span.
+	dump := r0.execute("TRACE")
+	dumps, err := trace.ReadJSONL(strings.NewReader(strings.TrimSuffix(dump, ".")))
+	if err != nil {
+		t.Fatalf("TRACE output unparseable: %v", err)
+	}
+	if len(dumps) != 1 || dumps[0].Meta.Groups != 2 {
+		t.Fatalf("TRACE meta: %+v", dumps[0].Meta)
+	}
+	foundCoord := false
+	for _, s := range dumps[0].Spans {
+		if s.Kind == trace.KindShardCoord {
+			foundCoord = true
+		}
+	}
+	if !foundCoord {
+		t.Fatal("TRACE dump missing shard-coord span")
 	}
 }

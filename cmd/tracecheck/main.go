@@ -84,6 +84,12 @@ func run(files []string) (bool, error) {
 	c.checkContradictions()
 	if c.dropped > 0 {
 		fmt.Printf("warning: %d spans dropped by ring overflow; skipping order and round-count checks (raise the trace capacity)\n", c.dropped)
+	} else if c.groups > 1 {
+		// Partial replication: certification indices and participation are
+		// per replication group, so the full-cluster order and round checks
+		// do not apply; their per-group counterparts do.
+		c.checkShardOrder()
+		c.checkShardAtomicity()
 	} else {
 		switch c.proto {
 		case "atomic":
@@ -106,6 +112,7 @@ type checker struct {
 	proto      string
 	mode       string
 	sites      int
+	groups     int
 	dropped    uint64
 	violations []string
 
@@ -125,6 +132,9 @@ func newChecker(dumps []trace.Dump) *checker {
 		}
 		if d.Meta.Sites > c.sites {
 			c.sites = d.Meta.Sites
+		}
+		if d.Meta.Groups > c.groups {
+			c.groups = d.Meta.Groups
 		}
 		c.dropped += d.Meta.Dropped
 		for _, s := range d.Spans {
@@ -431,6 +441,164 @@ func (c *checker) checkAtomicRounds() {
 	}
 }
 
+// shardEvent is one per-group ordered event: a certification or a
+// cross-shard decision at a group-local total-order index.
+type shardEvent struct {
+	kind    trace.Kind
+	idx     uint64
+	id      message.TxnID
+	verdict int64
+}
+
+// checkShardOrder verifies partial replication's per-group counterpart of
+// protocol A's headline property: within each replication group, every
+// participating site processes the same group-local total order of
+// certifications and decisions with identical verdicts. Sites outside a
+// group record no spans for it and are naturally excluded.
+//
+// Dumps are finite windows (ring buffers wrap, operators snapshot sites
+// at different instants, a rejoining site certifies backlogged entries
+// long after its peers did), so sites legitimately capture different
+// slices of the group history. The invariant checked is therefore the
+// same one walcheck applies to per-group WALs: every site's sequence
+// must be a contiguous window of the longest site's sequence. Lagging
+// or resynced sites truncate the history at either end — they never
+// reorder it, skip inside it, or disagree on a verdict.
+func (c *checker) checkShardOrder() {
+	// perGroup[group][site] = that site's event sequence, emission order.
+	perGroup := make(map[int32]map[int32][]shardEvent)
+	for _, d := range c.dumps {
+		for _, s := range d.Spans {
+			if s.Kind != trace.KindShardCert && s.Kind != trace.KindShardDecide {
+				continue
+			}
+			g := int32(s.Peer)
+			m := perGroup[g]
+			if m == nil {
+				m = make(map[int32][]shardEvent)
+				perGroup[g] = m
+			}
+			m[d.Meta.Site] = append(m[d.Meta.Site], shardEvent{s.Kind, s.Seq, s.Trace, s.Extra})
+		}
+	}
+	groups := make([]int32, 0, len(perGroup))
+	for g := range perGroup {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+	for _, g := range groups {
+		bySite := perGroup[g]
+		sites := make([]int32, 0, len(bySite))
+		for s := range bySite {
+			sites = append(sites, s)
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		// Reference = the site that captured the most of the group's
+		// history (ties broken by lowest site id, deterministically).
+		ref, refSite := bySite[sites[0]], sites[0]
+		for _, s := range sites[1:] {
+			if len(bySite[s]) > len(ref) {
+				ref, refSite = bySite[s], s
+			}
+		}
+		for _, s := range sites {
+			if s == refSite {
+				continue
+			}
+			seq := bySite[s]
+			if !isWindowOf(ref, seq) {
+				c.failf("group %d: site %d's %d ordered events are not a contiguous window of site %d's %d — the group order diverges",
+					g, s, len(seq), refSite, len(ref))
+			}
+		}
+	}
+}
+
+// isWindowOf reports whether seq appears as a contiguous run inside ref.
+// An empty seq is a window of anything (the site's capture simply missed
+// this group's traffic). Sequences are dump-sized, so the quadratic scan
+// is fine.
+func isWindowOf(ref, seq []shardEvent) bool {
+	if len(seq) == 0 {
+		return true
+	}
+	for start := 0; start+len(seq) <= len(ref); start++ {
+		match := true
+		for j := range seq {
+			if ref[start+j] != seq[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// checkShardAtomicity verifies the cross-shard commit invariant: a
+// transaction that opened a vote-collection round (a shard-coord span,
+// whose Seq is the touched-group bitmask) either commits in EVERY touched
+// group or in none — no group may decide commit while another decides
+// abort, and a commit may not skip a touched group.
+func (c *checker) checkShardAtomicity() {
+	for _, id := range c.sortedTraces() {
+		spans := c.byTrace[id]
+		var mask uint64
+		hasCoord := false
+		for _, s := range spans {
+			if s.Kind == trace.KindShardCoord {
+				hasCoord = true
+				mask = s.Seq
+			}
+		}
+		if !hasCoord {
+			continue
+		}
+		// One verdict per group; replicas of a group must agree.
+		decided := make(map[int32]int64)
+		for _, s := range spans {
+			if s.Kind != trace.KindShardDecide {
+				continue
+			}
+			g := int32(s.Peer)
+			if v, ok := decided[g]; ok && v != s.Extra {
+				c.failf("%v: group %d replicas disagree on the decision (%d vs %d)", id, g, v, s.Extra)
+			}
+			decided[g] = s.Extra
+		}
+		var commits, aborts []int32
+		for g, v := range decided {
+			if v == 1 {
+				commits = append(commits, g)
+			} else {
+				aborts = append(aborts, g)
+			}
+		}
+		sort.Slice(commits, func(i, j int) bool { return commits[i] < commits[j] })
+		sort.Slice(aborts, func(i, j int) bool { return aborts[i] < aborts[j] })
+		if len(commits) > 0 && len(aborts) > 0 {
+			c.failf("%v: atomicity violated — committed in group(s) %v but aborted in group(s) %v", id, commits, aborts)
+		}
+		if len(commits) > 0 {
+			for g := int32(0); g < 64; g++ {
+				if mask&(1<<uint(g)) == 0 {
+					continue
+				}
+				if v, ok := decided[g]; !ok || v != 1 {
+					c.failf("%v: atomicity violated — touched group %d has no commit decision (mask %#x)", id, g, mask)
+				}
+			}
+			for _, g := range commits {
+				if g >= 64 || mask&(1<<uint(g)) == 0 {
+					c.failf("%v: commit decision in group %d outside the touched mask %#x", id, g, mask)
+				}
+			}
+		}
+	}
+}
+
 // report prints the per-kind duration percentiles, the measured round
 // counts, and the verdict.
 func (c *checker) report() {
@@ -450,6 +618,9 @@ func (c *checker) report() {
 	fmt.Printf("tracecheck: proto=%s", c.proto)
 	if c.mode != "" && c.proto == "atomic" {
 		fmt.Printf(" mode=%s", c.mode)
+	}
+	if c.groups > 1 {
+		fmt.Printf(" groups=%d", c.groups)
 	}
 	fmt.Printf(" sites=%d spans=%d traces=%d\n", c.sites, totalSpans, len(c.byTrace))
 

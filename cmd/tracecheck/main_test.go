@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/message"
+	"repro/internal/netsim"
+	"repro/internal/sgraph"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// shardedDump runs a 2-group sharded cluster with single- and cross-shard
+// commits and returns the concatenated JSONL trace dump.
+func shardedDump(t *testing.T) []byte {
+	t.Helper()
+	const n = 4
+	link := netsim.Uniform{Min: 500 * time.Microsecond, Max: 3 * time.Millisecond}
+	c := sim.NewCluster(n, link, 23)
+	cfg := core.Config{
+		Shard:    &shard.Config{Groups: 2, RF: 2},
+		Recorder: sgraph.NewRecorder(),
+	}
+	engines := make([]*core.ShardedEngine, n)
+	tracers := make([]*trace.Tracer, n)
+	for i := 0; i < n; i++ {
+		rt := c.Runtime(message.SiteID(i))
+		siteCfg := cfg
+		tracers[i] = trace.New(message.SiteID(i), 1<<14, rt.Now)
+		siteCfg.Tracer = tracers[i]
+		e, err := core.NewSharded(rt, siteCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = e
+		c.Bind(message.SiteID(i), e)
+	}
+	c.Start()
+
+	ring := engines[0].Ring()
+	keyIn := func(g message.GroupID, tag string) message.Key {
+		for i := 0; i < 10000; i++ {
+			k := message.Key(fmt.Sprintf("%s%d", tag, i))
+			if ring.GroupOf(k) == g {
+				return k
+			}
+		}
+		t.Fatalf("no key in group %v", g)
+		return ""
+	}
+	a, b := keyIn(0, "a"), keyIn(1, "b")
+
+	commit := func(at time.Duration, site int, writes []message.KV) {
+		c.Schedule(at, func() {
+			e := engines[site]
+			tx := e.Begin(false)
+			for _, w := range writes {
+				if err := e.Write(tx, w.Key, w.Value); err != nil {
+					t.Errorf("write: %v", err)
+				}
+			}
+			e.Commit(tx, func(core.Outcome, core.AbortReason) {})
+		})
+	}
+	// Single-shard traffic in both groups, then one cross-shard commit.
+	commit(10*time.Millisecond, 0, []message.KV{{Key: a, Value: message.Value("v1")}})
+	commit(20*time.Millisecond, 2, []message.KV{{Key: b, Value: message.Value("v1")}})
+	commit(200*time.Millisecond, 0, []message.KV{
+		{Key: a, Value: message.Value("x")},
+		{Key: b, Value: message.Value("x")},
+	})
+	commit(400*time.Millisecond, 1, []message.KV{{Key: a, Value: message.Value("v2")}})
+	if _, err := c.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	for i, tr := range tracers {
+		meta := trace.Meta{Site: int32(i), Proto: "sharded", Sites: n, AtomicMode: "sequencer", Groups: 2}
+		if err := trace.WriteJSONL(&buf, meta, tr.Spans()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func runOn(t *testing.T, dump []byte) bool {
+	t.Helper()
+	f := filepath.Join(t.TempDir(), "dump.jsonl")
+	if err := os.WriteFile(f, dump, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := run([]string{f})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return ok
+}
+
+func TestShardedCleanTracePasses(t *testing.T) {
+	dump := shardedDump(t)
+	if !strings.Contains(string(dump), `"kind":"shard-coord"`) {
+		t.Fatal("dump has no cross-shard coordination span")
+	}
+	if !runOn(t, dump) {
+		t.Fatal("clean sharded trace rejected")
+	}
+}
+
+// corruptLines rewrites each JSONL line through fn; fn returns the
+// replacement line or "" to drop it.
+func corruptLines(t *testing.T, dump []byte, fn func(line map[string]any) bool) []byte {
+	t.Helper()
+	var out []string
+	changed := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(dump)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatal(err)
+		}
+		if fn(m) {
+			changed++
+			if m["__drop"] == true {
+				continue
+			}
+			b, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			line = string(b)
+		}
+		out = append(out, line)
+	}
+	if changed == 0 {
+		t.Fatal("corruption matched no lines")
+	}
+	return []byte(strings.Join(out, "\n") + "\n")
+}
+
+// TestShardedAtomicityViolationRejected flips ONE site's group-1 decision
+// of the cross-shard transaction to abort: that group's replicas now
+// disagree, and the commit no longer covers the touched mask.
+func TestShardedAtomicityViolationRejected(t *testing.T) {
+	dump := shardedDump(t)
+	flipped := false
+	bad := corruptLines(t, dump, func(m map[string]any) bool {
+		if flipped || m["kind"] != "shard-decide" || m["peer"] != float64(1) || m["extra"] != float64(1) {
+			return false
+		}
+		m["extra"] = float64(0)
+		flipped = true
+		return true
+	})
+	if runOn(t, bad) {
+		t.Fatal("trace with a flipped cross-shard decision accepted")
+	}
+}
+
+// TestShardedMissingGroupDecisionRejected drops group 1's commit
+// decisions of the cross-shard transaction entirely: the transaction then
+// committed in group 0 but never decided in group 1.
+func TestShardedMissingGroupDecisionRejected(t *testing.T) {
+	dump := shardedDump(t)
+	bad := corruptLines(t, dump, func(m map[string]any) bool {
+		if m["kind"] != "shard-decide" || m["peer"] != float64(1) {
+			return false
+		}
+		m["__drop"] = true
+		return true
+	})
+	if runOn(t, bad) {
+		t.Fatal("trace missing one group's decisions accepted")
+	}
+}
+
+// TestShardedOrderDivergenceRejected swaps one site's first two group-0
+// certification events, breaking the identical per-group order.
+func TestShardedOrderDivergenceRejected(t *testing.T) {
+	dump := shardedDump(t)
+	lines := strings.Split(strings.TrimSpace(string(dump)), "\n")
+	var idxs []int
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatal(err)
+		}
+		if m["kind"] == "shard-cert" && m["peer"] == float64(0) && m["site"] == float64(0) {
+			idxs = append(idxs, i)
+			if len(idxs) == 2 {
+				break
+			}
+		}
+	}
+	if len(idxs) < 2 {
+		t.Fatal("fewer than two group-0 certifications at site 0")
+	}
+	lines[idxs[0]], lines[idxs[1]] = lines[idxs[1]], lines[idxs[0]]
+	bad := []byte(strings.Join(lines, "\n") + "\n")
+	if runOn(t, bad) {
+		t.Fatal("trace with diverging per-group order accepted")
+	}
+}

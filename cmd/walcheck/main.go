@@ -11,6 +11,16 @@
 //	walcheck site0.wal site1.wal site2.wal
 //	walcheck wal0/ wal1/ wal2/
 //
+// Under partial replication a site's directory instead holds one
+// subdirectory per replication group it replicates (g0/, g1/, ...), each a
+// segmented WAL (plus checkpoints) of that group's commits. walcheck
+// detects the layout, replays every group log, and cross-checks version
+// chains within each group independently — group-local order indices are
+// not comparable across groups, and different sites replicate different
+// group subsets:
+//
+//	walcheck wal0/ wal1/ wal2/   # where wal0/g0, wal0/g1, wal1/g0, ... exist
+//
 // A torn tail (crash between a batch's write and its completion) at the end
 // of a log — the final segment of a directory, or a single file — ends that
 // log's replay silently: that is the format working as designed. A checksum
@@ -35,6 +45,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
 
 	"repro/internal/checkpoint"
 	"repro/internal/message"
@@ -43,104 +56,178 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	verbose := flag.Bool("v", false, "print per-key version chains")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: walcheck [-v] site0.wal [site1.wal ...]")
+		os.Exit(1)
+	}
+	if err := runPaths(flag.Args(), *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "walcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	verbose := flag.Bool("v", false, "print per-key version chains")
-	flag.Parse()
-	if flag.NArg() < 1 {
-		return fmt.Errorf("usage: walcheck [-v] site0.wal [site1.wal ...]")
-	}
-	rec := sgraph.NewRecorder()
-	corrupt := false
-	for i, path := range flag.Args() {
-		site := message.SiteID(i)
-		var floor uint64
-		var ckptNote string
-		isDir := storage.IsSegmentDir(path)
-		if isDir {
-			var ckptCorrupt bool
-			floor, ckptNote, ckptCorrupt = seedFromCheckpoint(path, site, rec)
-			corrupt = corrupt || ckptCorrupt
-		}
-		var records, writes, skipped int
-		var first, last uint64
-		scan := func(r storage.Record) error {
-			if first == 0 {
-				first = r.Index
-			}
-			if r.Index <= floor {
-				// Already covered by the checkpoint: recovery skips these
-				// too (the crash-between-rename-and-truncation window).
-				skipped++
-				return nil
-			}
-			records++
-			writes += len(r.Writes)
-			last = r.Index
-			for _, w := range r.Writes {
-				rec.RecordApply(site, w.Key, r.Txn)
-			}
-			return nil
-		}
-		var err error
-		if isDir {
-			err = storage.ReplaySegments(path, scan)
-		} else {
-			f, oerr := os.Open(path)
-			if oerr != nil {
-				return oerr
-			}
-			err = storage.Replay(f, scan)
-			f.Close()
-			if err != nil {
-				err = fmt.Errorf("%s: %w", path, err)
-			}
-		}
-		if err != nil {
-			if !errors.Is(err, storage.ErrCorrupt) {
-				return err
-			}
-			// The valid prefix was already delivered; cross-check it, warn
-			// once, and fail at exit.
-			fmt.Fprintf(os.Stderr, "walcheck: %v (checking the valid prefix)\n", err)
-			corrupt = true
-		}
-		if floor > 0 && first > floor+1 {
-			// The retained WAL does not reach back to the checkpoint: records
-			// between applied index floor and `first` are gone from both the
-			// checkpoint and the log.
-			fmt.Fprintf(os.Stderr, "walcheck: %s: gap between checkpoint (applied index %d) and first WAL record (index %d)\n",
-				path, floor, first)
-			corrupt = true
-		}
-		if skipped > 0 {
-			ckptNote += fmt.Sprintf(", %d records below the checkpoint", skipped)
-		}
-		fmt.Printf("%-24s site %v: %d commits, %d writes, last index %d%s\n", path, site, records, writes, last, ckptNote)
-	}
-	orders, err := rec.VersionOrders()
+// groupDirPat matches per-group subdirectory names as written by the
+// sharded engine (message.GroupID.String).
+var groupDirPat = regexp.MustCompile(`^g[0-9]+$`)
+
+// groupDirs returns path's per-group WAL subdirectories (sorted), or nil
+// when path is not a sharded site directory.
+func groupDirs(path string) []string {
+	entries, err := os.ReadDir(path)
 	if err != nil {
-		return fmt.Errorf("DIVERGENCE: %w", err)
+		return nil
 	}
-	fmt.Printf("\nconsistent: %d keys across %d logs\n", len(orders), flag.NArg())
-	if *verbose {
-		for key, chain := range orders {
-			fmt.Printf("  %-20s", key)
-			for _, w := range chain {
-				fmt.Printf(" %v", w)
-			}
-			fmt.Println()
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && groupDirPat.MatchString(e.Name()) {
+			out = append(out, e.Name())
 		}
 	}
+	sort.Strings(out)
+	return out
+}
+
+func runPaths(paths []string, verbose bool) error {
+	// One recorder per replication group ("" = unsharded logs): version
+	// chains are comparable only within a group.
+	recs := map[string]*sgraph.Recorder{}
+	recFor := func(group string) *sgraph.Recorder {
+		r := recs[group]
+		if r == nil {
+			r = sgraph.NewRecorder()
+			recs[group] = r
+		}
+		return r
+	}
+	corrupt := false
+	logs := 0
+	for i, path := range paths {
+		site := message.SiteID(i)
+		if groups := groupDirs(path); len(groups) > 0 {
+			for _, g := range groups {
+				c, err := checkLog(filepath.Join(path, g), site, recFor(g))
+				if err != nil {
+					return err
+				}
+				corrupt = corrupt || c
+				logs++
+			}
+			continue
+		}
+		c, err := checkLog(path, site, recFor(""))
+		if err != nil {
+			return err
+		}
+		corrupt = corrupt || c
+		logs++
+	}
+	groups := make([]string, 0, len(recs))
+	for g := range recs {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	keyTotal := 0
+	for _, g := range groups {
+		orders, err := recs[g].VersionOrders()
+		if err != nil {
+			if g != "" {
+				return fmt.Errorf("DIVERGENCE in group %s: %w", g, err)
+			}
+			return fmt.Errorf("DIVERGENCE: %w", err)
+		}
+		keyTotal += len(orders)
+		if verbose {
+			if g != "" {
+				fmt.Printf("group %s:\n", g)
+			}
+			for key, chain := range orders {
+				fmt.Printf("  %-20s", key)
+				for _, w := range chain {
+					fmt.Printf(" %v", w)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Printf("\nconsistent: %d keys across %d logs\n", keyTotal, logs)
 	if corrupt {
 		return fmt.Errorf("corruption detected (the valid prefixes are consistent)")
 	}
 	return nil
+}
+
+// checkLog replays one site's log (single file or segmented directory,
+// with optional checkpoints) into rec and prints its summary line. It
+// returns whether corruption was found; hard errors (unreadable paths)
+// abort the audit.
+func checkLog(path string, site message.SiteID, rec *sgraph.Recorder) (bool, error) {
+	corrupt := false
+	var floor uint64
+	var ckptNote string
+	isDir := storage.IsSegmentDir(path)
+	if isDir {
+		var ckptCorrupt bool
+		floor, ckptNote, ckptCorrupt = seedFromCheckpoint(path, site, rec)
+		corrupt = corrupt || ckptCorrupt
+	}
+	var records, writes, skipped int
+	var first, last uint64
+	scan := func(r storage.Record) error {
+		if first == 0 {
+			first = r.Index
+		}
+		if r.Index <= floor {
+			// Already covered by the checkpoint: recovery skips these
+			// too (the crash-between-rename-and-truncation window).
+			skipped++
+			return nil
+		}
+		records++
+		writes += len(r.Writes)
+		last = r.Index
+		for _, w := range r.Writes {
+			rec.RecordApply(site, w.Key, r.Txn)
+		}
+		return nil
+	}
+	var err error
+	if isDir {
+		err = storage.ReplaySegments(path, scan)
+	} else {
+		f, oerr := os.Open(path)
+		if oerr != nil {
+			return corrupt, oerr
+		}
+		err = storage.Replay(f, scan)
+		f.Close()
+		if err != nil {
+			err = fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	if err != nil {
+		if !errors.Is(err, storage.ErrCorrupt) {
+			return corrupt, err
+		}
+		// The valid prefix was already delivered; cross-check it, warn
+		// once, and fail at exit.
+		fmt.Fprintf(os.Stderr, "walcheck: %v (checking the valid prefix)\n", err)
+		corrupt = true
+	}
+	if floor > 0 && first > floor+1 {
+		// The retained WAL does not reach back to the checkpoint: records
+		// between applied index floor and `first` are gone from both the
+		// checkpoint and the log.
+		fmt.Fprintf(os.Stderr, "walcheck: %s: gap between checkpoint (applied index %d) and first WAL record (index %d)\n",
+			path, floor, first)
+		corrupt = true
+	}
+	if skipped > 0 {
+		ckptNote += fmt.Sprintf(", %d records below the checkpoint", skipped)
+	}
+	fmt.Printf("%-24s site %v: %d commits, %d writes, last index %d%s\n", path, site, records, writes, last, ckptNote)
+	return corrupt, nil
 }
 
 // seedFromCheckpoint audits the checkpoint files beside a segmented WAL:

@@ -1,0 +1,45 @@
+package broadcast
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/message"
+)
+
+// GroupRuntime scopes an env.Runtime to one replication group: Peers
+// reports the group's member sites and every Send travels wrapped in a
+// message.GroupMsg envelope carrying the group identifier. A per-group
+// broadcast Stack built on this runtime orders traffic among the group's
+// replicas only — the rest of the stack machinery (sequencer election as
+// lowest member, history retransmission, sync export/import) works
+// unchanged because it only ever talks to the runtime.
+//
+// members is called on every use so a future dynamic-membership ring can
+// swap the group's replica set without rebuilding the stack.
+func GroupRuntime(rt env.Runtime, group message.GroupID, members func() []message.SiteID) env.Runtime {
+	return &groupRT{rt: rt, group: group, members: members}
+}
+
+type groupRT struct {
+	rt      env.Runtime
+	group   message.GroupID
+	members func() []message.SiteID
+}
+
+func (g *groupRT) ID() message.SiteID      { return g.rt.ID() }
+func (g *groupRT) Peers() []message.SiteID { return g.members() }
+
+func (g *groupRT) Send(to message.SiteID, m message.Message) {
+	g.rt.Send(to, &message.GroupMsg{Group: g.group, Inner: m})
+}
+
+func (g *groupRT) SetTimer(d time.Duration, fn func()) env.TimerID { return g.rt.SetTimer(d, fn) }
+func (g *groupRT) CancelTimer(id env.TimerID)                      { g.rt.CancelTimer(id) }
+func (g *groupRT) Now() time.Duration                              { return g.rt.Now() }
+func (g *groupRT) Rand() *rand.Rand                                { return g.rt.Rand() }
+
+func (g *groupRT) Logf(format string, args ...any) {
+	g.rt.Logf("[%v] "+format, append([]any{g.group}, args...)...)
+}

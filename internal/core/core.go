@@ -40,6 +40,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/sgraph"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
@@ -219,6 +220,26 @@ type Config struct {
 	// detector pace (0 keeps the 200ms default). Rejoin experiments tighten
 	// it so catch-up latency is small against their arrival windows.
 	GapProbeInterval time.Duration
+	// Shard enables partial replication (protocol A only): the keyspace is
+	// split across replication groups by the consistent-hash ring built
+	// from this config, each group running its own broadcast/ordering
+	// instance over its member sites. Nil keeps the default fully
+	// replicated engines; the sharded engine is selected when set.
+	Shard *shard.Config
+	// GroupWAL supplies the per-group write-ahead log under partial
+	// replication (each group's commits log and checkpoint independently).
+	// Nil runs all groups without durability. Config.WAL is ignored by the
+	// sharded engine.
+	GroupWAL func(message.GroupID) *storage.WAL
+	// GroupCheckpoint supplies the per-group checkpoint policy under
+	// partial replication (zero policy disables that group's checkpointer).
+	GroupCheckpoint func(message.GroupID) checkpoint.Policy
+	// GroupInitialStore and GroupInitialStack seed a restarted sharded
+	// engine's per-group state from recovered checkpoints, the per-group
+	// analogues of InitialStore/InitialStack. A nil func (or nil return for
+	// a group) starts that group empty.
+	GroupInitialStore func(message.GroupID) *storage.Store
+	GroupInitialStack func(message.GroupID) *message.StackSync
 }
 
 // Local aliases keep the engines' lock-table calls compact.
@@ -275,6 +296,11 @@ type Tx struct {
 	// Protocol A.
 	snapshot uint64
 	readVers []message.KeyVer
+
+	// Sharded engine: per-group read snapshots (group-local certification
+	// indices captured at Begin) and per-group certified read sets.
+	gsnap  map[message.GroupID]uint64
+	greads map[message.GroupID][]message.KeyVer
 }
 
 // Done reports whether the transaction has finished.

@@ -56,6 +56,12 @@ func newTestClusterWith(t *testing.T, n int, proto string, cfg Config, seed int6
 			e = NewBaseline(rt, siteCfg)
 		case "quorum":
 			e = NewQuorum(rt, siteCfg)
+		case "sharded":
+			se, err := NewSharded(rt, siteCfg)
+			if err != nil {
+				t.Fatalf("NewSharded: %v", err)
+			}
+			e = se
 		default:
 			t.Fatalf("unknown protocol %q", proto)
 		}

@@ -1,0 +1,956 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/checkpoint"
+	"repro/internal/commitpipe"
+	"repro/internal/env"
+	"repro/internal/message"
+	"repro/internal/sgraph"
+	"repro/internal/shard"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// ErrNotReplicated is returned for a read of a key whose replication group
+// this site does not replicate. Reads are served from local replicas only;
+// route the transaction to a member of the key's group instead.
+var ErrNotReplicated = errors.New("core: key's replication group not replicated at this site")
+
+// ShardedEngine is protocol A lifted to partial replication (after Sutra &
+// Shapiro): the keyspace is split across replication groups by a
+// deterministic consistent-hash ring, and each group runs its own atomic
+// broadcast/ordering instance, store, WAL, and checkpointer over just its
+// member sites. Traffic of group g travels wrapped in message.GroupMsg
+// envelopes so one site hosts several independent stacks.
+//
+// A transaction whose footprint stays inside one group commits exactly
+// like the fully replicated engine, scoped to that group: one atomic
+// broadcast of the certification request, deterministic certification at
+// the group-local total-order index, zero acknowledgements. A home site
+// outside the group forwards the request to the group's leader (lowest
+// member), which broadcasts on its behalf and reports the outcome back.
+//
+// A transaction touching several groups runs the certification logic as a
+// vote-collection round: the coordinator (home site) sends each touched
+// group its sub-writeset in a ShardPrepare, every group orders and
+// certifies it locally — blocking the prepare's footprint against
+// concurrent writers until the outcome — and unicasts its deterministic
+// verdict to the coordinator, which commits iff every group voted yes and
+// closes the round with a ShardDecision broadcast per group. Conflicts
+// abort (never wait), and the per-group total order is the deterministic
+// tie-break: of two overlapping prepares the one ordered first wins.
+//
+// Writes are always piggybacked on the certification request (there is no
+// causal write dissemination under sharding) and certification checks read
+// base versions only: writes are blind and serialize by their install
+// index. Membership views are not yet integrated with the ring — the
+// sharded engine runs with static membership, relying on per-group gap
+// repair and state transfer for catch-up after a restart.
+type ShardedEngine struct {
+	*base
+	ring       *shard.Ring
+	groups     map[message.GroupID]*shardGroup
+	homeGroups []message.GroupID // groups replicated here, ascending
+	coord      map[message.TxnID]*coordState
+}
+
+// shardGroup is one replication group's slice of the engine: its ordering
+// stack, store, commit pipeline, checkpointer, and certification state.
+type shardGroup struct {
+	id  message.GroupID
+	eng *ShardedEngine
+
+	stack *broadcast.Stack
+	store *storage.Store
+	pipe  *commitpipe.Pipeline
+	ckpt  *checkpoint.Checkpointer
+
+	certIndex  uint64
+	lastCommit map[message.Key]uint64
+	// blocked holds the footprints of certified-but-undecided cross-shard
+	// prepares: a concurrent writer touching a blocked key fails
+	// certification (abort-if-any-conflict; the prepare ordered first wins).
+	blocked  map[message.Key]message.TxnID
+	prepared map[message.TxnID]*preparedSub
+
+	// Gap repair (per group, mirroring the atomic engine's probe).
+	lastGap uint64
+
+	// Chunked state-transfer reassembly, as in the atomic engine but scoped
+	// to this group.
+	chunkFrom    message.SiteID
+	chunkApplied uint64
+	chunkSince   uint64
+	chunkBuf     map[int]*message.SnapshotChunk
+	chunkLast    int
+}
+
+// preparedSub is one cross-shard transaction certified at its prepare
+// index, awaiting the coordinator's decision.
+type preparedSub struct {
+	idx    uint64
+	vote   bool
+	keys   []message.Key
+	writes []message.KV
+}
+
+// coordState tracks one cross-shard transaction this site coordinates.
+type coordState struct {
+	groups         []message.GroupID        // touched groups, ascending
+	votes          map[message.GroupID]bool // first verdict per group
+	decided        bool
+	outcome        bool
+	localRemaining int // local groups whose decision has not landed yet
+}
+
+var _ Engine = (*ShardedEngine)(nil)
+
+// NewSharded creates a partially replicated protocol A engine on rt.
+func NewSharded(rt env.Runtime, cfg Config) (*ShardedEngine, error) {
+	if cfg.Shard == nil {
+		return nil, errors.New("core: NewSharded requires Config.Shard")
+	}
+	ring, err := shard.NewRing(*cfg.Shard, len(rt.Peers()))
+	if err != nil {
+		return nil, err
+	}
+	e := &ShardedEngine{
+		base:   newBase(rt, cfg, "sharded"),
+		ring:   ring,
+		groups: make(map[message.GroupID]*shardGroup),
+		coord:  make(map[message.TxnID]*coordState),
+	}
+	e.homeGroups = ring.SiteGroups(rt.ID())
+	for _, gid := range e.homeGroups {
+		e.groups[gid] = newShardGroup(e, gid, cfg)
+	}
+	return e, nil
+}
+
+func newShardGroup(e *ShardedEngine, gid message.GroupID, cfg Config) *shardGroup {
+	var st *storage.Store
+	if cfg.GroupInitialStore != nil {
+		st = cfg.GroupInitialStore(gid)
+	}
+	if st == nil {
+		var w *storage.WAL
+		if cfg.GroupWAL != nil {
+			w = cfg.GroupWAL(gid)
+		}
+		st = storage.New(w)
+	}
+	if cfg.MaxVersions != 0 {
+		st.MaxVersions = cfg.MaxVersions
+	}
+	g := &shardGroup{
+		id:         gid,
+		eng:        e,
+		store:      st,
+		lastCommit: make(map[message.Key]uint64),
+		blocked:    make(map[message.Key]message.TxnID),
+		prepared:   make(map[message.TxnID]*preparedSub),
+		chunkLast:  -1,
+	}
+	g.pipe = commitpipe.New(commitpipe.Config{
+		Site:     e.rt.ID(),
+		Store:    st,
+		Policy:   cfg.GroupCommit,
+		SetTimer: func(d time.Duration, fn func()) { e.rt.SetTimer(d, fn) },
+		Now:      e.rt.Now,
+		Recorder: cfg.Recorder,
+		Tracer:   cfg.Tracer,
+		OnApply:  func(message.TxnID) { e.stats.Applied++ },
+		Logf:     e.rt.Logf,
+	})
+	grt := broadcast.GroupRuntime(e.rt, gid, func() []message.SiteID { return e.ring.Members(gid) })
+	g.stack = broadcast.New(grt, broadcast.Config{
+		Deliver:          g.deliver,
+		Atomic:           cfg.AtomicMode,
+		Tracer:           cfg.Tracer,
+		BatchWindow:      cfg.AtomicBatchWindow,
+		BatchMaxMsgs:     cfg.AtomicBatchMsgs,
+		BatchMaxBytes:    cfg.AtomicBatchBytes,
+		HistoryRetention: cfg.HistoryRetention,
+	})
+	if g.certIndex = st.Applied(); g.certIndex > 0 {
+		// Resume from recovered state: seed the committed-version table and
+		// skip the ordered stream past what the checkpoint already covers.
+		for _, entry := range st.Snapshot() {
+			if n := len(entry.Versions); n > 0 {
+				g.lastCommit[entry.Key] = entry.Versions[n-1].Index
+			}
+		}
+		g.stack.SkipTo(g.certIndex + 1)
+	}
+	if cfg.GroupInitialStack != nil {
+		if ss := cfg.GroupInitialStack(gid); ss != nil {
+			g.stack.ImportSync(ss)
+		}
+	}
+	g.initCheckpoint(cfg)
+	return g
+}
+
+// initCheckpoint wires this group's background checkpointer.
+func (g *shardGroup) initCheckpoint(cfg Config) {
+	if cfg.GroupCheckpoint == nil {
+		return
+	}
+	pol := cfg.GroupCheckpoint(g.id)
+	if !pol.Enabled() {
+		return
+	}
+	e := g.eng
+	src := checkpoint.Source{
+		Capture: func() *checkpoint.Checkpoint {
+			return &checkpoint.Checkpoint{
+				Applied: g.store.Applied(),
+				Entries: g.store.Snapshot(),
+				Stack:   g.stack.ExportSync(),
+			}
+		},
+		Barrier: g.pipe.Barrier,
+		Observe: func(start time.Duration, bytes int64, applied uint64, truncated int) {
+			e.stats.CheckpointLatency.Observe(e.rt.Now() - start)
+			e.tr.Interval(message.TxnID{}, trace.KindCheckpoint, start, applied, e.rt.ID(), bytes)
+		},
+	}
+	if w := g.store.WAL(); w != nil {
+		src.WALBytes = w.AppendedBytes
+	}
+	g.ckpt = checkpoint.NewCheckpointer(pol, src, checkpoint.Runtime{
+		SetTimer: func(d time.Duration, fn func()) { e.rt.SetTimer(d, fn) },
+		Now:      e.rt.Now,
+		Logf:     e.rt.Logf,
+	})
+}
+
+// Start implements env.Node.
+func (e *ShardedEngine) Start() {
+	for _, gid := range e.homeGroups {
+		e.groups[gid].ckpt.Start()
+	}
+	if len(e.homeGroups) > 0 {
+		e.rt.SetTimer(e.probeInterval(), e.gapProbe)
+	}
+}
+
+func (e *ShardedEngine) probeInterval() time.Duration {
+	if e.cfg.GapProbeInterval > 0 {
+		return e.cfg.GapProbeInterval
+	}
+	return gapProbeInterval
+}
+
+// gapProbe requests per-group retransmission when the same group-local gap
+// persists across two probes (a young gap is usually in-flight traffic).
+func (e *ShardedEngine) gapProbe() {
+	defer e.rt.SetTimer(e.probeInterval(), e.gapProbe)
+	for _, gid := range e.homeGroups {
+		g := e.groups[gid]
+		idx, ok := g.stack.Gap()
+		if !ok {
+			g.lastGap = 0
+			continue
+		}
+		if idx != g.lastGap {
+			g.lastGap = idx
+			continue
+		}
+		donor := g.donor()
+		if donor == e.rt.ID() {
+			continue
+		}
+		g.send(donor, &message.RetransmitReq{From: e.rt.ID(), FromIndex: idx, Applied: g.certIndex})
+	}
+}
+
+// donor picks the peer to repair from: the lowest other group member.
+func (g *shardGroup) donor() message.SiteID {
+	for _, m := range g.eng.ring.Members(g.id) {
+		if m != g.eng.rt.ID() {
+			return m
+		}
+	}
+	return g.eng.rt.ID()
+}
+
+// send unicasts a group-scoped message wrapped in the group envelope.
+func (g *shardGroup) send(to message.SiteID, m message.Message) {
+	g.eng.rt.Send(to, &message.GroupMsg{Group: g.id, Inner: m})
+}
+
+// Receive implements env.Node.
+func (e *ShardedEngine) Receive(from message.SiteID, m message.Message) {
+	switch t := m.(type) {
+	case *message.GroupMsg:
+		g := e.groups[t.Group]
+		if g == nil {
+			e.rt.Logf("sharded: %v traffic for unreplicated group %v from %v", t.Inner.Kind(), t.Group, from)
+			return
+		}
+		g.receive(from, t.Inner)
+	case *message.ShardForward:
+		e.onForward(from, t)
+	case *message.ShardVote:
+		e.onVote(t)
+	case *message.ShardOutcome:
+		e.onOutcome(t)
+	case *message.Heartbeat:
+		// Liveness only.
+	default:
+		e.rt.Logf("sharded: unexpected %v from %v", m.Kind(), from)
+	}
+}
+
+// receive routes one group-scoped message to the group's stack or its
+// state-transfer side channel.
+func (g *shardGroup) receive(from message.SiteID, m message.Message) {
+	if broadcast.Handles(m) {
+		g.stack.Handle(from, m)
+		return
+	}
+	switch t := m.(type) {
+	case *message.StateRequest:
+		g.sendSnapshot(t.From, t.HaveIndex)
+	case *message.SnapshotChunk:
+		g.onSnapshotChunk(t)
+	case *message.RetransmitReq:
+		g.onRetransmitReq(t)
+	case *message.SyncState:
+		g.stack.ImportSync(t.Stack)
+	default:
+		g.eng.rt.Logf("sharded: unexpected group %v payload %v from %v", g.id, m.Kind(), from)
+	}
+}
+
+// Begin implements Engine: the transaction reads each local group at its
+// current group-local certification index.
+func (e *ShardedEngine) Begin(readOnly bool) *Tx {
+	tx := e.begin(readOnly)
+	tx.gsnap = make(map[message.GroupID]uint64, len(e.homeGroups))
+	for _, gid := range e.homeGroups {
+		tx.gsnap[gid] = e.groups[gid].certIndex
+	}
+	return tx
+}
+
+// Read implements Engine: a snapshot read against the key's group-local
+// replica. Keys of groups this site does not replicate cannot be read here.
+func (e *ShardedEngine) Read(tx *Tx, key message.Key, cb func(message.Value, error)) {
+	if err := e.readPrecheck(tx); err != nil {
+		cb(nil, err)
+		return
+	}
+	gid := e.ring.GroupOf(key)
+	g := e.groups[gid]
+	if g == nil {
+		cb(nil, fmt.Errorf("%w: %q in %v", ErrNotReplicated, key, gid))
+		return
+	}
+	rec, ok, err := g.store.GetAt(key, tx.gsnap[gid])
+	if err != nil {
+		cb(nil, err)
+		return
+	}
+	var from message.TxnID
+	var val message.Value
+	ver := uint64(0)
+	if ok {
+		from, val, ver = rec.Writer, rec.Value, rec.Index
+	}
+	tx.reads = append(tx.reads, sgraph.ReadObs{Key: key, From: from})
+	if tx.greads == nil {
+		tx.greads = make(map[message.GroupID][]message.KeyVer)
+	}
+	tx.greads[gid] = append(tx.greads[gid], message.KeyVer{Key: key, Ver: ver})
+	cb(val, nil)
+}
+
+// Write implements Engine: writes buffer locally and travel piggybacked on
+// the certification round at commit.
+func (e *ShardedEngine) Write(tx *Tx, key message.Key, val message.Value) error {
+	return e.bufferWrite(tx, key, val)
+}
+
+// Commit implements Engine: a single-group footprint is one atomic
+// broadcast within the group; a multi-group footprint opens the
+// vote-collection round.
+func (e *ShardedEngine) Commit(tx *Tx, cb func(Outcome, AbortReason)) {
+	if tx.state == txDone {
+		cb(tx.outcome, tx.reason)
+		return
+	}
+	tx.commitCB = cb
+	if tx.state == txCommitWait {
+		return
+	}
+	if !tx.wrote {
+		// Read-only: snapshot reads within each group need no round.
+		e.finish(tx, Committed, ReasonNone)
+		return
+	}
+	tx.state = txCommitWait
+	tx.commitAt = e.rt.Now()
+	writes := dedupWrites(tx.writes)
+	wByGroup := make(map[message.GroupID][]message.KV)
+	for _, w := range writes {
+		gid := e.ring.GroupOf(w.Key)
+		wByGroup[gid] = append(wByGroup[gid], w)
+	}
+	touched := touchedGroups(wByGroup, tx.greads)
+	e.tr.Point(tx.ID, trace.KindCommitReq, 0, e.rt.ID(), int64(len(touched)))
+	if len(touched) == 1 {
+		gid := touched[0]
+		kvs := wByGroup[gid]
+		req := &message.CommitReq{
+			Txn:     tx.ID,
+			Reads:   tx.greads[gid],
+			NWrites: len(kvs),
+			WriteKV: kvs,
+		}
+		e.sendToGroup(gid, req)
+		return
+	}
+	cs := &coordState{groups: touched, votes: make(map[message.GroupID]bool, len(touched))}
+	e.coord[tx.ID] = cs
+	e.tr.Point(tx.ID, trace.KindShardCoord, groupMask(touched), e.rt.ID(), int64(len(touched)))
+	for _, gid := range touched {
+		e.sendToGroup(gid, &message.ShardPrepare{
+			Txn:     tx.ID,
+			Group:   gid,
+			Coord:   e.rt.ID(),
+			Groups:  touched,
+			Reads:   tx.greads[gid],
+			WriteKV: wByGroup[gid],
+		})
+	}
+}
+
+// touchedGroups returns the ascending union of the write and read groups.
+func touchedGroups(writes map[message.GroupID][]message.KV, reads map[message.GroupID][]message.KeyVer) []message.GroupID {
+	seen := make(map[message.GroupID]bool, len(writes)+len(reads))
+	var out []message.GroupID
+	for gid := range writes {
+		if !seen[gid] {
+			seen[gid] = true
+			out = append(out, gid)
+		}
+	}
+	for gid := range reads {
+		if !seen[gid] {
+			seen[gid] = true
+			out = append(out, gid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// groupMask packs a touched-group set into a span Seq bitmask (groups are
+// capped far below 64 by the site count).
+func groupMask(groups []message.GroupID) uint64 {
+	var m uint64
+	for _, g := range groups {
+		if g < 64 {
+			m |= 1 << uint(g)
+		}
+	}
+	return m
+}
+
+// sendToGroup atomically broadcasts payload within group gid: directly on
+// the local stack when this site is a member, otherwise routed through the
+// group's leader.
+func (e *ShardedEngine) sendToGroup(gid message.GroupID, payload message.Message) {
+	if g := e.groups[gid]; g != nil {
+		g.stack.Broadcast(message.ClassAtomic, payload)
+		return
+	}
+	e.rt.Send(e.ring.Leader(gid), &message.ShardForward{Group: gid, Req: payload})
+}
+
+// onForward broadcasts a routed payload within the group on behalf of a
+// non-member origin.
+func (e *ShardedEngine) onForward(from message.SiteID, f *message.ShardForward) {
+	g := e.groups[f.Group]
+	if g == nil {
+		e.rt.Logf("sharded: forward for unreplicated group %v from %v", f.Group, from)
+		return
+	}
+	g.stack.Broadcast(message.ClassAtomic, f.Req)
+}
+
+// Abort implements Engine: writes are buffered only, so nothing remote
+// exists yet.
+func (e *ShardedEngine) Abort(tx *Tx) {
+	if tx.state != txActive {
+		return
+	}
+	e.finish(tx, Aborted, ReasonClient)
+}
+
+// deliver handles this group's ordered stream.
+func (g *shardGroup) deliver(d broadcast.Delivery) {
+	switch p := d.Payload.(type) {
+	case *message.CommitReq:
+		g.onOrderedCommit(d.Index, p)
+	case *message.ShardPrepare:
+		g.onOrderedPrepare(d.Index, p)
+	case *message.ShardDecision:
+		g.onOrderedDecision(d.Index, p)
+	default:
+		g.eng.rt.Logf("sharded: group %v unexpected ordered payload %v", g.id, p.Kind())
+	}
+}
+
+// onOrderedCommit certifies and (on success) installs a single-group
+// transaction at its group-local order index — the fully replicated
+// engine's deterministic rule, scoped to the group.
+func (g *shardGroup) onOrderedCommit(idx uint64, req *message.CommitReq) {
+	g.certIndex = idx
+	e := g.eng
+	writes := req.WriteKV
+	g.pipe.Submit(commitpipe.Txn{
+		ID:      req.Txn,
+		Entries: []commitpipe.Entry{{Writes: writes, Index: idx}},
+		Certify: func() bool {
+			ok := g.certify(req.Reads, writes)
+			e.tr.Point(req.Txn, trace.KindShardCert, idx, message.SiteID(g.id), boolExtra(ok))
+			return ok
+		},
+		Certified: func() {
+			for _, w := range writes {
+				g.lastCommit[w.Key] = idx
+			}
+		},
+		Ack: func(committed bool) { g.ackSingle(req.Txn, committed) },
+	})
+}
+
+// ackSingle resolves a single-group commit once it is durable: finish the
+// local transaction, or — when the origin is not a group member — have the
+// leader (deterministically one site) report the outcome back.
+func (g *shardGroup) ackSingle(txn message.TxnID, committed bool) {
+	e := g.eng
+	if tx := e.base.local[txn]; tx != nil {
+		if committed {
+			e.finish(tx, Committed, ReasonNone)
+		} else {
+			e.finish(tx, Aborted, ReasonCertification)
+		}
+		return
+	}
+	if !e.ring.Replicates(g.id, txn.Site) && e.ring.Leader(g.id) == e.rt.ID() {
+		e.rt.Send(txn.Site, &message.ShardOutcome{Txn: txn, Commit: committed})
+	}
+}
+
+// onOrderedPrepare certifies one cross-shard sub-writeset at its prepare
+// index, blocks its footprint until the decision, and votes.
+func (g *shardGroup) onOrderedPrepare(idx uint64, p *message.ShardPrepare) {
+	g.certIndex = idx
+	e := g.eng
+	vote := g.certify(p.Reads, p.WriteKV)
+	e.tr.Point(p.Txn, trace.KindShardCert, idx, message.SiteID(g.id), boolExtra(vote))
+	sub := &preparedSub{idx: idx, vote: vote, writes: p.WriteKV}
+	seen := make(map[message.Key]bool, len(p.Reads)+len(p.WriteKV))
+	for _, r := range p.Reads {
+		if !seen[r.Key] {
+			seen[r.Key] = true
+			sub.keys = append(sub.keys, r.Key)
+		}
+	}
+	for _, w := range p.WriteKV {
+		if !seen[w.Key] {
+			seen[w.Key] = true
+			sub.keys = append(sub.keys, w.Key)
+		}
+	}
+	if vote {
+		for _, k := range sub.keys {
+			g.blocked[k] = p.Txn
+		}
+	}
+	g.prepared[p.Txn] = sub
+	// Every member votes (self included, through the normal send path so
+	// processing is never re-entrant); verdicts are deterministic, so the
+	// coordinator counts the first per group.
+	g.eng.rt.Send(p.Coord, &message.ShardVote{Txn: p.Txn, Group: g.id, By: e.rt.ID(), Yes: vote})
+}
+
+// onOrderedDecision closes a cross-shard round in this group at the
+// decision's own order index: unblock the footprint, and install the
+// writes there on commit.
+func (g *shardGroup) onOrderedDecision(idx uint64, d *message.ShardDecision) {
+	g.certIndex = idx
+	e := g.eng
+	sub := g.prepared[d.Txn]
+	delete(g.prepared, d.Txn)
+	if sub != nil && sub.vote {
+		for _, k := range sub.keys {
+			if g.blocked[k] == d.Txn {
+				delete(g.blocked, k)
+			}
+		}
+	}
+	e.tr.Point(d.Txn, trace.KindShardDecide, idx, message.SiteID(g.id), boolExtra(d.Commit))
+	if !d.Commit || sub == nil {
+		if sub == nil && d.Commit {
+			e.rt.Logf("sharded: group %v commit decision for unknown prepare %v", g.id, d.Txn)
+		}
+		e.onGroupDecided(d.Txn, false)
+		return
+	}
+	writes := sub.writes
+	g.pipe.Submit(commitpipe.Txn{
+		ID:      d.Txn,
+		Entries: []commitpipe.Entry{{Writes: writes, Index: idx}},
+		Certified: func() {
+			for _, w := range writes {
+				g.lastCommit[w.Key] = idx
+			}
+		},
+		Ack: func(committed bool) { e.onGroupDecided(d.Txn, committed) },
+	})
+}
+
+// certify is the sharded deterministic rule: every read base version must
+// still be the key's latest committed version in this group, and no write
+// may touch a key blocked by an undecided cross-shard prepare. Writes are
+// blind — write-write conflicts serialize by install index.
+func (g *shardGroup) certify(reads []message.KeyVer, writes []message.KV) bool {
+	for _, kv := range reads {
+		if g.lastCommit[kv.Key] > kv.Ver {
+			return false
+		}
+	}
+	for _, w := range writes {
+		if _, held := g.blocked[w.Key]; held {
+			return false
+		}
+	}
+	return true
+}
+
+// onGroupDecided runs after this site processed one touched group's
+// decision; the coordinator finishes its transaction once every local
+// touched group has.
+func (e *ShardedEngine) onGroupDecided(txn message.TxnID, _ bool) {
+	cs := e.coord[txn]
+	if cs == nil || !cs.decided {
+		return
+	}
+	cs.localRemaining--
+	if cs.localRemaining > 0 {
+		return
+	}
+	delete(e.coord, txn)
+	e.finishCoord(txn, cs.outcome)
+}
+
+func (e *ShardedEngine) finishCoord(txn message.TxnID, commit bool) {
+	tx := e.base.local[txn]
+	if tx == nil {
+		return
+	}
+	if commit {
+		e.finish(tx, Committed, ReasonNone)
+	} else {
+		e.finish(tx, Aborted, ReasonCertification)
+	}
+}
+
+// onVote tallies one group's verdict at the coordinator. Verdicts are
+// deterministic across a group's replicas, so the first per group decides
+// its entry; once every touched group has reported, the round closes with
+// a per-group decision broadcast: commit iff all voted yes.
+func (e *ShardedEngine) onVote(v *message.ShardVote) {
+	cs := e.coord[v.Txn]
+	if cs == nil || cs.decided {
+		return
+	}
+	if _, have := cs.votes[v.Group]; !have {
+		cs.votes[v.Group] = v.Yes
+	}
+	if len(cs.votes) < len(cs.groups) {
+		return
+	}
+	commit := true
+	for _, gid := range cs.groups {
+		if !cs.votes[gid] {
+			commit = false
+		}
+	}
+	cs.decided = true
+	cs.outcome = commit
+	for _, gid := range cs.groups {
+		if e.groups[gid] != nil {
+			cs.localRemaining++
+		}
+	}
+	for _, gid := range cs.groups {
+		e.sendToGroup(gid, &message.ShardDecision{Txn: v.Txn, Group: gid, Commit: commit})
+	}
+	if cs.localRemaining == 0 {
+		// Coordinator replicates none of the touched groups: the outcome is
+		// decided; durability rides the groups themselves.
+		delete(e.coord, v.Txn)
+		e.finishCoord(v.Txn, commit)
+	}
+}
+
+// onOutcome resolves a single-group commit routed through a group this
+// site does not replicate.
+func (e *ShardedEngine) onOutcome(o *message.ShardOutcome) {
+	if tx := e.base.local[o.Txn]; tx != nil && tx.state == txCommitWait {
+		if o.Commit {
+			e.finish(tx, Committed, ReasonNone)
+		} else {
+			e.finish(tx, Aborted, ReasonCertification)
+		}
+	}
+}
+
+// --- Per-group state transfer (the atomic engine's machinery scoped to
+// one group; writes are always piggybacked under sharding, so there is no
+// pending-write dissemination to carry — but certified-undecided prepares
+// travel with the final chunk).
+
+// onRetransmitReq resends retained ordered broadcasts of this group, or
+// falls back to a state transfer below the retention window.
+func (g *shardGroup) onRetransmitReq(req *message.RetransmitReq) {
+	if n := g.stack.Retransmit(req.From, req.FromIndex); n == 0 {
+		g.sendSnapshot(req.From, req.Applied)
+		return
+	}
+	g.send(req.From, &message.SyncState{From: g.eng.rt.ID(), Stack: g.stack.ExportSync()})
+}
+
+// sendSnapshot streams this group's state to a catching-up member in
+// bounded chunks; since is the requester's applied index (0 = full state).
+func (g *shardGroup) sendSnapshot(to message.SiteID, since uint64) {
+	e := g.eng
+	if since > g.certIndex {
+		since = 0
+	}
+	var entries []message.SnapshotEntry
+	if since > 0 {
+		entries = g.store.Delta(since)
+	} else {
+		entries = g.store.Snapshot()
+	}
+	var chunks []*message.SnapshotChunk
+	cur := &message.SnapshotChunk{From: e.rt.ID(), Applied: g.certIndex, Since: since}
+	size := 0
+	for _, ent := range entries {
+		esz := len(ent.Key)
+		for _, v := range ent.Versions {
+			esz += 20 + len(v.Value)
+		}
+		if size > 0 && size+esz > snapshotChunkBytes {
+			chunks = append(chunks, cur)
+			cur = &message.SnapshotChunk{From: e.rt.ID(), Applied: g.certIndex, Since: since}
+			size = 0
+		}
+		cur.Entries = append(cur.Entries, ent)
+		size += esz
+	}
+	chunks = append(chunks, cur)
+	last := chunks[len(chunks)-1]
+	last.Last = true
+	last.Stack = g.stack.ExportSync()
+	last.Prepared = g.exportPrepared()
+	for i, c := range chunks {
+		c.Seq = i
+		e.stats.StateChunksSent++
+		e.stats.StateBytesSent += int64(message.EstimateSize(c))
+		e.stats.StateEntriesSent += int64(len(c.Entries))
+		g.send(to, c)
+	}
+	e.rt.Logf("sharded: group %v sent state transfer to %v: %d entries in %d chunks (applied %d, since %d)",
+		g.id, to, len(entries), len(chunks), g.certIndex, since)
+}
+
+// exportPrepared snapshots the certified-undecided prepare set, sorted by
+// prepare index so the export is deterministic.
+func (g *shardGroup) exportPrepared() []message.PreparedShard {
+	out := make([]message.PreparedShard, 0, len(g.prepared))
+	for id, sub := range g.prepared {
+		out = append(out, message.PreparedShard{
+			Txn: id, Index: sub.idx, Vote: sub.vote, Keys: sub.keys, Writes: sub.writes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Index != out[j].Index {
+			return out[i].Index < out[j].Index
+		}
+		return out[i].Txn.Less(out[j].Txn) // total order even on (impossible) index ties
+	})
+	return out
+}
+
+// onSnapshotChunk reassembles a chunked per-group transfer and installs it
+// once complete (see AtomicEngine.onSnapshotChunk).
+func (g *shardGroup) onSnapshotChunk(c *message.SnapshotChunk) {
+	if c.Applied <= g.certIndex {
+		return
+	}
+	if c.From != g.chunkFrom || c.Applied != g.chunkApplied || c.Since != g.chunkSince {
+		if len(g.chunkBuf) > 0 && c.Applied < g.chunkApplied {
+			return
+		}
+		g.chunkFrom, g.chunkApplied, g.chunkSince = c.From, c.Applied, c.Since
+		g.chunkBuf = make(map[int]*message.SnapshotChunk)
+		g.chunkLast = -1
+	}
+	g.chunkBuf[c.Seq] = c
+	if c.Last {
+		g.chunkLast = c.Seq
+	}
+	if g.chunkLast < 0 || len(g.chunkBuf) != g.chunkLast+1 {
+		return
+	}
+	var entries []message.SnapshotEntry
+	for i := 0; i <= g.chunkLast; i++ {
+		entries = append(entries, g.chunkBuf[i].Entries...)
+	}
+	last := g.chunkBuf[g.chunkLast]
+	g.chunkBuf = nil
+	g.chunkLast = -1
+	g.installState(entries, last.Applied, last.Since, last.Stack, last.Prepared)
+}
+
+// installState adopts a completed per-group transfer and fast-forwards the
+// group's ordered stream past it.
+func (g *shardGroup) installState(entries []message.SnapshotEntry, applied, since uint64, stack *message.StackSync, prepared []message.PreparedShard) {
+	if since > 0 {
+		g.store.MergeDelta(entries, applied)
+		for _, entry := range entries {
+			if n := len(entry.Versions); n > 0 {
+				g.lastCommit[entry.Key] = entry.Versions[n-1].Index
+			}
+		}
+	} else {
+		g.store.Restore(entries, applied)
+		g.lastCommit = make(map[message.Key]uint64, len(entries))
+		for _, entry := range entries {
+			if n := len(entry.Versions); n > 0 {
+				g.lastCommit[entry.Key] = entry.Versions[n-1].Index
+			}
+		}
+	}
+	g.certIndex = applied
+	g.blocked = make(map[message.Key]message.TxnID)
+	g.prepared = make(map[message.TxnID]*preparedSub)
+	for _, p := range prepared {
+		sub := &preparedSub{idx: p.Index, vote: p.Vote, keys: p.Keys, writes: p.Writes}
+		g.prepared[p.Txn] = sub
+		if p.Vote {
+			for _, k := range p.Keys {
+				g.blocked[k] = p.Txn
+			}
+		}
+	}
+	g.stack.ImportSync(stack)
+	g.stack.SkipTo(applied + 1)
+	g.lastGap = 0
+	g.eng.rt.Logf("sharded: group %v resynchronized at index %d (%d keys, since %d, %d prepared)",
+		g.id, applied, len(entries), since, len(prepared))
+}
+
+// --- Accessors.
+
+// Ring exposes the key→group mapping (routing, tests, tools).
+func (e *ShardedEngine) Ring() *shard.Ring { return e.ring }
+
+// LocalGroups returns the groups replicated at this site, ascending.
+func (e *ShardedEngine) LocalGroups() []message.GroupID { return e.homeGroups }
+
+// GroupStore returns one local group's store (nil if not replicated here).
+func (e *ShardedEngine) GroupStore(gid message.GroupID) *storage.Store {
+	if g := e.groups[gid]; g != nil {
+		return g.store
+	}
+	return nil
+}
+
+// GroupCertIndex returns one local group's last processed order index.
+func (e *ShardedEngine) GroupCertIndex(gid message.GroupID) uint64 {
+	if g := e.groups[gid]; g != nil {
+		return g.certIndex
+	}
+	return 0
+}
+
+// GroupPipeline returns one local group's commit pipeline.
+func (e *ShardedEngine) GroupPipeline(gid message.GroupID) *commitpipe.Pipeline {
+	if g := e.groups[gid]; g != nil {
+		return g.pipe
+	}
+	return nil
+}
+
+// GroupCheckpointer returns one local group's checkpointer (nil when that
+// group's policy is disabled).
+func (e *ShardedEngine) GroupCheckpointer(gid message.GroupID) *checkpoint.Checkpointer {
+	if g := e.groups[gid]; g != nil {
+		return g.ckpt
+	}
+	return nil
+}
+
+// FlushPipelines flushes every local group's commit pipeline (shutdown).
+func (e *ShardedEngine) FlushPipelines() {
+	for _, gid := range e.homeGroups {
+		e.groups[gid].pipe.Flush()
+	}
+}
+
+// Store implements Engine: the first local group's store (tools and tests
+// that assume one store; use GroupStore for a specific group).
+func (e *ShardedEngine) Store() *storage.Store {
+	if len(e.homeGroups) > 0 {
+		return e.groups[e.homeGroups[0]].store
+	}
+	return e.base.Store()
+}
+
+// Pipeline implements Engine: the first local group's pipeline.
+func (e *ShardedEngine) Pipeline() *commitpipe.Pipeline {
+	if len(e.homeGroups) > 0 {
+		return e.groups[e.homeGroups[0]].pipe
+	}
+	return e.base.Pipeline()
+}
+
+// Checkpointer implements Engine: the first local group's checkpointer.
+func (e *ShardedEngine) Checkpointer() *checkpoint.Checkpointer {
+	if len(e.homeGroups) > 0 {
+		return e.groups[e.homeGroups[0]].ckpt
+	}
+	return nil
+}
+
+// PendingCoord returns in-flight cross-shard rounds this site coordinates
+// plus certified-undecided prepares across local groups (leak oracle).
+func (e *ShardedEngine) PendingCoord() int {
+	n := len(e.coord)
+	for _, gid := range e.homeGroups {
+		n += len(e.groups[gid].prepared)
+	}
+	return n
+}
+
+func boolExtra(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

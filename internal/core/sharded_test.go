@@ -1,0 +1,533 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/message"
+	"repro/internal/netsim"
+	"repro/internal/sgraph"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// shardedCfg configures a partially replicated cluster.
+func shardedCfg(groups, rf int) Config {
+	return Config{Shard: &shard.Config{Groups: groups, RF: rf}}
+}
+
+// keyIn scans "<tag>0", "<tag>1", ... for the first key the ring maps to
+// group g.
+func keyIn(t *testing.T, ring *shard.Ring, g message.GroupID, tag string) message.Key {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := message.Key(fmt.Sprintf("%s%d", tag, i))
+		if ring.GroupOf(k) == g {
+			return k
+		}
+	}
+	t.Fatalf("no key in group %v with tag %q", g, tag)
+	return ""
+}
+
+// sharded casts one engine.
+func (tc *testCluster) sharded(i int) *ShardedEngine {
+	return tc.engines[i].(*ShardedEngine)
+}
+
+// checkGroupConvergence verifies every member of every group holds the
+// identical latest value for each key of the group's store (sharding's
+// replacement for checkInvariants' whole-cluster store sweep), plus 1SR
+// and drained cross-shard state.
+func (tc *testCluster) checkGroupConvergence() {
+	tc.t.Helper()
+	if err := tc.rec.Check(); err != nil {
+		tc.t.Fatalf("serializability: %v", err)
+	}
+	ring := tc.sharded(0).Ring()
+	for g := 0; g < ring.Groups(); g++ {
+		gid := message.GroupID(g)
+		members := ring.Members(gid)
+		ref := tc.sharded(int(members[0])).GroupStore(gid)
+		for _, ent := range ref.Snapshot() {
+			want, _ := ref.Get(ent.Key)
+			for _, m := range members[1:] {
+				st := tc.sharded(int(m)).GroupStore(gid)
+				got, _ := st.Get(ent.Key)
+				if string(got.Value) != string(want.Value) || got.Writer != want.Writer {
+					tc.t.Fatalf("group %v divergence on %q: site %v has %v=%q, site %v has %v=%q",
+						gid, ent.Key, members[0], want.Writer, want.Value, m, got.Writer, got.Value)
+				}
+			}
+		}
+	}
+	for i := range tc.engines {
+		if n := tc.sharded(i).PendingCoord(); n != 0 {
+			tc.t.Fatalf("site %d leaked %d cross-shard records", i, n)
+		}
+	}
+}
+
+// TestShardedSingleGroupCommit: each group commits independently; writes
+// replicate to the group's members only.
+func TestShardedSingleGroupCommit(t *testing.T) {
+	tc := newTestCluster(t, 4, "sharded", shardedCfg(2, 2), 7)
+	ring := tc.sharded(0).Ring()
+	// Placement: group 0 = sites {0,1}, group 1 = sites {2,3}.
+	a := keyIn(t, ring, 0, "a")
+	b := keyIn(t, ring, 1, "b")
+	ra := tc.runTxn(time.Millisecond, 0, false, nil, []message.KV{{Key: a, Value: message.Value("va")}})
+	rb := tc.runTxn(time.Millisecond, 2, false, nil, []message.KV{{Key: b, Value: message.Value("vb")}})
+	tc.run(2 * time.Second)
+	if !ra.done || ra.outcome != Committed {
+		t.Fatalf("group-0 txn: %+v", ra)
+	}
+	if !rb.done || rb.outcome != Committed {
+		t.Fatalf("group-1 txn: %+v", rb)
+	}
+	for _, site := range []int{0, 1} {
+		if v, ok := tc.sharded(site).GroupStore(0).Get(a); !ok || string(v.Value) != "va" {
+			t.Fatalf("site %d missing group-0 write: %q ok=%v", site, v.Value, ok)
+		}
+	}
+	for _, site := range []int{2, 3} {
+		if v, ok := tc.sharded(site).GroupStore(1).Get(b); !ok || string(v.Value) != "vb" {
+			t.Fatalf("site %d missing group-1 write: %q ok=%v", site, v.Value, ok)
+		}
+		// The other group's key never reached this site.
+		if tc.sharded(site).GroupStore(0) != nil {
+			t.Fatalf("site %d replicates group 0 unexpectedly", site)
+		}
+	}
+	tc.checkGroupConvergence()
+}
+
+// TestShardedForwardedCommit: a site outside the key's group commits
+// through the group leader and learns the outcome via ShardOutcome; reads
+// of unreplicated keys are refused.
+func TestShardedForwardedCommit(t *testing.T) {
+	tc := newTestCluster(t, 4, "sharded", shardedCfg(2, 2), 8)
+	ring := tc.sharded(0).Ring()
+	a := keyIn(t, ring, 0, "a")
+	// Site 3 replicates only group 1.
+	res := tc.runTxn(time.Millisecond, 3, false, nil, []message.KV{{Key: a, Value: message.Value("routed")}})
+	var readErr error
+	tc.c.Schedule(500*time.Millisecond, func() {
+		e := tc.sharded(3)
+		tx := e.Begin(true)
+		e.Read(tx, a, func(_ message.Value, err error) { readErr = err })
+		e.Abort(tx)
+	})
+	tc.run(2 * time.Second)
+	if !res.done || res.outcome != Committed {
+		t.Fatalf("forwarded txn: %+v", res)
+	}
+	for _, site := range []int{0, 1} {
+		if v, ok := tc.sharded(site).GroupStore(0).Get(a); !ok || string(v.Value) != "routed" {
+			t.Fatalf("site %d missing forwarded write: %q ok=%v", site, v.Value, ok)
+		}
+	}
+	if !errors.Is(readErr, ErrNotReplicated) {
+		t.Fatalf("read of unreplicated key: err=%v, want ErrNotReplicated", readErr)
+	}
+	tc.checkGroupConvergence()
+}
+
+// TestShardedCertificationConflict: two concurrent read-modify-writes of
+// the same key inside one group; the group's total order commits exactly
+// the first.
+func TestShardedCertificationConflict(t *testing.T) {
+	tc := newTestCluster(t, 4, "sharded", shardedCfg(2, 2), 9)
+	ring := tc.sharded(0).Ring()
+	a := keyIn(t, ring, 0, "a")
+	seed := tc.runTxn(time.Millisecond, 0, false, nil, []message.KV{{Key: a, Value: message.Value("v0")}})
+	x := tc.runTxn(time.Second, 0, false, []message.Key{a}, []message.KV{{Key: a, Value: message.Value("x")}})
+	y := tc.runTxn(time.Second, 1, false, []message.Key{a}, []message.KV{{Key: a, Value: message.Value("y")}})
+	tc.run(3 * time.Second)
+	if !seed.done || seed.outcome != Committed {
+		t.Fatalf("seed: %+v", seed)
+	}
+	if !x.done || !y.done {
+		t.Fatalf("not done: x=%v y=%v", x.done, y.done)
+	}
+	committed := 0
+	for _, r := range []*txResult{x, y} {
+		if r.outcome == Committed {
+			committed++
+		} else if r.reason != ReasonCertification {
+			t.Fatalf("abort reason %v, want certification", r.reason)
+		}
+	}
+	if committed != 1 {
+		t.Fatalf("committed %d of 2 conflicting txns, want exactly 1", committed)
+	}
+	tc.checkGroupConvergence()
+}
+
+// TestShardedCrossShardCommit: a transaction spanning both groups commits
+// atomically — its sub-writesets land in every touched group.
+func TestShardedCrossShardCommit(t *testing.T) {
+	tc := newTestCluster(t, 4, "sharded", shardedCfg(2, 2), 10)
+	ring := tc.sharded(0).Ring()
+	a := keyIn(t, ring, 0, "a")
+	b := keyIn(t, ring, 1, "b")
+	res := tc.runTxn(time.Millisecond, 0, false, nil, []message.KV{
+		{Key: a, Value: message.Value("cross-a")},
+		{Key: b, Value: message.Value("cross-b")},
+	})
+	tc.run(2 * time.Second)
+	if !res.done || res.outcome != Committed {
+		t.Fatalf("cross-shard txn: %+v", res)
+	}
+	for _, site := range []int{0, 1} {
+		if v, ok := tc.sharded(site).GroupStore(0).Get(a); !ok || string(v.Value) != "cross-a" {
+			t.Fatalf("site %d missing group-0 half: %q ok=%v", site, v.Value, ok)
+		}
+	}
+	for _, site := range []int{2, 3} {
+		if v, ok := tc.sharded(site).GroupStore(1).Get(b); !ok || string(v.Value) != "cross-b" {
+			t.Fatalf("site %d missing group-1 half: %q ok=%v", site, v.Value, ok)
+		}
+	}
+	tc.checkGroupConvergence()
+}
+
+// TestShardedCrossShardStaleReadAbortsEverywhere: a cross-shard
+// transaction whose read set went stale must abort in EVERY touched group
+// — no group may install its half (the atomicity invariant).
+func TestShardedCrossShardStaleReadAbortsEverywhere(t *testing.T) {
+	tc := newTestCluster(t, 4, "sharded", shardedCfg(2, 2), 11)
+	ring := tc.sharded(0).Ring()
+	a := keyIn(t, ring, 0, "a")
+	b := keyIn(t, ring, 1, "b")
+	seed := tc.runTxn(time.Millisecond, 0, false, nil, []message.KV{{Key: a, Value: message.Value("v0")}})
+
+	// Manual drive: read a at t=1s, commit at t=2s — after a conflicting
+	// single-group write of a at t=1.5s invalidated the read.
+	var cross struct {
+		done    bool
+		outcome Outcome
+		reason  AbortReason
+	}
+	tc.c.Schedule(time.Second, func() {
+		e := tc.sharded(0)
+		tx := e.Begin(false)
+		e.Read(tx, a, func(_ message.Value, err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+		})
+		if err := e.Write(tx, a, message.Value("stale-a")); err != nil {
+			t.Errorf("write a: %v", err)
+		}
+		if err := e.Write(tx, b, message.Value("stale-b")); err != nil {
+			t.Errorf("write b: %v", err)
+		}
+		tc.c.Schedule(time.Second, func() {
+			e.Commit(tx, func(o Outcome, r AbortReason) {
+				cross.done, cross.outcome, cross.reason = true, o, r
+			})
+		})
+	})
+	conflict := tc.runTxn(1500*time.Millisecond, 1, false, nil, []message.KV{{Key: a, Value: message.Value("v1")}})
+	tc.run(4 * time.Second)
+
+	if !seed.done || seed.outcome != Committed {
+		t.Fatalf("seed: %+v", seed)
+	}
+	if !conflict.done || conflict.outcome != Committed {
+		t.Fatalf("conflicting writer: %+v", conflict)
+	}
+	if !cross.done || cross.outcome != Aborted || cross.reason != ReasonCertification {
+		t.Fatalf("cross-shard txn: %+v, want certification abort", cross)
+	}
+	// Neither half may exist anywhere: group 0 kept the conflicting value,
+	// group 1 never saw b.
+	for _, site := range []int{0, 1} {
+		if v, _ := tc.sharded(site).GroupStore(0).Get(a); string(v.Value) != "v1" {
+			t.Fatalf("site %d group-0 %q = %q, want the conflicting writer's v1", site, a, v.Value)
+		}
+	}
+	for _, site := range []int{2, 3} {
+		if _, ok := tc.sharded(site).GroupStore(1).Get(b); ok {
+			t.Fatalf("site %d installed the aborted transaction's group-1 half", site)
+		}
+	}
+	tc.checkGroupConvergence()
+}
+
+// TestShardedOverlappingGroups: RF*Groups > n makes groups share sites; a
+// site in both groups hosts two stacks and commits cross-shard
+// transactions entirely locally.
+func TestShardedOverlappingGroups(t *testing.T) {
+	tc := newTestCluster(t, 4, "sharded", shardedCfg(2, 3), 12)
+	ring := tc.sharded(0).Ring()
+	// Placement: group 0 = {0,1,2}, group 1 = {0,2,3}; sites 0 and 2
+	// replicate both.
+	both := -1
+	for i := 0; i < 4; i++ {
+		if len(ring.SiteGroups(message.SiteID(i))) == 2 {
+			both = i
+			break
+		}
+	}
+	if both < 0 {
+		t.Fatal("no site replicates both groups")
+	}
+	a := keyIn(t, ring, 0, "a")
+	b := keyIn(t, ring, 1, "b")
+	res := tc.runTxn(time.Millisecond, both, false, nil, []message.KV{
+		{Key: a, Value: message.Value("xa")},
+		{Key: b, Value: message.Value("xb")},
+	})
+	tc.run(2 * time.Second)
+	if !res.done || res.outcome != Committed {
+		t.Fatalf("cross-shard txn at dual-member site: %+v", res)
+	}
+	for _, m := range ring.Members(0) {
+		if v, ok := tc.sharded(int(m)).GroupStore(0).Get(a); !ok || string(v.Value) != "xa" {
+			t.Fatalf("site %v group 0: %q ok=%v", m, v.Value, ok)
+		}
+	}
+	for _, m := range ring.Members(1) {
+		if v, ok := tc.sharded(int(m)).GroupStore(1).Get(b); !ok || string(v.Value) != "xb" {
+			t.Fatalf("site %v group 1: %q ok=%v", m, v.Value, ok)
+		}
+	}
+	tc.checkGroupConvergence()
+}
+
+// TestShardedKillRestartRecovery is the acceptance fault test: in a
+// 2-group cluster a dual-member site runs per-group WALs and
+// checkpointers, is killed, recovered through checkpoint.Recover on each
+// group directory, and caught up per group via the existing
+// retransmission/state-transfer path. Every acknowledged commit survives,
+// the groups reconverge, and the post-rejoin trace window passes
+// tracecheck's per-group invariants.
+func TestShardedKillRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	const segBytes = 4096
+	// Placement for Groups=2, RF=3 over 4 sites: group 0 = {0,1,2},
+	// group 1 = {0,2,3}. Site 2 replicates both groups — the kill target.
+	const victim = 2
+	gdir := func(g message.GroupID) string { return filepath.Join(dir, g.String()) }
+	pol := func(g message.GroupID) checkpoint.Policy {
+		return checkpoint.Policy{Dir: gdir(g), Interval: 150 * time.Millisecond, Retain: 2}
+	}
+
+	link := netsim.Uniform{Min: 500 * time.Microsecond, Max: 3 * time.Millisecond}
+	c := sim.NewCluster(4, link, 13)
+	rec := sgraph.NewRecorder()
+	cfg := shardedCfg(2, 3)
+	cfg.Recorder = rec
+	tc := &testCluster{t: t, c: c, rec: rec}
+	tracers := make([]*trace.Tracer, 4)
+	for i := 0; i < 4; i++ {
+		rt := c.Runtime(message.SiteID(i))
+		siteCfg := cfg
+		tracers[i] = trace.New(message.SiteID(i), 1<<14, rt.Now)
+		siteCfg.Tracer = tracers[i]
+		if i == victim {
+			siteCfg.GroupWAL = func(g message.GroupID) *storage.WAL {
+				w, err := storage.OpenSegments(gdir(g), segBytes)
+				if err != nil {
+					t.Fatalf("open group WAL %v: %v", g, err)
+				}
+				return w
+			}
+			siteCfg.GroupCheckpoint = pol
+		}
+		e, err := NewSharded(rt, siteCfg)
+		if err != nil {
+			t.Fatalf("NewSharded: %v", err)
+		}
+		tc.engines = append(tc.engines, e)
+		c.Bind(message.SiteID(i), e)
+	}
+	c.Start()
+	ring := tc.sharded(0).Ring()
+	a := keyIn(t, ring, 0, "a")
+	b := keyIn(t, ring, 1, "b")
+
+	// Per-phase keys pinned to alternating groups (deriving key names does
+	// not preserve the group — each key hashes independently).
+	p1keys := make([]message.Key, 6)
+	p2keys := make([]message.Key, 4)
+	p3keys := make([]message.Key, 3)
+	for i := range p1keys {
+		p1keys[i] = keyIn(t, ring, message.GroupID(i%2), fmt.Sprintf("p1x%dx", i))
+	}
+	for i := range p2keys {
+		p2keys[i] = keyIn(t, ring, message.GroupID(i%2), fmt.Sprintf("p2x%dx", i))
+	}
+	for i := range p3keys {
+		p3keys[i] = keyIn(t, ring, message.GroupID(i%2), fmt.Sprintf("p3x%dx", i))
+	}
+
+	// Phase 1: commits in both groups, absorbed by the victim's WALs and
+	// checkpoints, all acknowledged before the kill.
+	var phase1 []*txResult
+	for i := 0; i < 6; i++ {
+		phase1 = append(phase1, tc.runTxn(time.Duration(100+i*150)*time.Millisecond,
+			i%2*3, false, nil, []message.KV{{Key: p1keys[i], Value: message.Value("v1")}}))
+	}
+	tc.c.Schedule(2*time.Second, func() { tc.c.Crash(victim) })
+
+	// Phase 2: commits while the victim is down — they reach it only via
+	// per-group state transfer after restart.
+	var phase2 []*txResult
+	for i := 0; i < 4; i++ {
+		phase2 = append(phase2, tc.runTxn(2200*time.Millisecond+time.Duration(i)*200*time.Millisecond,
+			i%2*3, false, nil, []message.KV{{Key: p2keys[i], Value: message.Value("v2")}}))
+	}
+
+	// Restart at t=5s: recover each group directory independently and seed
+	// the per-group initial state.
+	tc.c.Schedule(5*time.Second, func() {
+		stores := make(map[message.GroupID]*storage.Store)
+		wals := make(map[message.GroupID]*storage.WAL)
+		stacks := make(map[message.GroupID]*message.StackSync)
+		for _, g := range []message.GroupID{0, 1} {
+			st, w, info, err := checkpoint.Recover(gdir(g), segBytes)
+			if err != nil {
+				t.Fatalf("recover group %v: %v", g, err)
+			}
+			if info.CheckpointIndex == 0 {
+				t.Fatalf("group %v: no checkpoint before the kill", g)
+			}
+			stores[g], wals[g], stacks[g] = st, w, info.Stack
+		}
+		// Phase-1 writes must already be durable per group.
+		for i, key := range p1keys {
+			g := message.GroupID(i % 2)
+			if v, ok := stores[g].Get(key); !ok || string(v.Value) != "v1" {
+				t.Fatalf("acked phase-1 write %s lost in group %v: %q ok=%v", key, g, v.Value, ok)
+			}
+		}
+		tc.c.Recover(victim)
+		rcfg := shardedCfg(2, 3)
+		rcfg.Recorder = tc.rec
+		rcfg.Tracer = tracers[victim]
+		rcfg.GroupWAL = func(g message.GroupID) *storage.WAL { return wals[g] }
+		rcfg.GroupInitialStore = func(g message.GroupID) *storage.Store { return stores[g] }
+		rcfg.GroupInitialStack = func(g message.GroupID) *message.StackSync { return stacks[g] }
+		rcfg.GroupCheckpoint = pol
+		fresh, err := NewSharded(tc.c.Runtime(victim), rcfg)
+		if err != nil {
+			t.Fatalf("restart: %v", err)
+		}
+		tc.engines[victim] = fresh
+		tc.c.Bind(victim, fresh)
+		fresh.Start()
+	})
+
+	// Survivor traffic right after the restart exposes the victim's
+	// per-group gaps and triggers catch-up.
+	post := tc.runTxn(5500*time.Millisecond, 0, false, nil, []message.KV{{Key: a, Value: message.Value("post")}})
+
+	// Phase 3, after the rejoin settled: commits from every site including
+	// the restarted one — the tracecheck window.
+	const cutoff = 11 * time.Second
+	var phase3 []*txResult
+	for i := 0; i < 3; i++ {
+		phase3 = append(phase3, tc.runTxn(cutoff+200*time.Millisecond+time.Duration(i)*300*time.Millisecond,
+			i, false, nil, []message.KV{{Key: p3keys[i], Value: message.Value("v3")}}))
+	}
+	fromVictim := tc.runTxn(cutoff+1500*time.Millisecond, victim, false, nil,
+		[]message.KV{{Key: b, Value: message.Value("hello")}})
+	tc.run(16 * time.Second)
+
+	for i, r := range append(append(append([]*txResult{}, phase1...), phase2...), phase3...) {
+		if !r.done || r.outcome != Committed {
+			t.Fatalf("txn %d (site %d): done=%v outcome=%v reason=%v", i, r.site, r.done, r.outcome, r.reason)
+		}
+	}
+	if !post.done || post.outcome != Committed {
+		t.Fatalf("post-restart txn: %+v", post)
+	}
+	if !fromVictim.done || fromVictim.outcome != Committed {
+		t.Fatalf("restarted site's own txn: %+v", fromVictim)
+	}
+
+	// The victim reconverged in both groups.
+	for _, g := range []message.GroupID{0, 1} {
+		ref := tc.sharded(0).GroupStore(g)
+		got := tc.sharded(victim).GroupStore(g)
+		for _, ent := range ref.Snapshot() {
+			want, _ := ref.Get(ent.Key)
+			have, _ := got.Get(ent.Key)
+			if string(have.Value) != string(want.Value) {
+				t.Fatalf("victim group %v diverges on %q: %q vs %q", g, ent.Key, have.Value, want.Value)
+			}
+		}
+	}
+	if err := tc.rec.Check(); err != nil {
+		t.Fatalf("serializability: %v", err)
+	}
+
+	// Cold recovery per group directory: every acknowledged write present.
+	for _, g := range []message.GroupID{0, 1} {
+		st, w, info, err := checkpoint.Recover(gdir(g), segBytes)
+		if err != nil {
+			t.Fatalf("cold recover group %v: %v", g, err)
+		}
+		w.Close()
+		if info.CheckpointIndex == 0 {
+			t.Fatalf("group %v: no checkpoint survived", g)
+		}
+		ref := tc.sharded(0).GroupStore(g)
+		for _, ent := range ref.Snapshot() {
+			want, _ := ref.Get(ent.Key)
+			have, ok := st.Get(ent.Key)
+			if !ok || string(have.Value) != string(want.Value) {
+				t.Fatalf("group %v key %q lost across cold recovery: %q ok=%v want %q",
+					g, ent.Key, have.Value, ok, want.Value)
+			}
+		}
+	}
+
+	// The rejoin window passes the offline per-group invariant checks.
+	runShardedTracecheckWindow(t, tracers, cutoff, 2)
+}
+
+// runShardedTracecheckWindow exports every span at or after cutoff with a
+// Groups-bearing meta line and runs cmd/tracecheck over it, failing the
+// test on any violation of the per-group invariants.
+func runShardedTracecheckWindow(t *testing.T, tracers []*trace.Tracer, cutoff time.Duration, groups int) {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tr := range tracers {
+		var kept []trace.Span
+		for _, s := range tr.Spans() {
+			if s.Start >= cutoff {
+				kept = append(kept, s)
+			}
+		}
+		meta := trace.Meta{Site: int32(tr.Site()), Proto: "sharded", Sites: len(tracers), AtomicMode: "sequencer", Groups: groups}
+		if err := trace.WriteJSONL(&buf, meta, kept); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tmp := t.TempDir()
+	dump := filepath.Join(tmp, "rejoin.jsonl")
+	if err := os.WriteFile(dump, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(tmp, "tracecheck")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/tracecheck").CombinedOutput(); err != nil {
+		t.Fatalf("build tracecheck: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, dump).CombinedOutput()
+	if err != nil {
+		t.Fatalf("tracecheck rejects the sharded rejoin trace: %v\n%s", err, out)
+	}
+}

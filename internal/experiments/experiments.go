@@ -20,6 +20,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/message"
 	"repro/internal/netsim"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -131,7 +132,7 @@ func All(cfg Config) ([]*Report, error) {
 		E1Messages, E2CommitLatency, E3AbortContention, E4ThroughputSites,
 		E5WriteMix, E6CausalHeartbeat, E7Availability, E8Ablation, E9Batching,
 		E10Quorum, E11SlowSite, E12SnapshotReads, E14OrdererBatching,
-		E15CheckpointRecovery,
+		E15CheckpointRecovery, E16PartialReplication,
 	}
 	out := make([]*Report, 0, len(runs))
 	for _, f := range runs {
@@ -1167,6 +1168,100 @@ func E14OrdererBatching(cfg Config) (*Report, error) {
 	rep.Metrics["batch_vs_isis_throughput_n9"] = ratio
 	if ratio < 2 {
 		rep.violate("E14: batch throughput %.2fx of isis at n=9 (< 2x)", ratio)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// E16PartialReplication measures what sharding the keyspace buys on a
+// sender-serialised medium: per-site protocol messages per committed update
+// transaction and throughput at n=9 as the keyspace splits into 1, 2, and 4
+// replication groups (RF 9, 4, 3). A single-shard commit only involves its
+// group's RF members — dissemination and ordering shrink from O(n) to O(RF)
+// unicasts, plus a constant route/ack when the client's site is not a member
+// — so per-site message load must fall strictly as the group count grows.
+// The 10%% cross-shard arms price the certification round (per-group
+// prepares, member votes to the coordinator, per-group decisions) that
+// genuine partial replication pays for multi-group transactions.
+func E16PartialReplication(cfg Config) (*Report, error) {
+	rep := newReport("E16", "Partial replication: per-site message cost vs replication groups (n=9, shared medium)")
+	tbl := harness.NewTable(rep.Title,
+		"groups", "rf", "cross-shard", "committed", "aborted", "msgs/commit", "msgs/commit/site", "txn/s")
+	// RF is chosen so every site replicates at least one group (the
+	// deterministic placement staggers group starts around the site circle):
+	// 2 groups of 5 share site 4; 4 groups of 3 tile the circle with single
+	// shared sites.
+	const n = 9
+	arms := []struct{ groups, rf int }{{1, 9}, {2, 5}, {4, 3}}
+	crosses := []float64{0, 0.10}
+	perSite := make(map[string]float64)
+	for _, arm := range arms {
+		scfg := &shard.Config{Groups: arm.groups, RF: arm.rf}
+		ring, err := shard.NewRing(*scfg, n)
+		if err != nil {
+			return rep, err
+		}
+		for _, cross := range crosses {
+			if arm.groups == 1 && cross > 0 {
+				continue // one group has no cross-shard transactions
+			}
+			ecfg := engineCfg(harness.ProtoAtomic)
+			ecfg.Shard = scfg
+			count := cfg.txns(600)
+			res, err := harness.Run(harness.Options{
+				Protocol: harness.ProtoAtomic,
+				// Fresh SharedMedium per run (the model keeps per-sender
+				// busy-horizon state); saturating arrivals as in E14 so
+				// message count shows up as throughput.
+				Link: &netsim.SharedMedium{
+					Base:    300 * time.Microsecond,
+					PerMsg:  150 * time.Microsecond,
+					PerByte: 100 * time.Nanosecond,
+				},
+				Seed:   cfg.seed(160),
+				Engine: ecfg,
+				Workload: workload.Spec{
+					Sites: n, Count: count,
+					Window: time.Duration(count) * 50 * time.Microsecond,
+					Keys:   8192, ReadsPerTxn: 0, WritesPerTxn: 2,
+					Ring: ring, CrossShardFraction: cross,
+					Seed: cfg.seed(61),
+				},
+			})
+			if err != nil {
+				return rep, err
+			}
+			label := fmt.Sprintf("groups=%d/cross=%d%%", arm.groups, int(cross*100))
+			rep.record(label, res)
+			site := res.ProtocolMsgsPerCommit / float64(n)
+			perSite[label] = site
+			tbl.Add(arm.groups, arm.rf, fmt.Sprintf("%d%%", int(cross*100)),
+				res.Committed, res.Aborted,
+				fmt.Sprintf("%.2f", res.ProtocolMsgsPerCommit),
+				fmt.Sprintf("%.3f", site),
+				fmt.Sprintf("%.0f", res.ThroughputPerSec))
+			rep.Metrics[label+"/msgs_per_commit"] = res.ProtocolMsgsPerCommit
+			rep.Metrics[label+"/msgs_per_commit_site"] = site
+			rep.Metrics[label+"/throughput_per_sec"] = res.ThroughputPerSec
+			rep.Metrics[label+"/abort_rate"] = res.AbortRate()
+			if res.Unfinished > 0 {
+				rep.violate("E16 %s: %d transactions never resolved", label, res.Unfinished)
+			}
+			if res.Committed == 0 {
+				rep.violate("E16 %s: nothing committed", label)
+			}
+		}
+	}
+	// Gates: (a) with no cross-shard traffic, per-site message load must
+	// fall strictly as the keyspace splits 1 -> 2 -> 4 groups; (b) even
+	// paying the certification round on 10%% of transactions, 4 groups must
+	// stay cheaper per site than full replication.
+	g1, g2, g4 := perSite["groups=1/cross=0%"], perSite["groups=2/cross=0%"], perSite["groups=4/cross=0%"]
+	if !(g2 < g1 && g4 < g2) {
+		rep.violate("E16: per-site msgs/commit not strictly decreasing with group count: %.3f (1) -> %.3f (2) -> %.3f (4)", g1, g2, g4)
+	}
+	if c4 := perSite["groups=4/cross=10%"]; c4 >= g1 {
+		rep.violate("E16: 4 groups at 10%% cross-shard (%.3f msgs/commit/site) not cheaper than full replication (%.3f)", c4, g1)
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	return rep, nil

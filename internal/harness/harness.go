@@ -71,6 +71,12 @@ type Options struct {
 	// (durability/rejoin experiments). It overrides Engine.Checkpoint per
 	// site; Policy.Dir should match the site's WAL segment directory.
 	Checkpoint func(message.SiteID) checkpoint.Policy
+	// GroupWAL and GroupCheckpoint are the per-replication-group analogues
+	// of WAL and Checkpoint for sharded runs (Engine.Shard set): each
+	// (site, group) pair logs and checkpoints independently. They override
+	// Engine.GroupWAL / Engine.GroupCheckpoint per site.
+	GroupWAL        func(message.SiteID, message.GroupID) *storage.WAL
+	GroupCheckpoint func(message.SiteID, message.GroupID) checkpoint.Policy
 	// Engines, when non-nil, receives the constructed per-site engines so
 	// callers can inspect them after the run (commit-pipeline counters,
 	// final flushes).
@@ -208,6 +214,14 @@ func Run(opts Options) (Result, error) {
 		if opts.Checkpoint != nil {
 			cfg.Checkpoint = opts.Checkpoint(message.SiteID(i))
 		}
+		if opts.GroupWAL != nil {
+			site := message.SiteID(i)
+			cfg.GroupWAL = func(g message.GroupID) *storage.WAL { return opts.GroupWAL(site, g) }
+		}
+		if opts.GroupCheckpoint != nil {
+			site := message.SiteID(i)
+			cfg.GroupCheckpoint = func(g message.GroupID) checkpoint.Policy { return opts.GroupCheckpoint(site, g) }
+		}
 		if opts.TraceCap > 0 {
 			cfg.Tracer = trace.New(message.SiteID(i), opts.TraceCap, rt.Now)
 			res.Tracers[i] = cfg.Tracer
@@ -219,7 +233,15 @@ func Run(opts Options) (Result, error) {
 		case ProtoCausal:
 			e = core.NewCausal(rt, cfg)
 		case ProtoAtomic:
-			e = core.NewAtomic(rt, cfg)
+			if cfg.Shard != nil {
+				se, err := core.NewSharded(rt, cfg)
+				if err != nil {
+					return res, err
+				}
+				e = se
+			} else {
+				e = core.NewAtomic(rt, cfg)
+			}
 		case ProtoBaseline:
 			e = core.NewBaseline(rt, cfg)
 		case ProtoQuorum:

@@ -17,6 +17,15 @@ type SiteID int32
 // String implements fmt.Stringer.
 func (s SiteID) String() string { return "s" + strconv.Itoa(int(s)) }
 
+// GroupID identifies a replication group (shard) under partial
+// replication. The consistent-hash ring (internal/shard) maps keys to
+// groups and groups to the subset of sites that replicate them. Full
+// replication is the single group 0 over all sites.
+type GroupID int32
+
+// String implements fmt.Stringer.
+func (g GroupID) String() string { return "g" + strconv.Itoa(int(g)) }
+
 // TxnID identifies a transaction globally: the home site that initiated it
 // plus a per-site monotone sequence number.
 type TxnID struct {
@@ -41,8 +50,9 @@ func (t TxnID) Less(o TxnID) bool {
 	return t.Site < o.Site
 }
 
-// Key names a database object. The database is fully replicated: every site
-// stores a copy of every key.
+// Key names a database object. Under the default full replication every
+// site stores a copy of every key; with partial replication
+// (internal/shard) only the sites of the key's replication group do.
 type Key string
 
 // Value is an uninterpreted object value.

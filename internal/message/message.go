@@ -63,6 +63,14 @@ const (
 
 	// Chunked state transfer (appended so existing kind values are stable).
 	KindSnapshotChunk
+
+	// Partial replication (appended so existing kind values are stable).
+	KindGroupMsg
+	KindShardPrepare
+	KindShardVote
+	KindShardDecision
+	KindShardForward
+	KindShardOutcome
 )
 
 var kindNames = map[Kind]string{
@@ -101,6 +109,12 @@ var kindNames = map[Kind]string{
 	KindSyncState:     "SyncState",
 	KindBatchOrder:    "BatchOrder",
 	KindSnapshotChunk: "SnapshotChunk",
+	KindGroupMsg:      "GroupMsg",
+	KindShardPrepare:  "ShardPrepare",
+	KindShardVote:     "ShardVote",
+	KindShardDecision: "ShardDecision",
+	KindShardForward:  "ShardForward",
+	KindShardOutcome:  "ShardOutcome",
 }
 
 // String implements fmt.Stringer.
@@ -364,6 +378,10 @@ type SnapshotChunk struct {
 	// StateSnapshot for their semantics.
 	Stack   *StackSync
 	Pending map[TxnID][]KV
+	// Prepared rides the final chunk of a per-group transfer under partial
+	// replication: cross-shard transactions certified but undecided at the
+	// donor, sorted by prepare index.
+	Prepared []PreparedShard
 }
 
 // Kind implements Message.
@@ -636,6 +654,101 @@ type QRelease struct {
 // Kind implements Message.
 func (*QRelease) Kind() Kind { return KindQRelease }
 
+// GroupMsg is the partial-replication envelope: all traffic of one
+// replication group's broadcast/ordering instance (and its state-transfer
+// side channel) travels wrapped with the group identifier, so one site can
+// host several independent per-group stacks and route each delivery to the
+// right one.
+type GroupMsg struct {
+	Group GroupID
+	Inner Message
+}
+
+// Kind implements Message.
+func (*GroupMsg) Kind() Kind { return KindGroupMsg }
+
+// ShardPrepare opens the cross-shard certification round for one touched
+// group: the coordinator's per-shard sub-writeset, atomically broadcast
+// within the group so every replica certifies it at the same group-local
+// order index. Reads carry base versions for certification; writes are
+// blind (the group's total order serializes write-write conflicts).
+// Groups lists every group the transaction touches, sorted, so replicas
+// and the trace checker know the full footprint.
+type ShardPrepare struct {
+	Txn     TxnID
+	Group   GroupID
+	Coord   SiteID
+	Groups  []GroupID
+	Reads   []KeyVer
+	WriteKV []KV
+}
+
+// Kind implements Message.
+func (*ShardPrepare) Kind() Kind { return KindShardPrepare }
+
+// ShardVote is one replica's deterministic certification verdict for a
+// cross-shard prepare, unicast to the coordinator. Every replica of the
+// group votes identically (same order, same rule), so the coordinator
+// counts the first vote per group and ignores duplicates.
+type ShardVote struct {
+	Txn   TxnID
+	Group GroupID
+	By    SiteID
+	Yes   bool
+}
+
+// Kind implements Message.
+func (*ShardVote) Kind() Kind { return KindShardVote }
+
+// ShardDecision closes the cross-shard round in one touched group:
+// commit iff every touched group voted yes. It is atomically broadcast
+// within the group; replicas apply the writes at the decision's own
+// group-local order index (commit) or just release the prepare's key
+// blocks (abort).
+type ShardDecision struct {
+	Txn    TxnID
+	Group  GroupID
+	Commit bool
+}
+
+// Kind implements Message.
+func (*ShardDecision) Kind() Kind { return KindShardDecision }
+
+// ShardForward routes a group-bound payload (single-shard CommitReq,
+// ShardPrepare, or ShardDecision) to a member of a group the sender does
+// not replicate — the group leader — which atomically broadcasts it
+// within the group on the sender's behalf.
+type ShardForward struct {
+	Group GroupID
+	Req   Message
+}
+
+// Kind implements Message.
+func (*ShardForward) Kind() Kind { return KindShardForward }
+
+// ShardOutcome reports a forwarded single-shard commit's certification
+// outcome back to the transaction's home site, which is not a member of
+// the deciding group and therefore never sees the ordered request.
+type ShardOutcome struct {
+	Txn    TxnID
+	Commit bool
+}
+
+// Kind implements Message.
+func (*ShardOutcome) Kind() Kind { return KindShardOutcome }
+
+// PreparedShard records, inside a per-group state transfer, one
+// cross-shard transaction certified at its prepare index but still
+// awaiting the coordinator's decision: the receiver must re-block its
+// keys and hold its writes so a later ShardDecision lands correctly.
+type PreparedShard struct {
+	Txn    TxnID
+	Index  uint64
+	Vote   bool
+	Keys   []Key
+	Writes []KV
+}
+
 // RegisterGob registers every concrete message type with encoding/gob so
 // the TCP runtime can transport them. Safe to call more than once.
 func RegisterGob() {
@@ -674,6 +787,12 @@ func RegisterGob() {
 	gob.Register(&SyncState{})
 	gob.Register(&BatchOrder{})
 	gob.Register(&SnapshotChunk{})
+	gob.Register(&GroupMsg{})
+	gob.Register(&ShardPrepare{})
+	gob.Register(&ShardVote{})
+	gob.Register(&ShardDecision{})
+	gob.Register(&ShardForward{})
+	gob.Register(&ShardOutcome{})
 }
 
 // TxnOf extracts the transaction a message belongs to, which doubles as
@@ -730,6 +849,22 @@ func TxnOf(m Message) (TxnID, bool) {
 		return t.Txn, true
 	case *QRelease:
 		return t.Txn, true
+	case *GroupMsg:
+		if t.Inner != nil {
+			return TxnOf(t.Inner)
+		}
+	case *ShardPrepare:
+		return t.Txn, true
+	case *ShardVote:
+		return t.Txn, true
+	case *ShardDecision:
+		return t.Txn, true
+	case *ShardForward:
+		if t.Req != nil {
+			return TxnOf(t.Req)
+		}
+	case *ShardOutcome:
+		return t.Txn, true
 	}
 	return TxnID{}, false
 }
@@ -779,6 +914,15 @@ func EstimateSize(m Message) int {
 			}
 		}
 		n += stackSyncSize(t.Stack) + pendingSize(t.Pending)
+		for _, p := range t.Prepared {
+			n += 24
+			for _, k := range p.Keys {
+				n += 4 + len(k)
+			}
+			for _, kv := range p.Writes {
+				n += len(kv.Key) + len(kv.Value)
+			}
+		}
 		return n
 	case *SyncState:
 		return hdr + 4 + stackSyncSize(t.Stack) + pendingSize(t.Pending)
@@ -851,6 +995,25 @@ func EstimateSize(m Message) int {
 		return n
 	case *QRelease:
 		return hdr + 12
+	case *GroupMsg:
+		return hdr + 4 + EstimateSize(t.Inner)
+	case *ShardPrepare:
+		n := hdr + 24 + 4*len(t.Groups)
+		for _, r := range t.Reads {
+			n += 8 + len(r.Key)
+		}
+		for _, kv := range t.WriteKV {
+			n += len(kv.Key) + len(kv.Value)
+		}
+		return n
+	case *ShardVote:
+		return hdr + 24
+	case *ShardDecision:
+		return hdr + 20
+	case *ShardForward:
+		return hdr + 4 + EstimateSize(t.Req)
+	case *ShardOutcome:
+		return hdr + 16
 	default:
 		return hdr
 	}

@@ -1,0 +1,200 @@
+// Package shard maps the keyspace onto replication groups for partial
+// replication. A deterministic consistent-hash ring assigns each key to
+// exactly one group; each group is replicated by a configurable subset of
+// the sites (replication factor RF over the static site set, or an
+// explicit assignment override). Every site, given the same Config and
+// cluster size, computes the identical ring — routing needs no
+// coordination and no metadata exchange.
+//
+// Full replication is the degenerate configuration Groups=1, RF=n: one
+// group holding every key, replicated everywhere. It is the default, so
+// the paper-fidelity protocols and experiments are unchanged unless a run
+// opts into sharding.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/message"
+)
+
+// Config parameterizes the ring.
+type Config struct {
+	// Groups is the number of replication groups (shards). 0 or 1 means a
+	// single group over the whole keyspace.
+	Groups int
+	// RF is the replication factor: how many sites replicate each group.
+	// 0 means every site (full replication of each group).
+	RF int
+	// Assign, when non-nil, overrides the deterministic placement: entry g
+	// lists the sites replicating group g (len(Assign) must equal Groups
+	// when both are set). Used for paper-fidelity layouts and tests.
+	Assign [][]message.SiteID
+	// VirtualNodes is the number of ring points per group (default 64).
+	// More points smooth the key distribution across groups.
+	VirtualNodes int
+}
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash  uint64
+	group message.GroupID
+}
+
+// Ring is the immutable, deterministic key→group and group→sites mapping
+// shared by every site of a cluster.
+type Ring struct {
+	groups [][]message.SiteID // group -> member sites, ascending
+	points []ringPoint        // ascending by hash
+	sites  int
+}
+
+// NewRing validates cfg against a cluster of n sites (IDs 0..n-1) and
+// builds the ring.
+func NewRing(cfg Config, n int) (*Ring, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: cluster size must be positive, got %d", n)
+	}
+	groups := cfg.Groups
+	if len(cfg.Assign) > 0 {
+		if groups == 0 {
+			groups = len(cfg.Assign)
+		}
+		if groups != len(cfg.Assign) {
+			return nil, fmt.Errorf("shard: Groups=%d but Assign lists %d groups", groups, len(cfg.Assign))
+		}
+	}
+	if groups <= 0 {
+		groups = 1
+	}
+	rf := cfg.RF
+	if rf <= 0 || rf > n {
+		rf = n
+	}
+	if groups > n {
+		return nil, fmt.Errorf("shard: %d groups exceed %d sites", groups, n)
+	}
+	vnodes := cfg.VirtualNodes
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{groups: make([][]message.SiteID, groups), sites: n}
+	for g := 0; g < groups; g++ {
+		var members []message.SiteID
+		if len(cfg.Assign) > 0 {
+			members = append([]message.SiteID(nil), cfg.Assign[g]...)
+			if len(members) == 0 {
+				return nil, fmt.Errorf("shard: Assign[%d] is empty", g)
+			}
+			for _, s := range members {
+				if s < 0 || int(s) >= n {
+					return nil, fmt.Errorf("shard: Assign[%d] names site %v outside cluster of %d", g, s, n)
+				}
+			}
+		} else {
+			// Deterministic placement: group g's replicas start at an even
+			// offset around the site circle and wrap, so load spreads and
+			// adjacent groups overlap when RF*Groups > n.
+			start := g * n / groups
+			members = make([]message.SiteID, 0, rf)
+			for i := 0; i < rf; i++ {
+				members = append(members, message.SiteID((start+i)%n))
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		// Reject duplicate members (possible only via Assign).
+		for i := 1; i < len(members); i++ {
+			if members[i] == members[i-1] {
+				return nil, fmt.Errorf("shard: Assign[%d] repeats site %v", g, members[i])
+			}
+		}
+		r.groups[g] = members
+	}
+	r.points = make([]ringPoint, 0, groups*vnodes)
+	for g := 0; g < groups; g++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("g%d/v%d", g, v)),
+				group: message.GroupID(g),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].group < r.points[j].group
+	})
+	return r, nil
+}
+
+// hash64 is FNV-1a over s, finalized with murmur3's 64-bit mixer — stable
+// across processes and Go versions, unlike maphash, so every site agrees
+// on placement. The finalizer matters: raw FNV-1a has weak avalanche on
+// short similar strings ("k0", "k1", ...), clustering them into one arc.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Groups returns the number of replication groups.
+func (r *Ring) Groups() int { return len(r.groups) }
+
+// Sites returns the cluster size the ring was built for.
+func (r *Ring) Sites() int { return r.sites }
+
+// GroupOf maps a key to its replication group: the first ring point at or
+// clockwise of the key's hash.
+func (r *Ring) GroupOf(key message.Key) message.GroupID {
+	if len(r.groups) == 1 {
+		return 0
+	}
+	h := hash64(string(key))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].group
+}
+
+// Members returns the sites replicating group g, ascending. The slice is
+// shared; callers must not mutate it.
+func (r *Ring) Members(g message.GroupID) []message.SiteID {
+	return r.groups[g]
+}
+
+// Leader returns the lowest member of group g — the site a non-member
+// routes group-bound traffic through, and the group's default sequencer.
+func (r *Ring) Leader(g message.GroupID) message.SiteID {
+	return r.groups[g][0]
+}
+
+// Replicates reports whether site s is a member of group g.
+func (r *Ring) Replicates(g message.GroupID, s message.SiteID) bool {
+	for _, m := range r.groups[g] {
+		if m == s {
+			return true
+		}
+	}
+	return false
+}
+
+// SiteGroups returns the groups replicated at site s, ascending.
+func (r *Ring) SiteGroups(s message.SiteID) []message.GroupID {
+	var out []message.GroupID
+	for g := range r.groups {
+		if r.Replicates(message.GroupID(g), s) {
+			out = append(out, message.GroupID(g))
+		}
+	}
+	return out
+}

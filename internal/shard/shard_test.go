@@ -1,0 +1,95 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/message"
+)
+
+func TestRingDeterministicAndTotal(t *testing.T) {
+	r1, err := NewRing(Config{Groups: 4, RF: 3}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(Config{Groups: 4, RF: 3}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for i := 0; i < 4096; i++ {
+		k := message.Key(fmt.Sprintf("k%d", i))
+		g := r1.GroupOf(k)
+		if g2 := r2.GroupOf(k); g2 != g {
+			t.Fatalf("ring not deterministic: %q -> %v vs %v", k, g, g2)
+		}
+		if g < 0 || int(g) >= 4 {
+			t.Fatalf("key %q mapped outside groups: %v", k, g)
+		}
+		counts[g]++
+	}
+	// Consistent hashing with 64 vnodes per group should spread a 4096-key
+	// space without starving any group.
+	for g, c := range counts {
+		if c < 4096/4/4 {
+			t.Fatalf("group %d badly underloaded: %d of 4096 keys (%v)", g, c, counts)
+		}
+	}
+}
+
+func TestRingPlacement(t *testing.T) {
+	r, err := NewRing(Config{Groups: 2, RF: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Members(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("group 0 members = %v, want [0 1]", got)
+	}
+	if got := r.Members(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("group 1 members = %v, want [2 3]", got)
+	}
+	if l := r.Leader(1); l != 2 {
+		t.Fatalf("leader(1) = %v, want 2", l)
+	}
+	if !r.Replicates(0, 1) || r.Replicates(0, 2) {
+		t.Fatalf("Replicates wrong for group 0")
+	}
+	if sg := r.SiteGroups(3); len(sg) != 1 || sg[0] != 1 {
+		t.Fatalf("SiteGroups(3) = %v, want [1]", sg)
+	}
+}
+
+func TestRingDefaultsToFullReplication(t *testing.T) {
+	r, err := NewRing(Config{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Groups() != 1 {
+		t.Fatalf("default groups = %d, want 1", r.Groups())
+	}
+	if got := r.Members(0); len(got) != 5 {
+		t.Fatalf("default group members = %v, want all 5 sites", got)
+	}
+	if g := r.GroupOf("anything"); g != 0 {
+		t.Fatalf("single-group ring mapped key to %v", g)
+	}
+}
+
+func TestRingAssignOverride(t *testing.T) {
+	r, err := NewRing(Config{Assign: [][]message.SiteID{{2, 0}, {1}}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Members(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("assigned group 0 = %v, want [0 2]", got)
+	}
+	if _, err := NewRing(Config{Assign: [][]message.SiteID{{0, 5}}}, 3); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+	if _, err := NewRing(Config{Assign: [][]message.SiteID{{0, 0}}}, 3); err == nil {
+		t.Fatal("duplicate assignment accepted")
+	}
+	if _, err := NewRing(Config{Groups: 5}, 3); err == nil {
+		t.Fatal("more groups than sites accepted")
+	}
+}

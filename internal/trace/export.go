@@ -25,9 +25,13 @@ type Meta struct {
 	Proto      string `json:"proto"`
 	Sites      int    `json:"sites"`
 	AtomicMode string `json:"atomic_mode,omitempty"`
-	Dropped    uint64 `json:"dropped"`
-	Spans      int    `json:"spans"`
-	Seed       int64  `json:"seed,omitempty"`
+	// Groups is the replication-group count under partial replication
+	// (0 or 1 = full replication; tracecheck switches to the per-group
+	// invariants when > 1).
+	Groups  int    `json:"groups,omitempty"`
+	Dropped uint64 `json:"dropped"`
+	Spans   int    `json:"spans"`
+	Seed    int64  `json:"seed,omitempty"`
 }
 
 // spanLine is the wire form of one span.

@@ -120,6 +120,19 @@ const (
 	// checkpoint file's size in bytes.
 	KindCheckpoint
 
+	// KindShardCoord marks a cross-shard coordinator opening its
+	// vote-collection round. Seq is a bitmask of the touched groups
+	// (bit g set = group g touched), Extra the number of touched groups.
+	KindShardCoord
+	// KindShardCert marks one replica certifying an ordered request within
+	// a replication group. Seq is the group-local order index, Peer the
+	// group identifier, Extra 1 for a yes verdict and 0 for no.
+	KindShardCert
+	// KindShardDecide marks a cross-shard decision delivered in a group's
+	// total order. Seq is the group-local decision index, Peer the group
+	// identifier, Extra 1 for commit and 0 for abort.
+	KindShardDecide
+
 	numKinds
 )
 
@@ -149,6 +162,9 @@ var kindNames = [numKinds]string{
 	KindNetRecv:      "net-recv",
 	KindBatchOrder:   "batch-order",
 	KindCheckpoint:   "checkpoint",
+	KindShardCoord:   "shard-coord",
+	KindShardCert:    "shard-cert",
+	KindShardDecide:  "shard-decide",
 }
 
 // String implements fmt.Stringer.

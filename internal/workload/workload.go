@@ -6,10 +6,13 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/message"
+	"repro/internal/shard"
 )
 
 // Spec describes a workload.
@@ -32,6 +35,16 @@ type Spec struct {
 	// ZipfS is the Zipf skew parameter; values > 1 skew access toward low
 	// keys. Zero or less selects uniform access.
 	ZipfS float64
+	// KeyDist selects the key-access distribution by name: "" keeps the
+	// ZipfS/HotKeys behaviour above, "uniform" forces uniform access, and
+	// "zipf" draws ranks from a precomputed-CDF Zipf with exponent
+	// KeyTheta — valid for any positive skew, unlike ZipfS (rand.NewZipf
+	// requires s > 1), and well-defined over the per-group key pools of a
+	// sharded run.
+	KeyDist string
+	// KeyTheta is KeyDist=="zipf"'s exponent (default 0.99, the YCSB
+	// convention: heavily skewed but with a long usable tail).
+	KeyTheta float64
 	// HotKeys/HotProb direct a fraction of accesses to a small hot set:
 	// with probability HotProb an access picks uniformly from the first
 	// HotKeys keys. Composes with uniform access only (ignored with Zipf).
@@ -47,6 +60,17 @@ type Spec struct {
 	ValueSize int
 	// Seed drives all randomness.
 	Seed int64
+	// Ring, when set, makes generation shard-aware: each update
+	// transaction picks its write keys inside one replication group its
+	// home site replicates — or, with probability CrossShardFraction,
+	// splits them across two distinct groups (the cross-shard commit
+	// path). Reads always come from a home-local group, since the sharded
+	// engine serves reads from local replicas only.
+	Ring *shard.Ring
+	// CrossShardFraction is the fraction of update transactions whose
+	// write set spans two groups (needs WritesPerTxn >= 2 and a Ring with
+	// more than one group to take effect).
+	CrossShardFraction float64
 }
 
 // Validate fills defaults and rejects nonsense.
@@ -78,6 +102,17 @@ func (s *Spec) Validate() error {
 	if s.HotKeys > s.Keys {
 		s.HotKeys = s.Keys
 	}
+	switch s.KeyDist {
+	case "", "uniform", "zipf":
+	default:
+		return fmt.Errorf("workload: unknown KeyDist %q", s.KeyDist)
+	}
+	if s.KeyDist == "zipf" && s.KeyTheta <= 0 {
+		s.KeyTheta = 0.99
+	}
+	if s.CrossShardFraction < 0 || s.CrossShardFraction > 1 {
+		return fmt.Errorf("workload: CrossShardFraction %v outside [0,1]", s.CrossShardFraction)
+	}
 	return nil
 }
 
@@ -95,27 +130,50 @@ type keyPicker struct {
 	spec Spec
 	r    *rand.Rand
 	zipf *rand.Zipf
+	// cdfs caches KeyDist=="zipf"'s cumulative rank weights per pool size
+	// (pool sizes differ per replication group under sharding).
+	cdfs map[int][]float64
 }
 
 func newKeyPicker(spec Spec, r *rand.Rand) *keyPicker {
 	p := &keyPicker{spec: spec, r: r}
-	if spec.ZipfS > 1 {
+	if spec.KeyDist == "" && spec.ZipfS > 1 {
 		p.zipf = rand.NewZipf(r, spec.ZipfS, 1, uint64(spec.Keys-1))
+	}
+	if spec.KeyDist == "zipf" {
+		p.cdfs = make(map[int][]float64)
 	}
 	return p
 }
 
-func (p *keyPicker) pick() message.Key {
-	var idx int
+// rank draws an index in [0, n) under the spec's distribution. Rank 0 is
+// the hottest.
+func (p *keyPicker) rank(n int) int {
 	switch {
-	case p.zipf != nil:
-		idx = int(p.zipf.Uint64())
-	case p.spec.HotKeys > 0 && p.r.Float64() < p.spec.HotProb:
-		idx = p.r.Intn(p.spec.HotKeys)
+	case p.spec.KeyDist == "zipf":
+		cdf, ok := p.cdfs[n]
+		if !ok {
+			cdf = make([]float64, n)
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += math.Pow(float64(i+1), -p.spec.KeyTheta)
+				cdf[i] = sum
+			}
+			p.cdfs[n] = cdf
+		}
+		u := p.r.Float64() * cdf[n-1]
+		return sort.SearchFloat64s(cdf, u)
+	case p.zipf != nil && n == p.spec.Keys:
+		return int(p.zipf.Uint64())
+	case p.spec.KeyDist == "" && p.spec.HotKeys > 0 && n == p.spec.Keys && p.r.Float64() < p.spec.HotProb:
+		return p.r.Intn(p.spec.HotKeys)
 	default:
-		idx = p.r.Intn(p.spec.Keys)
+		return p.r.Intn(n)
 	}
-	return message.Key(fmt.Sprintf("k%d", idx))
+}
+
+func (p *keyPicker) pick() message.Key {
+	return message.Key(fmt.Sprintf("k%d", p.rank(p.spec.Keys)))
 }
 
 // pickDistinct returns n distinct keys (or fewer if the key space is
@@ -128,6 +186,23 @@ func (p *keyPicker) pickDistinct(n int) []message.Key {
 	out := make([]message.Key, 0, n)
 	for tries := 0; len(out) < n && tries < 20*n+20; tries++ {
 		k := p.pick()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// pickDistinctIn returns n distinct keys from one group's pool.
+func (p *keyPicker) pickDistinctIn(pool []message.Key, n int) []message.Key {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	seen := make(map[message.Key]bool, n)
+	out := make([]message.Key, 0, n)
+	for tries := 0; len(out) < n && tries < 20*n+20; tries++ {
+		k := pool[p.rank(len(pool))]
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, k)
@@ -151,6 +226,29 @@ func Generate(spec Spec) ([]Txn, error) {
 	if spec.OriginSites > 0 {
 		origins = spec.OriginSites
 	}
+	// Shard-aware generation: one key pool per replication group, and per
+	// site the list of home-local groups with usable pools.
+	var pools [][]message.Key
+	var homeGroups [][]message.GroupID
+	if spec.Ring != nil {
+		pools = make([][]message.Key, spec.Ring.Groups())
+		for i := 0; i < spec.Keys; i++ {
+			k := message.Key(fmt.Sprintf("k%d", i))
+			g := spec.Ring.GroupOf(k)
+			pools[g] = append(pools[g], k)
+		}
+		homeGroups = make([][]message.GroupID, spec.Sites)
+		for s := 0; s < spec.Sites; s++ {
+			for _, g := range spec.Ring.SiteGroups(message.SiteID(s)) {
+				if len(pools[g]) > 0 {
+					homeGroups[s] = append(homeGroups[s], g)
+				}
+			}
+			if len(homeGroups[s]) == 0 {
+				return nil, fmt.Errorf("workload: site %d replicates no group with keys", s)
+			}
+		}
+	}
 	out := make([]Txn, 0, spec.Count)
 	for i := 0; i < spec.Count; i++ {
 		t := Txn{
@@ -158,12 +256,39 @@ func Generate(spec Spec) ([]Txn, error) {
 			Site:     message.SiteID(r.Intn(origins)),
 			ReadOnly: r.Float64() < spec.ReadOnlyFraction,
 		}
-		t.Reads = picker.pickDistinct(spec.ReadsPerTxn)
-		if !t.ReadOnly {
-			for _, k := range picker.pickDistinct(spec.WritesPerTxn) {
+		stage := func(keys []message.Key) {
+			for _, k := range keys {
 				v := make(message.Value, len(val))
 				copy(v, val)
 				t.Writes = append(t.Writes, message.KV{Key: k, Value: v})
+			}
+		}
+		if spec.Ring == nil {
+			t.Reads = picker.pickDistinct(spec.ReadsPerTxn)
+			if !t.ReadOnly {
+				stage(picker.pickDistinct(spec.WritesPerTxn))
+			}
+			out = append(out, t)
+			continue
+		}
+		locals := homeGroups[t.Site]
+		primary := locals[r.Intn(len(locals))]
+		t.Reads = picker.pickDistinctIn(pools[primary], spec.ReadsPerTxn)
+		if !t.ReadOnly {
+			cross := spec.CrossShardFraction > 0 && spec.WritesPerTxn >= 2 &&
+				spec.Ring.Groups() > 1 && r.Float64() < spec.CrossShardFraction
+			if !cross {
+				stage(picker.pickDistinctIn(pools[primary], spec.WritesPerTxn))
+			} else {
+				// Split the write set across the primary group and one other
+				// (possibly remote) group with keys.
+				second := primary
+				for second == primary || len(pools[second]) == 0 {
+					second = message.GroupID(r.Intn(spec.Ring.Groups()))
+				}
+				nFirst := (spec.WritesPerTxn + 1) / 2
+				stage(picker.pickDistinctIn(pools[primary], nFirst))
+				stage(picker.pickDistinctIn(pools[second], spec.WritesPerTxn-nFirst))
 			}
 		}
 		out = append(out, t)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/message"
+	"repro/internal/shard"
 )
 
 func baseSpec() Spec {
@@ -156,5 +157,125 @@ func TestValidation(t *testing.T) {
 	}
 	if len(txns) != 10 {
 		t.Fatalf("defaults generate %d", len(txns))
+	}
+}
+
+func TestKeyDistZipfDeterministicAndSkewed(t *testing.T) {
+	spec := baseSpec()
+	spec.KeyDist = "zipf" // KeyTheta defaults to 0.99
+	spec.ReadOnlyFraction = 0
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	counts := map[message.Key]int{}
+	total := 0
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Site != b[i].Site || len(a[i].Writes) != len(b[i].Writes) {
+			t.Fatalf("txn %d differs across identical seeds", i)
+		}
+		for j := range a[i].Writes {
+			if a[i].Writes[j].Key != b[i].Writes[j].Key {
+				t.Fatalf("txn %d write %d key differs: %q vs %q", i, j, a[i].Writes[j].Key, b[i].Writes[j].Key)
+			}
+			counts[a[i].Writes[j].Key]++
+			total++
+		}
+		for j := range a[i].Reads {
+			if a[i].Reads[j] != b[i].Reads[j] {
+				t.Fatalf("txn %d read %d differs", i, j)
+			}
+		}
+	}
+	// theta=0.99 over 32 keys gives the head key ~18% of draws; uniform
+	// would give ~3%. A loose bound keeps the test robust.
+	if frac := float64(counts["k0"]) / float64(total); frac < 0.10 {
+		t.Fatalf("zipf head k0 only %.3f of accesses, want >= 0.10", frac)
+	}
+	// The tail must still be reachable (unlike a pure hotspot).
+	distinct := len(counts)
+	if distinct < 16 {
+		t.Fatalf("only %d distinct keys accessed, want a usable tail", distinct)
+	}
+}
+
+func TestKeyDistValidation(t *testing.T) {
+	spec := baseSpec()
+	spec.KeyDist = "pareto"
+	if _, err := Generate(spec); err == nil {
+		t.Fatal("unknown KeyDist should be rejected")
+	}
+	spec = baseSpec()
+	spec.KeyDist = "uniform"
+	if _, err := Generate(spec); err != nil {
+		t.Fatal(err)
+	}
+	spec = baseSpec()
+	spec.CrossShardFraction = 1.5
+	if _, err := Generate(spec); err == nil {
+		t.Fatal("CrossShardFraction > 1 should be rejected")
+	}
+}
+
+func TestShardAwareGeneration(t *testing.T) {
+	ring, err := shard.NewRing(shard.Config{Groups: 2, RF: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := baseSpec()
+	spec.Keys = 64
+	spec.ReadOnlyFraction = 0
+	spec.Ring = ring
+	spec.CrossShardFraction = 0.5
+	txns, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, cross := 0, 0
+	for i, tx := range txns {
+		// Reads come from one group the home site replicates.
+		for _, k := range tx.Reads {
+			g := ring.GroupOf(k)
+			if !ring.Replicates(g, tx.Site) {
+				t.Fatalf("txn %d read %q in group %v not replicated by home site %v", i, k, g, tx.Site)
+			}
+		}
+		groups := map[message.GroupID]bool{}
+		for _, w := range tx.Writes {
+			groups[ring.GroupOf(w.Key)] = true
+		}
+		switch len(groups) {
+		case 1:
+			single++
+		case 2:
+			cross++
+		default:
+			t.Fatalf("txn %d writes span %d groups", i, len(groups))
+		}
+	}
+	if cross == 0 || single == 0 {
+		t.Fatalf("mix degenerate: %d single, %d cross at CrossShardFraction=0.5", single, cross)
+	}
+	// At 0% cross-shard every transaction stays within one group.
+	spec.CrossShardFraction = 0
+	txns, err = Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tx := range txns {
+		groups := map[message.GroupID]bool{}
+		for _, w := range tx.Writes {
+			groups[ring.GroupOf(w.Key)] = true
+		}
+		if len(groups) > 1 {
+			t.Fatalf("txn %d crosses groups at CrossShardFraction=0", i)
+		}
 	}
 }
