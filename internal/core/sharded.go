@@ -40,11 +40,16 @@ var ErrNotReplicated = errors.New("core: key's replication group not replicated 
 // vote-collection round: the coordinator (home site) sends each touched
 // group its sub-writeset in a ShardPrepare, every group orders and
 // certifies it locally — blocking the prepare's footprint against
-// concurrent writers until the outcome — and unicasts its deterministic
-// verdict to the coordinator, which commits iff every group voted yes and
-// closes the round with a ShardDecision broadcast per group. Conflicts
-// abort (never wait), and the per-group total order is the deterministic
-// tie-break: of two overlapping prepares the one ordered first wins.
+// concurrent conflicting transactions until the outcome — and unicasts
+// its deterministic verdict to the coordinator, which commits iff every
+// group voted yes and closes the round with a ShardDecision broadcast per
+// group. The client is acknowledged only after every touched group has
+// durably processed the decision: directly where the coordinator
+// replicates the group, and via the group leader's ShardOutcome unicast
+// elsewhere — so a true ack means durably committed in every group, the
+// same contract as the fully replicated engines. Conflicts abort (never
+// wait), and the per-group total order is the deterministic tie-break: of
+// two overlapping prepares the one ordered first wins.
 //
 // Writes are always piggybacked on the certification request (there is no
 // causal write dissemination under sharding) and certification checks read
@@ -74,9 +79,13 @@ type shardGroup struct {
 	certIndex  uint64
 	lastCommit map[message.Key]uint64
 	// blocked holds the footprints of certified-but-undecided cross-shard
-	// prepares: a concurrent writer touching a blocked key fails
-	// certification (abort-if-any-conflict; the prepare ordered first wins).
-	blocked  map[message.Key]message.TxnID
+	// prepares: a concurrent write touching a blocked key — or a read of a
+	// key a blocking prepare writes — fails certification
+	// (abort-if-any-conflict; the prepare ordered first wins). Several
+	// prepares may hold the same key at once (read-read overlaps certify
+	// independently), so each key tracks the full holder set and the key
+	// stays blocked until the last holder's decision.
+	blocked  map[message.Key]*blockSet
 	prepared map[message.TxnID]*preparedSub
 
 	// Gap repair (per group, mirroring the atomic engine's probe).
@@ -91,22 +100,32 @@ type shardGroup struct {
 	chunkLast    int
 }
 
+// blockSet tracks the undecided prepares holding one key. wrote counts
+// the holders that write the key: any holder blocks concurrent writes,
+// but only a writing holder blocks reads (a read-only hold leaves the
+// key's value untouched either way).
+type blockSet struct {
+	held  map[message.TxnID]bool // holder → prepare writes the key
+	wrote int
+}
+
 // preparedSub is one cross-shard transaction certified at its prepare
 // index, awaiting the coordinator's decision.
 type preparedSub struct {
 	idx    uint64
 	vote   bool
+	coord  message.SiteID
 	keys   []message.Key
 	writes []message.KV
 }
 
 // coordState tracks one cross-shard transaction this site coordinates.
 type coordState struct {
-	groups         []message.GroupID        // touched groups, ascending
-	votes          map[message.GroupID]bool // first verdict per group
-	decided        bool
-	outcome        bool
-	localRemaining int // local groups whose decision has not landed yet
+	groups  []message.GroupID        // touched groups, ascending
+	votes   map[message.GroupID]bool // first verdict per group
+	decided bool
+	outcome bool
+	acked   map[message.GroupID]bool // groups whose durable decision landed
 }
 
 var _ Engine = (*ShardedEngine)(nil)
@@ -153,7 +172,7 @@ func newShardGroup(e *ShardedEngine, gid message.GroupID, cfg Config) *shardGrou
 		eng:        e,
 		store:      st,
 		lastCommit: make(map[message.Key]uint64),
-		blocked:    make(map[message.Key]message.TxnID),
+		blocked:    make(map[message.Key]*blockSet),
 		prepared:   make(map[message.TxnID]*preparedSub),
 		chunkLast:  -1,
 	}
@@ -559,7 +578,7 @@ func (g *shardGroup) onOrderedPrepare(idx uint64, p *message.ShardPrepare) {
 	e := g.eng
 	vote := g.certify(p.Reads, p.WriteKV)
 	e.tr.Point(p.Txn, trace.KindShardCert, idx, message.SiteID(g.id), boolExtra(vote))
-	sub := &preparedSub{idx: idx, vote: vote, writes: p.WriteKV}
+	sub := &preparedSub{idx: idx, vote: vote, coord: p.Coord, writes: p.WriteKV}
 	seen := make(map[message.Key]bool, len(p.Reads)+len(p.WriteKV))
 	for _, r := range p.Reads {
 		if !seen[r.Key] {
@@ -574,9 +593,7 @@ func (g *shardGroup) onOrderedPrepare(idx uint64, p *message.ShardPrepare) {
 		}
 	}
 	if vote {
-		for _, k := range sub.keys {
-			g.blocked[k] = p.Txn
-		}
+		g.block(p.Txn, sub.keys, p.WriteKV)
 	}
 	g.prepared[p.Txn] = sub
 	// Every member votes (self included, through the normal send path so
@@ -594,18 +611,14 @@ func (g *shardGroup) onOrderedDecision(idx uint64, d *message.ShardDecision) {
 	sub := g.prepared[d.Txn]
 	delete(g.prepared, d.Txn)
 	if sub != nil && sub.vote {
-		for _, k := range sub.keys {
-			if g.blocked[k] == d.Txn {
-				delete(g.blocked, k)
-			}
-		}
+		g.unblock(d.Txn, sub.keys)
 	}
 	e.tr.Point(d.Txn, trace.KindShardDecide, idx, message.SiteID(g.id), boolExtra(d.Commit))
 	if !d.Commit || sub == nil {
 		if sub == nil && d.Commit {
 			e.rt.Logf("sharded: group %v commit decision for unknown prepare %v", g.id, d.Txn)
 		}
-		e.onGroupDecided(d.Txn, false)
+		g.ackDecision(d.Txn, sub, false)
 		return
 	}
 	writes := sub.writes
@@ -617,38 +630,113 @@ func (g *shardGroup) onOrderedDecision(idx uint64, d *message.ShardDecision) {
 				g.lastCommit[w.Key] = idx
 			}
 		},
-		Ack: func(committed bool) { e.onGroupDecided(d.Txn, committed) },
+		Ack: func(bool) { g.ackDecision(d.Txn, sub, true) },
 	})
 }
 
+// ackDecision reports this group's durable processing of a cross-shard
+// decision to the coordinator: directly when the coordinator runs at this
+// site, and — when it replicates no member of this group — via the group
+// leader's ShardOutcome unicast, so the coordinator never acks the client
+// before every touched group is durable.
+func (g *shardGroup) ackDecision(txn message.TxnID, sub *preparedSub, commit bool) {
+	e := g.eng
+	e.onGroupDecided(txn, g.id)
+	coord := txn.Site // the coordinator is the home site; sub is authoritative
+	if sub != nil {
+		coord = sub.coord
+	}
+	if !e.ring.Replicates(g.id, coord) && e.ring.Leader(g.id) == e.rt.ID() {
+		e.rt.Send(coord, &message.ShardOutcome{Txn: txn, Group: g.id, Commit: commit})
+	}
+}
+
+// block registers txn as a holder of each footprint key; keys in writes
+// also count as write-holds, which block concurrent reads.
+func (g *shardGroup) block(txn message.TxnID, keys []message.Key, writes []message.KV) {
+	wr := make(map[message.Key]bool, len(writes))
+	for _, w := range writes {
+		wr[w.Key] = true
+	}
+	for _, k := range keys {
+		bs := g.blocked[k]
+		if bs == nil {
+			bs = &blockSet{held: make(map[message.TxnID]bool, 1)}
+			g.blocked[k] = bs
+		}
+		if _, dup := bs.held[txn]; dup {
+			continue
+		}
+		bs.held[txn] = wr[k]
+		if wr[k] {
+			bs.wrote++
+		}
+	}
+}
+
+// unblock releases txn's hold on each key; the key stays blocked while
+// any other undecided prepare still holds it.
+func (g *shardGroup) unblock(txn message.TxnID, keys []message.Key) {
+	for _, k := range keys {
+		bs := g.blocked[k]
+		if bs == nil {
+			continue
+		}
+		wrote, held := bs.held[txn]
+		if !held {
+			continue
+		}
+		delete(bs.held, txn)
+		if wrote {
+			bs.wrote--
+		}
+		if len(bs.held) == 0 {
+			delete(g.blocked, k)
+		}
+	}
+}
+
 // certify is the sharded deterministic rule: every read base version must
-// still be the key's latest committed version in this group, and no write
-// may touch a key blocked by an undecided cross-shard prepare. Writes are
-// blind — write-write conflicts serialize by install index.
+// still be the key's latest committed version in this group, no read may
+// touch a key an undecided cross-shard prepare writes (the value is about
+// to change at the prepare's decision), and no write may touch a key any
+// undecided prepare holds. Writes are blind — write-write conflicts
+// serialize by install index.
 func (g *shardGroup) certify(reads []message.KeyVer, writes []message.KV) bool {
 	for _, kv := range reads {
 		if g.lastCommit[kv.Key] > kv.Ver {
 			return false
 		}
+		if bs := g.blocked[kv.Key]; bs != nil && bs.wrote > 0 {
+			return false
+		}
 	}
 	for _, w := range writes {
-		if _, held := g.blocked[w.Key]; held {
+		if g.blocked[w.Key] != nil {
 			return false
 		}
 	}
 	return true
 }
 
-// onGroupDecided runs after this site processed one touched group's
-// decision; the coordinator finishes its transaction once every local
-// touched group has.
-func (e *ShardedEngine) onGroupDecided(txn message.TxnID, _ bool) {
+// onGroupDecided runs after this site durably processed one touched
+// group's decision; only the coordinator tracks the round.
+func (e *ShardedEngine) onGroupDecided(txn message.TxnID, gid message.GroupID) {
 	cs := e.coord[txn]
 	if cs == nil || !cs.decided {
 		return
 	}
-	cs.localRemaining--
-	if cs.localRemaining > 0 {
+	e.groupAcked(txn, cs, gid)
+}
+
+// groupAcked marks one touched group's decision durable at the
+// coordinator and finishes the transaction once every group reported.
+func (e *ShardedEngine) groupAcked(txn message.TxnID, cs *coordState, gid message.GroupID) {
+	if cs.acked[gid] {
+		return
+	}
+	cs.acked[gid] = true
+	if len(cs.acked) < len(cs.groups) {
 		return
 	}
 	delete(e.coord, txn)
@@ -670,7 +758,9 @@ func (e *ShardedEngine) finishCoord(txn message.TxnID, commit bool) {
 // onVote tallies one group's verdict at the coordinator. Verdicts are
 // deterministic across a group's replicas, so the first per group decides
 // its entry; once every touched group has reported, the round closes with
-// a per-group decision broadcast: commit iff all voted yes.
+// a per-group decision broadcast: commit iff all voted yes. The client
+// ack waits for every group's durable decision (onGroupDecided locally,
+// ShardOutcome from remote group leaders).
 func (e *ShardedEngine) onVote(v *message.ShardVote) {
 	cs := e.coord[v.Txn]
 	if cs == nil || cs.decided {
@@ -690,25 +780,23 @@ func (e *ShardedEngine) onVote(v *message.ShardVote) {
 	}
 	cs.decided = true
 	cs.outcome = commit
-	for _, gid := range cs.groups {
-		if e.groups[gid] != nil {
-			cs.localRemaining++
-		}
-	}
+	cs.acked = make(map[message.GroupID]bool, len(cs.groups))
 	for _, gid := range cs.groups {
 		e.sendToGroup(gid, &message.ShardDecision{Txn: v.Txn, Group: gid, Commit: commit})
 	}
-	if cs.localRemaining == 0 {
-		// Coordinator replicates none of the touched groups: the outcome is
-		// decided; durability rides the groups themselves.
-		delete(e.coord, v.Txn)
-		e.finishCoord(v.Txn, commit)
-	}
 }
 
-// onOutcome resolves a single-group commit routed through a group this
-// site does not replicate.
+// onOutcome resolves a commit this site could not observe locally: a
+// cross-shard group ack from a remote group's leader when a coordinated
+// round is in flight, else a single-group commit routed through a group
+// this site does not replicate.
 func (e *ShardedEngine) onOutcome(o *message.ShardOutcome) {
+	if cs := e.coord[o.Txn]; cs != nil {
+		if cs.decided {
+			e.groupAcked(o.Txn, cs, o.Group)
+		}
+		return
+	}
 	if tx := e.base.local[o.Txn]; tx != nil && tx.state == txCommitWait {
 		if o.Commit {
 			e.finish(tx, Committed, ReasonNone)
@@ -784,7 +872,7 @@ func (g *shardGroup) exportPrepared() []message.PreparedShard {
 	out := make([]message.PreparedShard, 0, len(g.prepared))
 	for id, sub := range g.prepared {
 		out = append(out, message.PreparedShard{
-			Txn: id, Index: sub.idx, Vote: sub.vote, Keys: sub.keys, Writes: sub.writes,
+			Txn: id, Index: sub.idx, Vote: sub.vote, Coord: sub.coord, Keys: sub.keys, Writes: sub.writes,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -847,15 +935,13 @@ func (g *shardGroup) installState(entries []message.SnapshotEntry, applied, sinc
 		}
 	}
 	g.certIndex = applied
-	g.blocked = make(map[message.Key]message.TxnID)
+	g.blocked = make(map[message.Key]*blockSet)
 	g.prepared = make(map[message.TxnID]*preparedSub)
 	for _, p := range prepared {
-		sub := &preparedSub{idx: p.Index, vote: p.Vote, keys: p.Keys, writes: p.Writes}
+		sub := &preparedSub{idx: p.Index, vote: p.Vote, coord: p.Coord, keys: p.Keys, writes: p.Writes}
 		g.prepared[p.Txn] = sub
 		if p.Vote {
-			for _, k := range p.Keys {
-				g.blocked[k] = p.Txn
-			}
+			g.block(p.Txn, p.Keys, p.Writes)
 		}
 	}
 	g.stack.ImportSync(stack)

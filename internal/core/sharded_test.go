@@ -173,6 +173,51 @@ func TestShardedCertificationConflict(t *testing.T) {
 	tc.checkGroupConvergence()
 }
 
+// TestShardedCertifyBlockedFootprint pins certification against
+// certified-but-undecided cross-shard footprints: a read of a key the
+// blocking prepare WRITES must fail (else a transaction straddling the
+// prepare's decision across groups commits a fractured read), a read of a
+// read-only hold passes, a write fails against any hold, and overlapping
+// holders of one key release independently — the key stays blocked until
+// its last undecided holder's decision.
+func TestShardedCertifyBlockedFootprint(t *testing.T) {
+	g := &shardGroup{
+		lastCommit: make(map[message.Key]uint64),
+		blocked:    make(map[message.Key]*blockSet),
+	}
+	p1 := message.TxnID{Site: 1, Seq: 1}
+	p2 := message.TxnID{Site: 2, Seq: 1}
+	readOf := func(k message.Key) []message.KeyVer { return []message.KeyVer{{Key: k}} }
+	writeOf := func(k message.Key) []message.KV { return []message.KV{{Key: k}} }
+
+	// p1 prepares with footprint {x written, y read}.
+	g.block(p1, []message.Key{"x", "y"}, writeOf("x"))
+	if g.certify(readOf("x"), nil) {
+		t.Fatal("read of a key a blocked prepare writes must fail certification")
+	}
+	if !g.certify(readOf("y"), nil) {
+		t.Fatal("read of a key a blocked prepare only reads must pass")
+	}
+	if g.certify(nil, writeOf("x")) || g.certify(nil, writeOf("y")) {
+		t.Fatal("writes to any blocked key must fail certification")
+	}
+
+	// p2 also holds y (read-read overlap certifies independently); p2's
+	// decision landing first must NOT unblock p1's hold on y.
+	g.block(p2, []message.Key{"y"}, nil)
+	g.unblock(p2, []message.Key{"y"})
+	if g.certify(nil, writeOf("y")) {
+		t.Fatal("y unblocked by p2's decision while p1 is still undecided")
+	}
+	g.unblock(p1, []message.Key{"x", "y"})
+	if !g.certify(readOf("x"), nil) || !g.certify(nil, writeOf("y")) {
+		t.Fatal("footprint still blocked after the last holder's decision")
+	}
+	if len(g.blocked) != 0 {
+		t.Fatalf("blocked map leaked %d keys", len(g.blocked))
+	}
+}
+
 // TestShardedCrossShardCommit: a transaction spanning both groups commits
 // atomically — its sub-writesets land in every touched group.
 func TestShardedCrossShardCommit(t *testing.T) {

@@ -726,11 +726,15 @@ type ShardForward struct {
 // Kind implements Message.
 func (*ShardForward) Kind() Kind { return KindShardForward }
 
-// ShardOutcome reports a forwarded single-shard commit's certification
-// outcome back to the transaction's home site, which is not a member of
-// the deciding group and therefore never sees the ordered request.
+// ShardOutcome reports an outcome the transaction's home site cannot
+// observe locally, unicast by the deciding group's leader: a forwarded
+// single-shard commit's certification verdict (Group unused), or — for a
+// cross-shard round whose coordinator replicates no member of Group — the
+// group's durable processing of the ShardDecision, so the coordinator
+// acks the client only after every touched group is durable.
 type ShardOutcome struct {
 	Txn    TxnID
+	Group  GroupID
 	Commit bool
 }
 
@@ -740,11 +744,13 @@ func (*ShardOutcome) Kind() Kind { return KindShardOutcome }
 // PreparedShard records, inside a per-group state transfer, one
 // cross-shard transaction certified at its prepare index but still
 // awaiting the coordinator's decision: the receiver must re-block its
-// keys and hold its writes so a later ShardDecision lands correctly.
+// keys and hold its writes (and the coordinator's identity, for the
+// decision's durable ack) so a later ShardDecision lands correctly.
 type PreparedShard struct {
 	Txn    TxnID
 	Index  uint64
 	Vote   bool
+	Coord  SiteID
 	Keys   []Key
 	Writes []KV
 }
@@ -915,7 +921,7 @@ func EstimateSize(m Message) int {
 		}
 		n += stackSyncSize(t.Stack) + pendingSize(t.Pending)
 		for _, p := range t.Prepared {
-			n += 24
+			n += 28
 			for _, k := range p.Keys {
 				n += 4 + len(k)
 			}
@@ -1013,7 +1019,7 @@ func EstimateSize(m Message) int {
 	case *ShardForward:
 		return hdr + 4 + EstimateSize(t.Req)
 	case *ShardOutcome:
-		return hdr + 16
+		return hdr + 20
 	default:
 		return hdr
 	}
