@@ -117,8 +117,9 @@ func run() error {
 		"E14": experiments.E14OrdererBatching,
 		"E15": experiments.E15CheckpointRecovery,
 		"E16": experiments.E16PartialReplication,
+		"E17": experiments.E17ChaosFailover,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
 
 	violations := 0
 	doc := benchDoc{

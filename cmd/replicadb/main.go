@@ -86,6 +86,8 @@ func run() error {
 		shards     = flag.Int("shards", 1, "partial replication: number of replication groups (1 = full replication; requires -proto atomic)")
 		rf         = flag.Int("rf", 0, "sites replicating each group under -shards (0 = every site)")
 		member     = flag.Bool("membership", false, "enable failure detection and majority views")
+		fdIval     = flag.Duration("fd-interval", 500*time.Millisecond, "sharded: failure-detector heartbeat interval; enables cross-shard coordinator failover (0 disables)")
+		fdTimeout  = flag.Duration("fd-timeout", 2500*time.Millisecond, "sharded: silence before a peer is suspected and its prepares terminated")
 		traceBuf   = flag.Int("trace-buf", trace.DefaultCap, "per-site span ring capacity for TRACE (0 disables tracing)")
 		verbose    = flag.Bool("v", false, "log runtime diagnostics")
 	)
@@ -130,6 +132,10 @@ func run() error {
 			return fmt.Errorf("-shards does not combine with -membership (group placement is static)")
 		}
 		ecfg.Shard = &shard.Config{Groups: *shards, RF: *rf}
+		// Coordinator failover: suspected coordinators' orphaned prepares
+		// are terminated by the lowest live member of each prepared group.
+		ecfg.FailureInterval = *fdIval
+		ecfg.FailureTimeout = *fdTimeout
 		ring, err = shard.NewRing(*ecfg.Shard, len(addrs))
 		if err != nil {
 			return err
@@ -461,6 +467,11 @@ func (r *replica) execute(line string) string {
 						g, r.sharded.GroupStore(g).Len(), g, r.sharded.GroupCertIndex(g)))
 				}
 				parts = append(parts, fmt.Sprintf("pending_coord=%d", r.sharded.PendingCoord()))
+				// Failover health: peers this site currently suspects and
+				// prepares stranded by a suspected coordinator (nonzero
+				// steady-state means a termination round is stuck).
+				parts = append(parts, fmt.Sprintf("suspects=%d orphaned_prepares=%d",
+					len(r.sharded.Suspects()), r.sharded.OrphanedPrepares()))
 				sharded = " " + strings.Join(parts, " ")
 			}
 			if cp := r.engine.Checkpointer(); cp != nil {

@@ -302,7 +302,7 @@ func TestShardedClientProtocol(t *testing.T) {
 	}
 	// STATS exposes per-group progress and the cross-shard leak oracle.
 	resp := r0.execute("STATS")
-	for _, want := range []string{"g0_keys=", "g0_idx=", "pending_coord=0", "ckpt_count="} {
+	for _, want := range []string{"g0_keys=", "g0_idx=", "pending_coord=0", "suspects=0", "orphaned_prepares=0", "ckpt_count="} {
 		if !strings.Contains(resp, want) {
 			t.Fatalf("STATS %q missing token %q", resp, want)
 		}

@@ -90,6 +90,7 @@ func run(files []string) (bool, error) {
 		// do not apply; their per-group counterparts do.
 		c.checkShardOrder()
 		c.checkShardAtomicity()
+		c.checkShardTermination()
 	} else {
 		switch c.proto {
 		case "atomic":
@@ -594,6 +595,45 @@ func (c *checker) checkShardAtomicity() {
 				if g >= 64 || mask&(1<<uint(g)) == 0 {
 					c.failf("%v: commit decision in group %d outside the touched mask %#x", id, g, mask)
 				}
+			}
+		}
+	}
+}
+
+// checkShardTermination verifies that no cross-shard prepare is left
+// stranded: once any group certified a transaction (a shard-cert span
+// exists), every group in the coordinator's touched mask must eventually
+// record a decision — reached by the coordinator or, after its failure, by
+// a successor's termination round. A txn with certs but a decision-less
+// touched group is a stuck prepare: its footprint keys stay blocked
+// forever. Runs on full-execution dumps (after the drain window); a trace
+// cut mid-round would report false positives.
+func (c *checker) checkShardTermination() {
+	for _, id := range c.sortedTraces() {
+		spans := c.byTrace[id]
+		var mask uint64
+		hasCoord, hasCert := false, false
+		decided := make(map[int32]bool)
+		for _, s := range spans {
+			switch s.Kind {
+			case trace.KindShardCoord:
+				hasCoord = true
+				mask = s.Seq
+			case trace.KindShardCert:
+				hasCert = true
+			case trace.KindShardDecide:
+				decided[int32(s.Peer)] = true
+			}
+		}
+		if !hasCoord || !hasCert {
+			continue
+		}
+		for g := int32(0); g < 64; g++ {
+			if mask&(1<<uint(g)) == 0 {
+				continue
+			}
+			if !decided[g] {
+				c.failf("%v: stuck prepare — certified but touched group %d never recorded a decision (mask %#x)", id, g, mask)
 			}
 		}
 	}

@@ -47,6 +47,11 @@ type Checkpoint struct {
 	// Stack is nil for engines without a broadcast stack (baseline,
 	// quorum).
 	Stack *message.StackSync
+	// Shard is the group's cross-shard certification state under partial
+	// replication (nil elsewhere): certified-undecided prepares survive a
+	// restart through it, so a crashed member's orphaned prepares can
+	// still be terminated.
+	Shard *message.ShardRecovery
 }
 
 // filePath names the checkpoint at applied index idx inside dir. The index
@@ -232,8 +237,9 @@ type RecoverInfo struct {
 	CheckpointIndex uint64 // applied index of the checkpoint used (0 = none)
 	CheckpointPath  string // "" when no checkpoint was found
 	Stack           *message.StackSync
-	Replayed        int // WAL records applied above the checkpoint
-	Skipped         int // WAL records at or below the checkpoint (overlap)
+	Shard           *message.ShardRecovery // cross-shard state (sharded groups)
+	Replayed        int                    // WAL records applied above the checkpoint
+	Skipped         int                    // WAL records at or below the checkpoint (overlap)
 }
 
 // Recover rebuilds a site's store from the newest valid checkpoint in dir
@@ -254,6 +260,7 @@ func Recover(dir string, maxBytes int64) (*storage.Store, *storage.WAL, *Recover
 		info.CheckpointIndex = ck.Applied
 		info.CheckpointPath = path
 		info.Stack = ck.Stack
+		info.Shard = ck.Shard
 	}
 	floor := info.CheckpointIndex
 	lastPath, validOff, err := storage.ReplaySegmentsPrefix(dir, func(r storage.Record) error {

@@ -190,7 +190,10 @@ type Config struct {
 	// When disabled the full static cluster is always the view.
 	Membership bool
 	// FailureInterval and FailureTimeout tune the detector when Membership
-	// is enabled.
+	// is enabled. For the sharded engine (static placement, no views) a
+	// non-zero FailureInterval instead enables the failure detector alone,
+	// turning on cross-shard coordinator failover: prepares orphaned by a
+	// suspected coordinator are terminated by a successor.
 	FailureInterval time.Duration
 	FailureTimeout  time.Duration
 	// Tracer, when set, records per-transaction phase spans across the
@@ -240,6 +243,11 @@ type Config struct {
 	// a group) starts that group empty.
 	GroupInitialStore func(message.GroupID) *storage.Store
 	GroupInitialStack func(message.GroupID) *message.StackSync
+	// GroupInitialShard seeds a restarted sharded engine's cross-shard
+	// certification state (certified-undecided prepares, remembered
+	// decisions, fences) from a recovered checkpoint, so orphaned prepares
+	// survive restarts and termination answers stay deterministic.
+	GroupInitialShard func(message.GroupID) *message.ShardRecovery
 }
 
 // Local aliases keep the engines' lock-table calls compact.

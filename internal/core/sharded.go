@@ -10,6 +10,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/commitpipe"
 	"repro/internal/env"
+	"repro/internal/failure"
 	"repro/internal/message"
 	"repro/internal/sgraph"
 	"repro/internal/shard"
@@ -63,6 +64,9 @@ type ShardedEngine struct {
 	groups     map[message.GroupID]*shardGroup
 	homeGroups []message.GroupID // groups replicated here, ascending
 	coord      map[message.TxnID]*coordState
+	// term tracks termination rounds this site runs as successor for
+	// prepares whose coordinator is suspected (Config.FailureInterval > 0).
+	term map[message.TxnID]*termState
 }
 
 // shardGroup is one replication group's slice of the engine: its ordering
@@ -87,6 +91,18 @@ type shardGroup struct {
 	// stays blocked until the last holder's decision.
 	blocked  map[message.Key]*blockSet
 	prepared map[message.TxnID]*preparedSub
+	// decided records the outcome of every ShardDecision ordered in this
+	// group (bounded FIFO, see decidedRetention): duplicates from a
+	// successor racing a resurrected coordinator are skipped entirely, and
+	// a termination query ordered after the decision is answered with the
+	// decision instead of "not prepared".
+	decided      map[message.TxnID]bool
+	decidedOrder []message.TxnID
+	// fenced marks transactions a termination query was ordered for before
+	// their prepare: any prepare of a fenced transaction ordered later is
+	// refused (vote no, hold nothing), which keeps every member's query
+	// answer — and therefore the successor's decision — deterministic.
+	fenced map[message.TxnID]bool
 
 	// Gap repair (per group, mirroring the atomic engine's probe).
 	lastGap uint64
@@ -115,17 +131,31 @@ type preparedSub struct {
 	idx    uint64
 	vote   bool
 	coord  message.SiteID
+	groups []message.GroupID // every group the transaction touches
 	keys   []message.Key
 	writes []message.KV
 }
+
+// decidedRetention bounds each group's remembered decision outcomes; old
+// entries are evicted FIFO. Terminations resolve within a few detector
+// timeouts, so any query for an evicted decision has long since stopped.
+const decidedRetention = 4096
 
 // coordState tracks one cross-shard transaction this site coordinates.
 type coordState struct {
 	groups  []message.GroupID        // touched groups, ascending
 	votes   map[message.GroupID]bool // first verdict per group
+	since   time.Duration            // when the round opened (local clock)
 	decided bool
 	outcome bool
 	acked   map[message.GroupID]bool // groups whose durable decision landed
+}
+
+// termState tracks one termination round this site runs as successor for
+// an orphaned prepare: one deterministic CoordStatus per touched group.
+type termState struct {
+	groups []message.GroupID // touched groups, ascending
+	status map[message.GroupID]*message.CoordStatus
 }
 
 var _ Engine = (*ShardedEngine)(nil)
@@ -144,10 +174,21 @@ func NewSharded(rt env.Runtime, cfg Config) (*ShardedEngine, error) {
 		ring:   ring,
 		groups: make(map[message.GroupID]*shardGroup),
 		coord:  make(map[message.TxnID]*coordState),
+		term:   make(map[message.TxnID]*termState),
 	}
 	e.homeGroups = ring.SiteGroups(rt.ID())
 	for _, gid := range e.homeGroups {
 		e.groups[gid] = newShardGroup(e, gid, cfg)
+	}
+	if cfg.FailureInterval > 0 {
+		// Coordinator failover is opt-in: with a detector configured, a
+		// suspected coordinator's prepares are terminated by a successor
+		// instead of blocking until the coordinator restarts.
+		e.base.det = failure.New(rt, failure.Config{
+			Interval:  cfg.FailureInterval,
+			Timeout:   cfg.FailureTimeout,
+			OnSuspect: func(message.SiteID) { e.scanOrphans() },
+		})
 	}
 	return e, nil
 }
@@ -174,6 +215,8 @@ func newShardGroup(e *ShardedEngine, gid message.GroupID, cfg Config) *shardGrou
 		lastCommit: make(map[message.Key]uint64),
 		blocked:    make(map[message.Key]*blockSet),
 		prepared:   make(map[message.TxnID]*preparedSub),
+		decided:    make(map[message.TxnID]bool),
+		fenced:     make(map[message.TxnID]bool),
 		chunkLast:  -1,
 	}
 	g.pipe = commitpipe.New(commitpipe.Config{
@@ -212,8 +255,87 @@ func newShardGroup(e *ShardedEngine, gid message.GroupID, cfg Config) *shardGrou
 			g.stack.ImportSync(ss)
 		}
 	}
+	if cfg.GroupInitialShard != nil {
+		if sr := cfg.GroupInitialShard(gid); sr != nil {
+			g.restoreShard(sr)
+		}
+	}
 	g.initCheckpoint(cfg)
 	return g
+}
+
+// restoreShard re-installs cross-shard certification state recovered from
+// a checkpoint: certified-undecided prepares (re-blocking their
+// footprints), remembered decision outcomes, and fences. A prepare whose
+// written keys carry a store version above its prepare index was decided
+// commit before the crash (its blocked footprint admits no other writer
+// until the decision) and already reinstalled by WAL replay, so it is
+// dropped instead of resurrected.
+func (g *shardGroup) restoreShard(sr *message.ShardRecovery) {
+	for _, d := range sr.Decided {
+		g.recordDecided(d.Txn, d.Commit)
+	}
+	for _, txn := range sr.Fenced {
+		g.fenced[txn] = true
+	}
+	for _, p := range sr.Prepared {
+		if _, done := g.decided[p.Txn]; done {
+			continue
+		}
+		if p.Vote && g.decisionReplayed(p) {
+			continue
+		}
+		g.prepared[p.Txn] = &preparedSub{
+			idx: p.Index, vote: p.Vote, coord: p.Coord, groups: p.Groups, keys: p.Keys, writes: p.Writes,
+		}
+		if p.Vote {
+			g.block(p.Txn, p.Keys, p.Writes)
+		}
+	}
+}
+
+// decisionReplayed reports whether p's decision already reached the store
+// through WAL replay above the checkpoint (any written key advanced past
+// the prepare index — impossible while the footprint is blocked).
+func (g *shardGroup) decisionReplayed(p message.PreparedShard) bool {
+	for _, w := range p.Writes {
+		if rec, ok := g.store.Get(w.Key); ok && rec.Index > p.Index {
+			return true
+		}
+	}
+	return false
+}
+
+// recordDecided remembers one ordered decision's outcome, evicting the
+// oldest entry beyond the retention bound.
+func (g *shardGroup) recordDecided(txn message.TxnID, commit bool) {
+	if _, have := g.decided[txn]; have {
+		return
+	}
+	g.decided[txn] = commit
+	g.decidedOrder = append(g.decidedOrder, txn)
+	if len(g.decidedOrder) > decidedRetention {
+		evict := g.decidedOrder[0]
+		g.decidedOrder = g.decidedOrder[1:]
+		delete(g.decided, evict)
+	}
+}
+
+// exportShard snapshots this group's cross-shard certification state for
+// state transfers and checkpoints, deterministically ordered.
+func (g *shardGroup) exportShard() *message.ShardRecovery {
+	sr := &message.ShardRecovery{Prepared: g.exportPrepared()}
+	for _, txn := range g.decidedOrder {
+		if commit, ok := g.decided[txn]; ok {
+			sr.Decided = append(sr.Decided, message.DecidedShard{Txn: txn, Commit: commit})
+		}
+	}
+	sr.Fenced = make([]message.TxnID, 0, len(g.fenced))
+	for txn := range g.fenced {
+		sr.Fenced = append(sr.Fenced, txn)
+	}
+	sort.Slice(sr.Fenced, func(i, j int) bool { return sr.Fenced[i].Less(sr.Fenced[j]) })
+	return sr
 }
 
 // initCheckpoint wires this group's background checkpointer.
@@ -232,6 +354,7 @@ func (g *shardGroup) initCheckpoint(cfg Config) {
 				Applied: g.store.Applied(),
 				Entries: g.store.Snapshot(),
 				Stack:   g.stack.ExportSync(),
+				Shard:   g.exportShard(),
 			}
 		},
 		Barrier: g.pipe.Barrier,
@@ -258,6 +381,30 @@ func (e *ShardedEngine) Start() {
 	if len(e.homeGroups) > 0 {
 		e.rt.SetTimer(e.probeInterval(), e.gapProbe)
 	}
+	if e.det != nil {
+		e.det.Start()
+		e.rt.SetTimer(e.rescanInterval(), e.orphanTick)
+	}
+}
+
+// rescanInterval paces the periodic orphan sweep: one detector timeout, so
+// a termination stalled by message loss or a partition retries as soon as
+// the suspicion evidence could have changed.
+func (e *ShardedEngine) rescanInterval() time.Duration {
+	if e.cfg.FailureTimeout > 0 {
+		return e.cfg.FailureTimeout
+	}
+	return 4 * e.cfg.FailureInterval
+}
+
+// orphanTick periodically re-runs the orphan sweep and retries the
+// idempotent traffic of still-open rounds; re-sent votes, queries, and
+// re-broadcast decisions are deduplicated by the first-per-group tallies
+// and the ordered fence/decided machinery, so retries are always safe.
+func (e *ShardedEngine) orphanTick() {
+	defer e.rt.SetTimer(e.rescanInterval(), e.orphanTick)
+	e.scanOrphans()
+	e.resendPending()
 }
 
 func (e *ShardedEngine) probeInterval() time.Duration {
@@ -307,6 +454,7 @@ func (g *shardGroup) send(to message.SiteID, m message.Message) {
 
 // Receive implements env.Node.
 func (e *ShardedEngine) Receive(from message.SiteID, m message.Message) {
+	e.observe(from)
 	switch t := m.(type) {
 	case *message.GroupMsg:
 		g := e.groups[t.Group]
@@ -321,8 +469,10 @@ func (e *ShardedEngine) Receive(from message.SiteID, m message.Message) {
 		e.onVote(t)
 	case *message.ShardOutcome:
 		e.onOutcome(t)
+	case *message.CoordStatus:
+		e.onCoordStatus(t)
 	case *message.Heartbeat:
-		// Liveness only.
+		// Liveness only (observed above).
 	default:
 		e.rt.Logf("sharded: unexpected %v from %v", m.Kind(), from)
 	}
@@ -437,7 +587,7 @@ func (e *ShardedEngine) Commit(tx *Tx, cb func(Outcome, AbortReason)) {
 		e.sendToGroup(gid, req)
 		return
 	}
-	cs := &coordState{groups: touched, votes: make(map[message.GroupID]bool, len(touched))}
+	cs := &coordState{groups: touched, votes: make(map[message.GroupID]bool, len(touched)), since: e.rt.Now()}
 	e.coord[tx.ID] = cs
 	e.tr.Point(tx.ID, trace.KindShardCoord, groupMask(touched), e.rt.ID(), int64(len(touched)))
 	for _, gid := range touched {
@@ -524,6 +674,8 @@ func (g *shardGroup) deliver(d broadcast.Delivery) {
 		g.onOrderedPrepare(d.Index, p)
 	case *message.ShardDecision:
 		g.onOrderedDecision(d.Index, p)
+	case *message.CoordQuery:
+		g.onOrderedQuery(d.Index, p)
 	default:
 		g.eng.rt.Logf("sharded: group %v unexpected ordered payload %v", g.id, p.Kind())
 	}
@@ -576,9 +728,23 @@ func (g *shardGroup) ackSingle(txn message.TxnID, committed bool) {
 func (g *shardGroup) onOrderedPrepare(idx uint64, p *message.ShardPrepare) {
 	g.certIndex = idx
 	e := g.eng
+	if _, done := g.decided[p.Txn]; done {
+		// The round already closed in this group (a successor terminated it
+		// while this prepare was in flight); the decision said everything.
+		return
+	}
+	if g.fenced[p.Txn] {
+		// A termination query was ordered ahead of this prepare: the group
+		// answered "not prepared", so the successor's decision is abort.
+		// Refuse the prepare — vote no, hold nothing — to keep that answer
+		// truthful at every member.
+		e.tr.Point(p.Txn, trace.KindShardCert, idx, message.SiteID(g.id), 0)
+		e.rt.Send(p.Coord, &message.ShardVote{Txn: p.Txn, Group: g.id, By: e.rt.ID(), Yes: false})
+		return
+	}
 	vote := g.certify(p.Reads, p.WriteKV)
 	e.tr.Point(p.Txn, trace.KindShardCert, idx, message.SiteID(g.id), boolExtra(vote))
-	sub := &preparedSub{idx: idx, vote: vote, coord: p.Coord, writes: p.WriteKV}
+	sub := &preparedSub{idx: idx, vote: vote, coord: p.Coord, groups: p.Groups, writes: p.WriteKV}
 	seen := make(map[message.Key]bool, len(p.Reads)+len(p.WriteKV))
 	for _, r := range p.Reads {
 		if !seen[r.Key] {
@@ -608,6 +774,15 @@ func (g *shardGroup) onOrderedPrepare(idx uint64, p *message.ShardPrepare) {
 func (g *shardGroup) onOrderedDecision(idx uint64, d *message.ShardDecision) {
 	g.certIndex = idx
 	e := g.eng
+	if _, done := g.decided[d.Txn]; done {
+		// Duplicate: the coordinator and a successor (or two successors)
+		// each closed the round. They provably agree, and the first ordered
+		// decision did all the work — skip entirely.
+		return
+	}
+	g.recordDecided(d.Txn, d.Commit)
+	delete(g.fenced, d.Txn)
+	delete(e.term, d.Txn)
 	sub := g.prepared[d.Txn]
 	delete(g.prepared, d.Txn)
 	if sub != nil && sub.vote {
@@ -618,7 +793,7 @@ func (g *shardGroup) onOrderedDecision(idx uint64, d *message.ShardDecision) {
 		if sub == nil && d.Commit {
 			e.rt.Logf("sharded: group %v commit decision for unknown prepare %v", g.id, d.Txn)
 		}
-		g.ackDecision(d.Txn, sub, false)
+		g.ackDecision(d.Txn, sub, d.Commit)
 		return
 	}
 	writes := sub.writes
@@ -641,7 +816,7 @@ func (g *shardGroup) onOrderedDecision(idx uint64, d *message.ShardDecision) {
 // before every touched group is durable.
 func (g *shardGroup) ackDecision(txn message.TxnID, sub *preparedSub, commit bool) {
 	e := g.eng
-	e.onGroupDecided(txn, g.id)
+	e.onGroupDecided(txn, g.id, commit)
 	coord := txn.Site // the coordinator is the home site; sub is authoritative
 	if sub != nil {
 		coord = sub.coord
@@ -721,10 +896,19 @@ func (g *shardGroup) certify(reads []message.KeyVer, writes []message.KV) bool {
 
 // onGroupDecided runs after this site durably processed one touched
 // group's decision; only the coordinator tracks the round.
-func (e *ShardedEngine) onGroupDecided(txn message.TxnID, gid message.GroupID) {
+func (e *ShardedEngine) onGroupDecided(txn message.TxnID, gid message.GroupID, commit bool) {
 	cs := e.coord[txn]
-	if cs == nil || !cs.decided {
+	if cs == nil {
 		return
+	}
+	if !cs.decided {
+		// The round was closed externally — a successor (or this site's own
+		// termination of a stuck round) decided it before the votes came
+		// back. Ordered decisions for one transaction provably agree, so
+		// adopting the outcome is always safe; without it a coordinator cut
+		// off mid-round would wait for votes that can never arrive.
+		cs.decided, cs.outcome = true, commit
+		cs.acked = make(map[message.GroupID]bool, len(cs.groups))
 	}
 	e.groupAcked(txn, cs, gid)
 }
@@ -792,9 +976,12 @@ func (e *ShardedEngine) onVote(v *message.ShardVote) {
 // this site does not replicate.
 func (e *ShardedEngine) onOutcome(o *message.ShardOutcome) {
 	if cs := e.coord[o.Txn]; cs != nil {
-		if cs.decided {
-			e.groupAcked(o.Txn, cs, o.Group)
+		if !cs.decided {
+			// Externally decided (see onGroupDecided): adopt the outcome.
+			cs.decided, cs.outcome = true, o.Commit
+			cs.acked = make(map[message.GroupID]bool, len(cs.groups))
 		}
+		e.groupAcked(o.Txn, cs, o.Group)
 		return
 	}
 	if tx := e.base.local[o.Txn]; tx != nil && tx.state == txCommitWait {
@@ -804,6 +991,255 @@ func (e *ShardedEngine) onOutcome(o *message.ShardOutcome) {
 			e.finish(tx, Aborted, ReasonCertification)
 		}
 	}
+}
+
+// --- Coordinator failover: termination protocol (after Sutra & Shapiro's
+// fault-tolerant certification and the decentralised commitment shape of
+// Sutra et al.). When a prepare's coordinator is suspected, the lowest
+// live member of the prepare's group becomes its successor: it sends a
+// CoordQuery through every touched group's total order, combines the
+// deterministic per-group answers into the same AND decision the
+// coordinator would have reached, and closes the round with idempotent
+// ShardDecision broadcasts. Concurrent successors — or a resurrected
+// coordinator — provably reach the same outcome, and duplicate decisions
+// are skipped at ordering time.
+
+// onOrderedQuery answers a termination status probe at its order index.
+// The answer is a deterministic function of the group's ordered prefix:
+// an ordered decision wins, then an ordered prepare's vote; otherwise the
+// transaction is fenced so no later-ordered prepare can contradict the
+// "not prepared" reply.
+func (g *shardGroup) onOrderedQuery(idx uint64, q *message.CoordQuery) {
+	g.certIndex = idx
+	e := g.eng
+	st := &message.CoordStatus{Txn: q.Txn, Group: g.id, By: e.rt.ID()}
+	if outcome, done := g.decided[q.Txn]; done {
+		st.Decided, st.Outcome = true, outcome
+	} else if sub := g.prepared[q.Txn]; sub != nil {
+		st.Prepared, st.Vote = true, sub.vote
+	} else {
+		g.fenced[q.Txn] = true
+	}
+	e.rt.Send(q.From, st)
+}
+
+// scanOrphans hunts prepares whose coordinator cannot decide them: the
+// coordinator is suspected, or it is this freshly restarted site itself
+// with no surviving coordination record. For each orphan whose successor
+// this site is, it (re)runs the termination round; the sweep is re-entered
+// on every new suspicion and on a periodic timer, so lost queries and
+// partitioned groups retry until the round closes.
+func (e *ShardedEngine) scanOrphans() {
+	if e.det == nil {
+		return
+	}
+	// Drop stale termination state first (rounds closed by a decision, or
+	// whose coordinator turned out alive) — but keep rounds this site still
+	// coordinates undecided: those are its own stuck rounds being
+	// self-terminated, and their collected statuses must survive the sweep.
+	for txn := range e.term {
+		if !e.orphaned(txn) && !e.coordOpen(txn) {
+			delete(e.term, txn)
+		}
+	}
+	for _, gid := range e.homeGroups {
+		g := e.groups[gid]
+		// Deterministic sweep order keeps seeded runs reproducible.
+		orphans := make([]message.TxnID, 0, len(g.prepared))
+		for txn, sub := range g.prepared {
+			if e.coordDead(txn, sub.coord) && e.successor(gid) == e.rt.ID() {
+				orphans = append(orphans, txn)
+			}
+		}
+		sort.Slice(orphans, func(i, j int) bool { return orphans[i].Less(orphans[j]) })
+		for _, txn := range orphans {
+			e.terminate(txn, g.prepared[txn].groups)
+		}
+	}
+}
+
+// coordOpen reports whether this site coordinates a still-undecided round
+// for txn.
+func (e *ShardedEngine) coordOpen(txn message.TxnID) bool {
+	cs := e.coord[txn]
+	return cs != nil && !cs.decided
+}
+
+// resendPending retries the idempotent messages of still-open cross-shard
+// rounds, so rounds survive traffic lost to partitions or crashes and
+// resolve after a heal without any site restarting. Member side: a prepared
+// transaction whose coordinator looks alive re-sends its vote (the
+// coordinator counts the first verdict per group, so duplicates are
+// no-ops). Coordinator side: a decided round re-broadcasts its decision to
+// every group whose durable ack is missing, and an undecided round older
+// than two sweep intervals is handed to the termination protocol — the
+// coordinator queries its own touched groups exactly as a successor would,
+// reaching a decision even when its original prepares were swallowed by a
+// partition.
+func (e *ShardedEngine) resendPending() {
+	for _, gid := range e.homeGroups {
+		g := e.groups[gid]
+		pending := make([]message.TxnID, 0, len(g.prepared))
+		for txn, sub := range g.prepared {
+			if sub.coord != e.rt.ID() && !e.det.Suspects(sub.coord) {
+				pending = append(pending, txn)
+			}
+		}
+		sort.Slice(pending, func(i, j int) bool { return pending[i].Less(pending[j]) })
+		for _, txn := range pending {
+			sub := g.prepared[txn]
+			e.rt.Send(sub.coord, &message.ShardVote{Txn: txn, Group: gid, By: e.rt.ID(), Yes: sub.vote})
+		}
+	}
+	open := make([]message.TxnID, 0, len(e.coord))
+	for txn := range e.coord {
+		open = append(open, txn)
+	}
+	sort.Slice(open, func(i, j int) bool { return open[i].Less(open[j]) })
+	patience := 2 * e.rescanInterval()
+	for _, txn := range open {
+		cs := e.coord[txn]
+		if cs.decided {
+			for _, gid := range cs.groups {
+				if !cs.acked[gid] {
+					e.sendToGroupLive(gid, &message.ShardDecision{Txn: txn, Group: gid, Commit: cs.outcome})
+				}
+			}
+			continue
+		}
+		if e.rt.Now()-cs.since < patience {
+			continue
+		}
+		e.terminate(txn, cs.groups)
+	}
+}
+
+// orphaned reports whether txn still has a local prepare whose coordinator
+// cannot decide it.
+func (e *ShardedEngine) orphaned(txn message.TxnID) bool {
+	for _, gid := range e.homeGroups {
+		if sub := e.groups[gid].prepared[txn]; sub != nil && e.coordDead(txn, sub.coord) {
+			return true
+		}
+	}
+	return false
+}
+
+// coordDead reports whether coord can no longer decide txn: it is
+// suspected, or it is this site itself after a restart that lost the
+// coordination record (the prepare was resurrected from a checkpoint).
+func (e *ShardedEngine) coordDead(txn message.TxnID, coord message.SiteID) bool {
+	if coord == e.rt.ID() {
+		return e.coord[txn] == nil
+	}
+	return e.det.Suspects(coord)
+}
+
+// successor picks who terminates orphans of group gid: its lowest member
+// not currently suspected. Divergent suspicion views may elect several
+// successors at once; their rounds are idempotent and reach the same
+// decision, so the overlap is harmless.
+func (e *ShardedEngine) successor(gid message.GroupID) message.SiteID {
+	for _, m := range e.ring.Members(gid) {
+		if !e.det.Suspects(m) {
+			return m
+		}
+	}
+	return e.rt.ID()
+}
+
+// terminate (re)runs one termination round over the given touched groups:
+// query every group whose status is still missing, and re-close the round
+// if the statuses are already complete but a decision broadcast may have
+// been lost. It serves both a successor terminating an orphan and a live
+// coordinator terminating its own stuck round.
+func (e *ShardedEngine) terminate(txn message.TxnID, groups []message.GroupID) {
+	ts := e.term[txn]
+	if ts == nil {
+		if len(groups) == 0 {
+			// A prepare recovered from a pre-failover checkpoint carries no
+			// footprint list; without it no termination round can be run.
+			e.rt.Logf("sharded: orphan %v has no group footprint, cannot terminate", txn)
+			return
+		}
+		ts = &termState{groups: groups, status: make(map[message.GroupID]*message.CoordStatus, len(groups))}
+		e.term[txn] = ts
+		e.tr.Point(txn, trace.KindShardTakeover, groupMask(ts.groups), e.rt.ID(), int64(len(ts.groups)))
+	}
+	if len(ts.status) == len(ts.groups) {
+		e.closeTermination(txn, ts)
+		return
+	}
+	for _, gid := range ts.groups {
+		if ts.status[gid] == nil {
+			e.sendToGroupLive(gid, &message.CoordQuery{Txn: txn, Group: gid, From: e.rt.ID()})
+		}
+	}
+}
+
+// onCoordStatus tallies one group's termination answer. Answers are
+// deterministic per group, so the first per group decides its entry; the
+// round closes once every touched group has reported.
+func (e *ShardedEngine) onCoordStatus(st *message.CoordStatus) {
+	ts := e.term[st.Txn]
+	if ts == nil {
+		return
+	}
+	if ts.status[st.Group] == nil {
+		ts.status[st.Group] = st
+	}
+	if len(ts.status) == len(ts.groups) {
+		e.closeTermination(st.Txn, ts)
+	}
+}
+
+// closeTermination reaches the round's decision from complete statuses and
+// broadcasts it to every touched group. An already-ordered decision wins
+// outright; otherwise the coordinator's AND rule is replayed over the
+// collected votes, with "not prepared" (a fence) counting as no. The
+// result provably matches any decision the original coordinator reached:
+// commit requires yes votes from all groups, which requires every prepare
+// ordered ahead of any fence.
+func (e *ShardedEngine) closeTermination(txn message.TxnID, ts *termState) {
+	commit := true
+	decided := false
+	for _, gid := range ts.groups {
+		if st := ts.status[gid]; st.Decided {
+			commit, decided = st.Outcome, true
+			break
+		}
+	}
+	if !decided {
+		for _, gid := range ts.groups {
+			if st := ts.status[gid]; !st.Prepared || !st.Vote {
+				commit = false
+				break
+			}
+		}
+	}
+	for _, gid := range ts.groups {
+		e.sendToGroupLive(gid, &message.ShardDecision{Txn: txn, Group: gid, Commit: commit})
+	}
+}
+
+// sendToGroupLive is sendToGroup with failover routing: a payload for a
+// remote group goes to that group's lowest non-suspected member instead of
+// blindly to its leader, so termination traffic survives a dead leader.
+func (e *ShardedEngine) sendToGroupLive(gid message.GroupID, payload message.Message) {
+	if g := e.groups[gid]; g != nil {
+		g.stack.Broadcast(message.ClassAtomic, payload)
+		return
+	}
+	to := e.ring.Leader(gid)
+	if e.det != nil {
+		for _, m := range e.ring.Members(gid) {
+			if !e.det.Suspects(m) {
+				to = m
+				break
+			}
+		}
+	}
+	e.rt.Send(to, &message.ShardForward{Group: gid, Req: payload})
 }
 
 // --- Per-group state transfer (the atomic engine's machinery scoped to
@@ -854,7 +1290,7 @@ func (g *shardGroup) sendSnapshot(to message.SiteID, since uint64) {
 	last := chunks[len(chunks)-1]
 	last.Last = true
 	last.Stack = g.stack.ExportSync()
-	last.Prepared = g.exportPrepared()
+	last.Shard = g.exportShard()
 	for i, c := range chunks {
 		c.Seq = i
 		e.stats.StateChunksSent++
@@ -872,7 +1308,8 @@ func (g *shardGroup) exportPrepared() []message.PreparedShard {
 	out := make([]message.PreparedShard, 0, len(g.prepared))
 	for id, sub := range g.prepared {
 		out = append(out, message.PreparedShard{
-			Txn: id, Index: sub.idx, Vote: sub.vote, Coord: sub.coord, Keys: sub.keys, Writes: sub.writes,
+			Txn: id, Index: sub.idx, Vote: sub.vote, Coord: sub.coord,
+			Groups: sub.groups, Keys: sub.keys, Writes: sub.writes,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -912,12 +1349,12 @@ func (g *shardGroup) onSnapshotChunk(c *message.SnapshotChunk) {
 	last := g.chunkBuf[g.chunkLast]
 	g.chunkBuf = nil
 	g.chunkLast = -1
-	g.installState(entries, last.Applied, last.Since, last.Stack, last.Prepared)
+	g.installState(entries, last.Applied, last.Since, last.Stack, last.Shard)
 }
 
 // installState adopts a completed per-group transfer and fast-forwards the
 // group's ordered stream past it.
-func (g *shardGroup) installState(entries []message.SnapshotEntry, applied, since uint64, stack *message.StackSync, prepared []message.PreparedShard) {
+func (g *shardGroup) installState(entries []message.SnapshotEntry, applied, since uint64, stack *message.StackSync, shard *message.ShardRecovery) {
 	if since > 0 {
 		g.store.MergeDelta(entries, applied)
 		for _, entry := range entries {
@@ -937,18 +1374,33 @@ func (g *shardGroup) installState(entries []message.SnapshotEntry, applied, sinc
 	g.certIndex = applied
 	g.blocked = make(map[message.Key]*blockSet)
 	g.prepared = make(map[message.TxnID]*preparedSub)
-	for _, p := range prepared {
-		sub := &preparedSub{idx: p.Index, vote: p.Vote, coord: p.Coord, keys: p.Keys, writes: p.Writes}
-		g.prepared[p.Txn] = sub
-		if p.Vote {
-			g.block(p.Txn, p.Keys, p.Writes)
+	g.decided = make(map[message.TxnID]bool)
+	g.decidedOrder = nil
+	g.fenced = make(map[message.TxnID]bool)
+	nprep := 0
+	if shard != nil {
+		// Adopt the donor's cross-shard state wholesale: it is exactly the
+		// deterministic function of the ordered prefix this transfer skips.
+		for _, d := range shard.Decided {
+			g.recordDecided(d.Txn, d.Commit)
 		}
+		for _, txn := range shard.Fenced {
+			g.fenced[txn] = true
+		}
+		for _, p := range shard.Prepared {
+			sub := &preparedSub{idx: p.Index, vote: p.Vote, coord: p.Coord, groups: p.Groups, keys: p.Keys, writes: p.Writes}
+			g.prepared[p.Txn] = sub
+			if p.Vote {
+				g.block(p.Txn, p.Keys, p.Writes)
+			}
+		}
+		nprep = len(shard.Prepared)
 	}
 	g.stack.ImportSync(stack)
 	g.stack.SkipTo(applied + 1)
 	g.lastGap = 0
 	g.eng.rt.Logf("sharded: group %v resynchronized at index %d (%d keys, since %d, %d prepared)",
-		g.id, applied, len(entries), since, len(prepared))
+		g.id, applied, len(entries), since, nprep)
 }
 
 // --- Accessors.
@@ -1030,6 +1482,33 @@ func (e *ShardedEngine) PendingCoord() int {
 	n := len(e.coord)
 	for _, gid := range e.homeGroups {
 		n += len(e.groups[gid].prepared)
+	}
+	return n
+}
+
+// Suspects returns the peers the failure detector currently suspects
+// (empty without a detector) for STATS and tests.
+func (e *ShardedEngine) Suspects() []message.SiteID {
+	if e.det == nil {
+		return nil
+	}
+	return e.det.Suspected()
+}
+
+// OrphanedPrepares counts certified-undecided prepares across local groups
+// whose coordinator is currently unable to decide them — the termination
+// protocol's working set (STATS failover visibility).
+func (e *ShardedEngine) OrphanedPrepares() int {
+	if e.det == nil {
+		return 0
+	}
+	n := 0
+	for _, gid := range e.homeGroups {
+		for txn, sub := range e.groups[gid].prepared {
+			if e.coordDead(txn, sub.coord) {
+				n++
+			}
+		}
 	}
 	return n
 }

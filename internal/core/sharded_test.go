@@ -370,7 +370,7 @@ func TestShardedKillRestartRecovery(t *testing.T) {
 	}
 
 	link := netsim.Uniform{Min: 500 * time.Microsecond, Max: 3 * time.Millisecond}
-	c := sim.NewCluster(4, link, 13)
+	c := sim.NewCluster(4, link, 2)
 	rec := sgraph.NewRecorder()
 	cfg := shardedCfg(2, 3)
 	cfg.Recorder = rec
@@ -441,6 +441,7 @@ func TestShardedKillRestartRecovery(t *testing.T) {
 		stores := make(map[message.GroupID]*storage.Store)
 		wals := make(map[message.GroupID]*storage.WAL)
 		stacks := make(map[message.GroupID]*message.StackSync)
+		shards := make(map[message.GroupID]*message.ShardRecovery)
 		for _, g := range []message.GroupID{0, 1} {
 			st, w, info, err := checkpoint.Recover(gdir(g), segBytes)
 			if err != nil {
@@ -449,7 +450,7 @@ func TestShardedKillRestartRecovery(t *testing.T) {
 			if info.CheckpointIndex == 0 {
 				t.Fatalf("group %v: no checkpoint before the kill", g)
 			}
-			stores[g], wals[g], stacks[g] = st, w, info.Stack
+			stores[g], wals[g], stacks[g], shards[g] = st, w, info.Stack, info.Shard
 		}
 		// Phase-1 writes must already be durable per group.
 		for i, key := range p1keys {
@@ -465,6 +466,7 @@ func TestShardedKillRestartRecovery(t *testing.T) {
 		rcfg.GroupWAL = func(g message.GroupID) *storage.WAL { return wals[g] }
 		rcfg.GroupInitialStore = func(g message.GroupID) *storage.Store { return stores[g] }
 		rcfg.GroupInitialStack = func(g message.GroupID) *message.StackSync { return stacks[g] }
+		rcfg.GroupInitialShard = func(g message.GroupID) *message.ShardRecovery { return shards[g] }
 		rcfg.GroupCheckpoint = pol
 		fresh, err := NewSharded(tc.c.Runtime(victim), rcfg)
 		if err != nil {
@@ -574,5 +576,264 @@ func runShardedTracecheckWindow(t *testing.T, tracers []*trace.Tracer, cutoff ti
 	out, err := exec.Command(bin, dump).CombinedOutput()
 	if err != nil {
 		t.Fatalf("tracecheck rejects the sharded rejoin trace: %v\n%s", err, out)
+	}
+}
+
+// unwrapShard strips routing envelopes (group wrapper, broadcast envelope,
+// leader forward) down to the logical cross-shard protocol message.
+func unwrapShard(m message.Message) message.Message {
+	for {
+		switch x := m.(type) {
+		case *message.GroupMsg:
+			m = x.Inner
+		case *message.Bcast:
+			m = x.Payload
+		case *message.ShardForward:
+			m = x.Req
+		default:
+			return m
+		}
+	}
+}
+
+// TestShardedCoordinatorFailover kills a cross-shard coordinator at each
+// phase of its certification round and checks that the lowest live member
+// of each prepared group terminates the round: same decision everywhere,
+// footprints released, zero pending coordinations on the survivors — all
+// without the coordinator restarting. Site 1 coordinates (a group 0 member
+// but no group's leader, so its death breaks no sequencer).
+func TestShardedCoordinatorFailover(t *testing.T) {
+	const victim = message.SiteID(1)
+	phases := []struct {
+		name string
+		// fire marks the delivery after which the victim is crashed.
+		fire func(from, to message.SiteID, m message.Message) bool
+		// cut severs the victim's links to group 1 before the transaction,
+		// so group 1 never sees the prepare and the round must abort.
+		cut bool
+		// commit is the decision the successor must reach.
+		commit bool
+	}{
+		{name: "pre-prepare", commit: true,
+			fire: func(_, _ message.SiteID, m message.Message) bool {
+				p, ok := unwrapShard(m).(*message.ShardPrepare)
+				return ok && p.Coord == victim
+			}},
+		{name: "post-vote", commit: true,
+			fire: func(_, to message.SiteID, m message.Message) bool {
+				_, ok := unwrapShard(m).(*message.ShardVote)
+				return ok && to == victim
+			}},
+		{name: "post-decision", commit: true,
+			fire: func(from, _ message.SiteID, m message.Message) bool {
+				_, ok := unwrapShard(m).(*message.ShardDecision)
+				return ok && from == victim
+			}},
+		{name: "partial-prepare-abort", cut: true, commit: false,
+			fire: func(_, _ message.SiteID, m message.Message) bool {
+				p, ok := unwrapShard(m).(*message.ShardPrepare)
+				return ok && p.Coord == victim
+			}},
+	}
+	for _, ph := range phases {
+		ph := ph
+		t.Run(ph.name, func(t *testing.T) {
+			cfg := shardedCfg(2, 2)
+			cfg.FailureInterval = 20 * time.Millisecond
+			cfg.FailureTimeout = 100 * time.Millisecond
+			tc := newTestCluster(t, 4, "sharded", cfg, 29)
+			ring := tc.sharded(0).Ring()
+			ka := keyIn(t, ring, 0, "fa")
+			kb := keyIn(t, ring, 1, "fb")
+
+			// Base values, acknowledged before the chaos, so the abort case
+			// has prior state to preserve.
+			b0 := tc.runTxn(50*time.Millisecond, 0, false, nil, []message.KV{{Key: ka, Value: message.Value("old")}})
+			b1 := tc.runTxn(60*time.Millisecond, 2, false, nil, []message.KV{{Key: kb, Value: message.Value("old")}})
+			tc.run(500 * time.Millisecond)
+			if !b0.done || b0.outcome != Committed || !b1.done || b1.outcome != Committed {
+				t.Fatal("base writes did not commit")
+			}
+
+			if ph.cut {
+				tc.c.BlockLink(victim, 2)
+				tc.c.BlockLink(victim, 3)
+			}
+			fired := false
+			tc.c.OnDeliver = func(from, to message.SiteID, m message.Message, _ time.Duration) {
+				if fired || !ph.fire(from, to, m) {
+					return
+				}
+				fired = true
+				tc.c.Schedule(0, func() { tc.c.Crash(victim) })
+			}
+
+			cross := tc.runTxn(100*time.Millisecond, int(victim), false, nil,
+				[]message.KV{{Key: ka, Value: message.Value("new")}, {Key: kb, Value: message.Value("new")}})
+			tc.run(3 * time.Second)
+			if !fired {
+				t.Fatal("kill trigger never fired — no cross-shard round observed")
+			}
+			if cross.done {
+				t.Fatalf("dead coordinator's client saw an answer: %+v", cross)
+			}
+
+			// Every live replica resolved the round to the same outcome.
+			want := "old"
+			if ph.commit {
+				want = "new"
+			}
+			checks := []struct {
+				site int
+				g    message.GroupID
+				key  message.Key
+			}{{0, 0, ka}, {2, 1, kb}, {3, 1, kb}}
+			for _, ck := range checks {
+				got, _ := tc.sharded(ck.site).GroupStore(ck.g).Get(ck.key)
+				if string(got.Value) != want {
+					t.Fatalf("%s: site %d group %v key %q = %q, want %q",
+						ph.name, ck.site, ck.g, ck.key, got.Value, want)
+				}
+			}
+			// No stuck prepares or dangling coordinations on the survivors.
+			for _, site := range []int{0, 2, 3} {
+				se := tc.sharded(site)
+				if p := se.PendingCoord(); p != 0 {
+					t.Fatalf("site %d: %d pending coordinations after failover", site, p)
+				}
+				if o := se.OrphanedPrepares(); o != 0 {
+					t.Fatalf("site %d: %d orphaned prepares after failover", site, o)
+				}
+			}
+			// The footprint is released: new writers on the same keys commit.
+			a0 := tc.runTxn(0, 0, false, nil, []message.KV{{Key: ka, Value: message.Value("after")}})
+			a1 := tc.runTxn(0, 2, false, nil, []message.KV{{Key: kb, Value: message.Value("after")}})
+			tc.run(2 * time.Second)
+			if !a0.done || a0.outcome != Committed || !a1.done || a1.outcome != Committed {
+				t.Fatalf("keys still blocked after failover: %+v %+v", a0, a1)
+			}
+		})
+	}
+}
+
+// TestShardedDurableAckRace pins the durable-ack race: the coordinator's
+// commit decision reaches its own group, but the coordinator dies before the
+// second group or the client hear it. The orphaned group's successor must
+// finish the round with the SAME outcome (commit — group 0 already decided),
+// apply it exactly once per replica, and the dead coordinator's client must
+// never be answered (and certainly never answered twice).
+func TestShardedDurableAckRace(t *testing.T) {
+	const victim = message.SiteID(1)
+	link := netsim.Uniform{Min: 500 * time.Microsecond, Max: 3 * time.Millisecond}
+	c := sim.NewCluster(4, link, 2)
+	rec := sgraph.NewRecorder()
+	cfg := shardedCfg(2, 2)
+	cfg.Recorder = rec
+	cfg.FailureInterval = 20 * time.Millisecond
+	cfg.FailureTimeout = 100 * time.Millisecond
+	tc := &testCluster{t: t, c: c, rec: rec}
+	tracers := make([]*trace.Tracer, 4)
+	for i := 0; i < 4; i++ {
+		rt := c.Runtime(message.SiteID(i))
+		siteCfg := cfg
+		tracers[i] = trace.New(message.SiteID(i), 1<<14, rt.Now)
+		siteCfg.Tracer = tracers[i]
+		se, err := NewSharded(rt, siteCfg)
+		if err != nil {
+			t.Fatalf("NewSharded: %v", err)
+		}
+		tc.engines = append(tc.engines, se)
+		c.Bind(message.SiteID(i), se)
+	}
+	c.Start()
+
+	ring := tc.sharded(0).Ring()
+	ka := keyIn(t, ring, 0, "ra")
+	kb := keyIn(t, ring, 1, "rb")
+
+	// The race window: when the victim's decision submission reaches its own
+	// group's sequencer (site 0), the forward to group 1's leader is still in
+	// flight. Crash the victim and sever its outbound links so that forward
+	// is lost — group 0 decided, group 1 durably prepared, client unacked.
+	fired := false
+	c.OnDeliver = func(from, to message.SiteID, m message.Message, _ time.Duration) {
+		if fired || from != victim || to != 0 {
+			return
+		}
+		if _, ok := unwrapShard(m).(*message.ShardDecision); !ok {
+			return
+		}
+		fired = true
+		c.Schedule(0, func() {
+			c.BlockLink(victim, 2)
+			c.BlockLink(victim, 3)
+			c.Crash(victim)
+		})
+	}
+
+	var txid message.TxnID
+	acks := 0
+	c.Schedule(50*time.Millisecond, func() {
+		e := tc.engines[int(victim)]
+		tx := e.Begin(false)
+		if err := e.Write(tx, ka, message.Value("new")); err != nil {
+			t.Errorf("write %q: %v", ka, err)
+		}
+		if err := e.Write(tx, kb, message.Value("new")); err != nil {
+			t.Errorf("write %q: %v", kb, err)
+		}
+		txid = tx.ID
+		e.Commit(tx, func(Outcome, AbortReason) { acks++ })
+	})
+	if _, err := c.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("decision trigger never fired — no cross-shard decision observed")
+	}
+	if acks != 0 {
+		t.Fatalf("dead coordinator's client was answered %d times (want 0 — and never 2)", acks)
+	}
+	// A successor must actually have run the termination protocol for the
+	// orphaned group-1 prepare; if the forward outran the decision the race
+	// window never opened and the seed must change.
+	takeovers := 0
+	for _, tr := range tracers {
+		for _, sp := range tr.Spans() {
+			if sp.Kind == trace.KindShardTakeover && sp.Trace == txid {
+				takeovers++
+			}
+		}
+	}
+	if takeovers == 0 {
+		t.Fatal("no takeover span recorded: the forward beat the crash, race window never opened")
+	}
+	// Same outcome everywhere, applied exactly once per live replica.
+	checks := []struct {
+		site int
+		g    message.GroupID
+		key  message.Key
+	}{{0, 0, ka}, {2, 1, kb}, {3, 1, kb}}
+	for _, ck := range checks {
+		st := tc.sharded(ck.site).GroupStore(ck.g)
+		if v, _ := st.Get(ck.key); string(v.Value) != "new" {
+			t.Fatalf("site %d key %q = %q, want \"new\" (the decided commit must survive its coordinator)",
+				ck.site, ck.key, v.Value)
+		}
+		n := 0
+		for _, id := range st.VersionOrder(ck.key) {
+			if id == txid {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("site %d key %q applied %d times for %v, want exactly once", ck.site, ck.key, n, txid)
+		}
+	}
+	for _, site := range []int{0, 2, 3} {
+		se := tc.sharded(site)
+		if p, o := se.PendingCoord(), se.OrphanedPrepares(); p != 0 || o != 0 {
+			t.Fatalf("site %d left pending=%d orphans=%d after resolution", site, p, o)
+		}
 	}
 }

@@ -9,8 +9,10 @@ package experiments
 
 import (
 	"fmt"
+	"math/bits"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/broadcast"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -132,7 +135,7 @@ func All(cfg Config) ([]*Report, error) {
 		E1Messages, E2CommitLatency, E3AbortContention, E4ThroughputSites,
 		E5WriteMix, E6CausalHeartbeat, E7Availability, E8Ablation, E9Batching,
 		E10Quorum, E11SlowSite, E12SnapshotReads, E14OrdererBatching,
-		E15CheckpointRecovery, E16PartialReplication,
+		E15CheckpointRecovery, E16PartialReplication, E17ChaosFailover,
 	}
 	out := make([]*Report, 0, len(runs))
 	for _, f := range runs {
@@ -1265,4 +1268,277 @@ func E16PartialReplication(cfg Config) (*Report, error) {
 	}
 	rep.Tables = append(rep.Tables, tbl)
 	return rep, nil
+}
+
+// shardSpanStats replays cmd/tracecheck's cross-shard invariants over the
+// in-memory spans of one run and extracts the chaos experiment's headline
+// counters. Violations: replicas of a group disagreeing on a decision, a
+// transaction committed in one touched group but aborted in another, a
+// commit not covering the coordinator's touched mask, and the stuck-prepare
+// case — a certified transaction with a touched group that never recorded a
+// decision. Takeovers counts transactions a successor (or a self-
+// terminating coordinator) opened a termination round for; crossCommits
+// counts transactions that committed across two or more groups.
+func shardSpanStats(tracers []*trace.Tracer) (violations []string, takeovers, crossCommits int) {
+	byTrace := make(map[message.TxnID][]trace.Span)
+	for _, tr := range tracers {
+		for _, s := range tr.Spans() {
+			if s.Trace != (message.TxnID{}) {
+				byTrace[s.Trace] = append(byTrace[s.Trace], s)
+			}
+		}
+	}
+	ids := make([]message.TxnID, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for _, id := range ids {
+		spans := byTrace[id]
+		var mask uint64
+		hasCoord, hasCert, hasTakeover := false, false, false
+		decided := make(map[int32]int64)
+		for _, s := range spans {
+			switch s.Kind {
+			case trace.KindShardCoord:
+				hasCoord = true
+				mask = s.Seq
+			case trace.KindShardCert:
+				hasCert = true
+			case trace.KindShardTakeover:
+				hasTakeover = true
+			case trace.KindShardDecide:
+				g := int32(s.Peer)
+				if v, ok := decided[g]; ok && v != s.Extra {
+					violations = append(violations, fmt.Sprintf("%v: group %d replicas disagree on the decision", id, g))
+				}
+				decided[g] = s.Extra
+			}
+		}
+		if hasTakeover {
+			takeovers++
+		}
+		if !hasCoord {
+			continue
+		}
+		commits, aborts := 0, 0
+		for _, v := range decided {
+			if v == 1 {
+				commits++
+			} else {
+				aborts++
+			}
+		}
+		if commits > 0 && aborts > 0 {
+			violations = append(violations, fmt.Sprintf("%v: atomicity violated — committed in %d group(s), aborted in %d", id, commits, aborts))
+		}
+		allCommit := commits > 0
+		for g := int32(0); g < 64; g++ {
+			if mask&(1<<uint(g)) == 0 {
+				continue
+			}
+			if commits > 0 {
+				if v, ok := decided[g]; !ok || v != 1 {
+					violations = append(violations, fmt.Sprintf("%v: touched group %d missing a commit decision", id, g))
+					allCommit = false
+				}
+			}
+			if hasCert {
+				if _, ok := decided[g]; !ok {
+					violations = append(violations, fmt.Sprintf("%v: stuck prepare — certified but group %d never decided", id, g))
+				}
+			}
+		}
+		if allCommit && bits.OnesCount64(mask) >= 2 {
+			crossCommits++
+		}
+	}
+	return violations, takeovers, crossCommits
+}
+
+// E17ChaosFailover drives the cross-shard coordinator failover through a
+// deterministic chaos schedule: 4 sites in 2 replication groups of RF 2
+// (g0={0,1}, g1={2,3}), transactions originating at sites 0 and 1, half of
+// them cross-shard. Site 1 — a group member but no group's leader, so
+// killing it breaks no sequencer — coordinates roughly half the cross-shard
+// traffic and is the victim. Message-triggered kills crash it at each phase
+// of its certification round (first prepare delivery, first vote back,
+// first decision out), and a scripted asymmetric partition cuts every link
+// out of it (its sends vanish while it still hears the cluster — the
+// classic trap where only the others' detectors fire) until a heal. Every
+// arm must hold the cross-shard invariants: decisions atomic across the
+// touched groups, no certified prepare stuck without a decision after the
+// heal, zero pending coordinations or orphaned prepares on live sites, and
+// the cluster keeps committing cross-shard transactions throughout — all
+// without the victim ever restarting. Set E17_TRACE_DIR to export each
+// arm's span dump as JSONL for cmd/tracecheck.
+func E17ChaosFailover(cfg Config) (*Report, error) {
+	rep := newReport("E17", "Chaos: coordinator failover under phase-targeted kills and asymmetric partitions")
+	tbl := harness.NewTable(rep.Title,
+		"arm", "committed", "aborted", "unfinished", "skipped", "takeovers", "cross-commits", "span violations")
+	const n = 4
+	const victim = message.SiteID(1)
+	scfg := &shard.Config{Groups: 2, RF: 2}
+	ring, err := shard.NewRing(*scfg, n)
+	if err != nil {
+		return rep, err
+	}
+	others := []message.SiteID{0, 2, 3}
+	count := cfg.txns(240)
+	spacing := 2 * time.Millisecond
+	window := time.Duration(count) * spacing
+
+	killVictim := func(match func(from, to message.SiteID, m message.Message) bool) []*harness.Trigger {
+		return []*harness.Trigger{{Fire: func(from, to message.SiteID, m message.Message, _ time.Duration) *harness.ChaosEvent {
+			if !match(from, to, m) {
+				return nil
+			}
+			return &harness.ChaosEvent{Kill: []message.SiteID{victim}}
+		}}}
+	}
+	cutVictim := func() (links [][2]message.SiteID) {
+		for _, o := range others {
+			links = append(links, [2]message.SiteID{victim, o})
+		}
+		return links
+	}
+
+	arms := []struct {
+		name string
+		// wan swaps the LAN for the per-pair WAN latency model (heavier
+		// tails stress the detector's timeouts).
+		wan      bool
+		chaos    []harness.ChaosEvent
+		triggers []*harness.Trigger
+		// killed: the victim is dead at the end of the run; its pending
+		// state is exempt from the no-stuck gate.
+		killed bool
+		// wantTakeover: the arm must orphan at least one prepare and see a
+		// successor terminate it. (The post-decision kill intentionally
+		// leaves nothing to take over: both groups already hold the
+		// decision when the coordinator dies.)
+		wantTakeover bool
+	}{
+		{name: "baseline"},
+		{name: "kill-preprepare", killed: true, wantTakeover: true,
+			triggers: killVictim(func(_, _ message.SiteID, m message.Message) bool {
+				p, ok := harness.Payload(m).(*message.ShardPrepare)
+				return ok && p.Coord == victim
+			})},
+		{name: "kill-postvote", killed: true, wantTakeover: true,
+			triggers: killVictim(func(_, to message.SiteID, m message.Message) bool {
+				_, ok := harness.Payload(m).(*message.ShardVote)
+				return ok && to == victim
+			})},
+		{name: "kill-postdecision", killed: true,
+			triggers: killVictim(func(from, _ message.SiteID, m message.Message) bool {
+				_, ok := harness.Payload(m).(*message.ShardDecision)
+				return ok && from == victim
+			})},
+		{name: "asym-partition-wan", wan: true, chaos: []harness.ChaosEvent{
+			// Cut every link out of the victim a quarter into the window
+			// and heal well past the detector timeout, so the others
+			// suspect it and terminate its orphans while it is still live.
+			{At: window / 4, BlockLinks: cutVictim()},
+			{At: window/4 + 600*time.Millisecond, Heal: true},
+		}},
+	}
+
+	for _, arm := range arms {
+		ecfg := engineCfg(harness.ProtoAtomic)
+		ecfg.Shard = scfg
+		ecfg.FailureInterval = 20 * time.Millisecond
+		ecfg.FailureTimeout = 100 * time.Millisecond
+		var link sim.LinkModel = netsim.DefaultLAN()
+		if arm.wan {
+			link = netsim.DefaultWAN()
+			// WAN tails (20ms base, 1% 60ms-mean spikes) need a laxer
+			// timeout or false suspicion dominates the run.
+			ecfg.FailureInterval = 30 * time.Millisecond
+			ecfg.FailureTimeout = 250 * time.Millisecond
+		}
+		var engines []core.Engine
+		res, rerr := harness.Run(harness.Options{
+			Protocol: harness.ProtoAtomic,
+			Link:     link,
+			Seed:     cfg.seed(170),
+			Engine:   ecfg,
+			Workload: workload.Spec{
+				Sites: n, OriginSites: 2, Count: count, Window: window,
+				Keys: 4096, ReadsPerTxn: 0, WritesPerTxn: 2,
+				Ring: ring, CrossShardFraction: 0.5,
+				Seed: cfg.seed(71),
+			},
+			TraceCap: 1 << 15,
+			Engines:  &engines,
+			Chaos:    arm.chaos,
+			Triggers: arm.triggers,
+			Drain:    20 * time.Second,
+		})
+		if rerr != nil {
+			return rep, rerr
+		}
+		rep.record(arm.name, res)
+		violations, takeovers, crossCommits := shardSpanStats(res.Tracers)
+		for _, v := range violations {
+			rep.violate("E17 %s: %s", arm.name, v)
+		}
+		if dir := os.Getenv("E17_TRACE_DIR"); dir != "" {
+			if err := exportShardTraces(dir, "e17-"+arm.name+".jsonl", res.Tracers, scfg.Groups); err != nil {
+				return rep, err
+			}
+		}
+		pending := 0
+		for i, e := range engines {
+			if arm.killed && message.SiteID(i) == victim {
+				continue
+			}
+			se := e.(*core.ShardedEngine)
+			pending += se.PendingCoord() + se.OrphanedPrepares()
+		}
+		if pending > 0 {
+			rep.violate("E17 %s: %d pending coordinations/orphaned prepares on live sites after drain", arm.name, pending)
+		}
+		if res.Committed == 0 {
+			rep.violate("E17 %s: nothing committed", arm.name)
+		}
+		if crossCommits == 0 {
+			rep.violate("E17 %s: no cross-shard transaction committed", arm.name)
+		}
+		if arm.wantTakeover && takeovers == 0 {
+			rep.violate("E17 %s: coordinator died with orphaned prepares but no takeover ran", arm.name)
+		}
+		if arm.name == "baseline" && (res.Unfinished > 0 || takeovers > 0) {
+			rep.violate("E17 baseline: %d unfinished, %d takeovers (want 0/0)", res.Unfinished, takeovers)
+		}
+		tbl.Add(arm.name, res.Committed, res.Aborted, res.Unfinished, res.Skipped,
+			takeovers, crossCommits, len(violations))
+		rep.Metrics[arm.name+"/committed"] = float64(res.Committed)
+		rep.Metrics[arm.name+"/unfinished"] = float64(res.Unfinished)
+		rep.Metrics[arm.name+"/takeovers"] = float64(takeovers)
+		rep.Metrics[arm.name+"/cross_commits"] = float64(crossCommits)
+		rep.Metrics[arm.name+"/span_violations"] = float64(len(violations))
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// exportShardTraces writes one arm's spans from every site as a JSONL dump
+// cmd/tracecheck accepts (CI uploads these as artifacts on failure).
+func exportShardTraces(dir, name string, tracers []*trace.Tracer, groups int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, tr := range tracers {
+		meta := trace.Meta{Site: int32(tr.Site()), Proto: "sharded", Sites: len(tracers), AtomicMode: "sequencer", Groups: groups}
+		if err := trace.WriteJSONL(f, meta, tr.Spans()); err != nil {
+			return err
+		}
+	}
+	return f.Close()
 }

@@ -16,8 +16,8 @@ func TestAllExperimentsHold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 15 {
-		t.Fatalf("suite has %d experiments, want 15", len(reports))
+	if len(reports) != 16 {
+		t.Fatalf("suite has %d experiments, want 16", len(reports))
 	}
 	for _, rep := range reports {
 		if len(rep.Violations) > 0 {

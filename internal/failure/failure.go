@@ -72,9 +72,17 @@ func (d *Detector) tick() {
 		return
 	}
 	hb := &message.Heartbeat{From: d.rt.ID()}
+	now := d.rt.Now()
 	for _, p := range d.rt.Peers() {
 		if p == d.rt.ID() {
 			continue
+		}
+		if _, seeded := d.lastSeen[p]; !seeded {
+			// A peer first appearing after Start (late joiner, membership
+			// change) would otherwise never enter lastSeen — check scans
+			// only that map, so a silent late joiner could never be
+			// suspected. Seed it with a full grace period now.
+			d.lastSeen[p] = now
 		}
 		d.rt.Send(p, hb)
 	}
@@ -84,8 +92,15 @@ func (d *Detector) tick() {
 
 func (d *Detector) check() {
 	now := d.rt.Now()
-	for p, seen := range d.lastSeen {
-		if d.suspected[p] || now-seen <= d.cfg.Timeout {
+	// Sweep in ascending site order so OnSuspect callbacks fire in the
+	// same order every run — seeded simulations must be reproducible.
+	peers := make([]message.SiteID, 0, len(d.lastSeen))
+	for p := range d.lastSeen {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, p := range peers {
+		if d.suspected[p] || now-d.lastSeen[p] <= d.cfg.Timeout {
 			continue
 		}
 		d.suspected[p] = true

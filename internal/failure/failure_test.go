@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -139,5 +140,122 @@ func TestStopHaltsProbing(t *testing.T) {
 	// only needs traffic; with site 0 silent, site 1 should suspect it.
 	if !nodes[1].det.Suspects(0) {
 		t.Fatal("peer of a stopped detector should eventually suspect it")
+	}
+}
+
+// TestSuspectRecoverResuspect is the suspect -> recover -> re-suspect
+// regression: after OnAlive clears a suspicion, a second silence must raise
+// a second OnSuspect (the suspected flag must fully reset, not linger and
+// swallow the transition).
+func TestSuspectRecoverResuspect(t *testing.T) {
+	c, nodes := makeDetCluster(t, 3)
+	c.Schedule(time.Second, func() { c.Crash(2) })
+	c.Schedule(2*time.Second, func() {
+		c.Recover(2)
+		nodes[2].det.Start()
+	})
+	c.Schedule(3*time.Second, func() { c.Crash(2) })
+	if _, err := c.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if !nodes[i].det.Suspects(2) {
+			t.Fatalf("site %d does not re-suspect the twice-crashed site", i)
+		}
+		count := 0
+		for _, s := range nodes[i].suspects {
+			if s == 2 {
+				count++
+			}
+		}
+		if count != 2 {
+			t.Fatalf("site %d saw %d suspicions of site 2 (want 2: one per crash)", i, count)
+		}
+	}
+}
+
+// growRT is a hand-cranked runtime whose peer set can grow mid-run,
+// modelling a late joiner appearing after the detector started.
+type growRT struct {
+	id     message.SiteID
+	peers  []message.SiteID
+	now    time.Duration
+	timers []*growTimer
+	nextID env.TimerID
+}
+
+type growTimer struct {
+	at        time.Duration
+	fn        func()
+	id        env.TimerID
+	cancelled bool
+}
+
+func (r *growRT) ID() message.SiteID                   { return r.id }
+func (r *growRT) Peers() []message.SiteID              { return r.peers }
+func (r *growRT) Send(message.SiteID, message.Message) {}
+func (r *growRT) Now() time.Duration                   { return r.now }
+func (r *growRT) Rand() *rand.Rand                     { return rand.New(rand.NewSource(1)) }
+func (r *growRT) Logf(string, ...any)                  {}
+func (r *growRT) CancelTimer(id env.TimerID) {
+	for _, tm := range r.timers {
+		if tm.id == id {
+			tm.cancelled = true
+		}
+	}
+}
+func (r *growRT) SetTimer(d time.Duration, fn func()) env.TimerID {
+	r.nextID++
+	r.timers = append(r.timers, &growTimer{at: r.now + d, fn: fn, id: r.nextID})
+	return r.nextID
+}
+
+// advance steps virtual time forward, firing due timers in order.
+func (r *growRT) advance(d time.Duration) {
+	deadline := r.now + d
+	for {
+		var next *growTimer
+		for _, tm := range r.timers {
+			if tm.cancelled || tm.at > deadline {
+				continue
+			}
+			if next == nil || tm.at < next.at {
+				next = tm
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.cancelled = true
+		if next.at > r.now {
+			r.now = next.at
+		}
+		next.fn()
+	}
+	r.now = deadline
+}
+
+// TestLateJoinerSeeded: a peer first appearing after Start must be seeded
+// with a grace period — then suspected if it stays silent. Before the
+// seeding fix, check() swept only lastSeen, so a silent late joiner could
+// never be suspected at all.
+func TestLateJoinerSeeded(t *testing.T) {
+	rt := &growRT{id: 0, peers: []message.SiteID{0, 1}}
+	det := New(rt, Config{Interval: 20 * time.Millisecond, Timeout: 100 * time.Millisecond})
+	det.Start()
+	rt.advance(time.Second)
+	if !det.Suspects(1) {
+		t.Fatal("silent original peer not suspected")
+	}
+	// Site 2 joins; it must get a full grace period, not be condemned by a
+	// zero lastSeen on the next check.
+	rt.peers = []message.SiteID{0, 1, 2}
+	rt.advance(50 * time.Millisecond)
+	if det.Suspects(2) {
+		t.Fatal("late joiner suspected inside its grace period")
+	}
+	rt.advance(time.Second)
+	if !det.Suspects(2) {
+		t.Fatal("silent late joiner never suspected (lastSeen seeding hole)")
 	}
 }

@@ -1,0 +1,149 @@
+// Chaos scheduling: scripted and message-triggered fault injection for
+// robustness experiments. A chaos schedule is a list of ChaosEvents pinned
+// to virtual times (kill, restart, partition, directed link cuts, heal,
+// clock skew); Triggers fire a ChaosEvent off a specific message delivery
+// instead — e.g. "kill the coordinator the moment the first ShardDecision
+// is delivered". Everything runs inside the deterministic simulator, so a
+// (seed, schedule) pair replays the exact same interleaving.
+package harness
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/message"
+	"repro/internal/sim"
+)
+
+// ChaosEvent is one scripted fault-injection action. All populated fields
+// apply atomically at the event's virtual time, in the order: kills, heal,
+// partition, link blocks/unblocks, clock skew, restarts.
+type ChaosEvent struct {
+	// At is the virtual time of the event (ignored for trigger-fired
+	// events, which apply immediately after the triggering delivery).
+	At time.Duration
+	// Kill crashes these sites.
+	Kill []message.SiteID
+	// Restart recovers these sites with a fresh engine from Options.Rebuild
+	// (a site restarting from durable state, not resuming in-memory state).
+	Restart []message.SiteID
+	// Partition splits the network into these groups (sim.Cluster.Partition
+	// semantics: unmentioned sites form an implicit final group).
+	Partition [][]message.SiteID
+	// BlockLinks severs these directed links; UnblockLinks re-opens them.
+	// Asymmetric partitions and bridge topologies compose from these.
+	BlockLinks   [][2]message.SiteID
+	UnblockLinks [][2]message.SiteID
+	// Heal removes any partition and every directed block (applied before
+	// Partition/BlockLinks, so one event can atomically replace a cut).
+	Heal bool
+	// ClockSkew sets per-site clock offsets (sim.Cluster.SetClockOffset).
+	ClockSkew map[message.SiteID]time.Duration
+}
+
+// Trigger fires a ChaosEvent in response to a message delivery. Fire sees
+// every successful delivery (after partitions and crashes have filtered it,
+// just before the receiver's handler runs) and returns a non-nil event to
+// fire; each Trigger fires at most once. The event is applied via a
+// zero-delay scheduled callback, so the triggering delivery itself
+// completes first — a kill fired on a delivery takes effect after the
+// receiver has processed that message.
+type Trigger struct {
+	Fire  func(from, to message.SiteID, m message.Message, at time.Duration) *ChaosEvent
+	fired bool
+}
+
+// Fired reports whether the trigger has fired.
+func (t *Trigger) Fired() bool { return t.fired }
+
+// Payload unwraps broadcast and group envelopes to the innermost protocol
+// message: GroupMsg→Inner, Bcast→Payload, ShardForward→Req, recursively.
+// Triggers use it to match on the logical message regardless of how many
+// routing layers wrapped it.
+func Payload(m message.Message) message.Message {
+	for {
+		switch t := m.(type) {
+		case *message.GroupMsg:
+			m = t.Inner
+		case *message.Bcast:
+			m = t.Payload
+		case *message.ShardForward:
+			m = t.Req
+		default:
+			return m
+		}
+	}
+}
+
+// applyChaos executes one event against the cluster. Restarts rebuild the
+// site's engine through the rebuild hook before recovering and starting it;
+// a nil rebuild (or nil engine) leaves the site crashed.
+func applyChaos(cluster *sim.Cluster, engines []core.Engine, rebuild func(message.SiteID, env.Runtime) core.Engine, ev ChaosEvent) {
+	for _, id := range ev.Kill {
+		cluster.Crash(id)
+	}
+	if ev.Heal {
+		cluster.Heal()
+	}
+	if len(ev.Partition) > 0 {
+		cluster.Partition(ev.Partition...)
+	}
+	for _, l := range ev.BlockLinks {
+		cluster.BlockLink(l[0], l[1])
+	}
+	for _, l := range ev.UnblockLinks {
+		cluster.UnblockLink(l[0], l[1])
+	}
+	for id, off := range ev.ClockSkew {
+		cluster.SetClockOffset(id, off)
+	}
+	for _, id := range ev.Restart {
+		if rebuild == nil {
+			continue
+		}
+		e := rebuild(id, cluster.Runtime(id))
+		if e == nil {
+			continue
+		}
+		engines[id] = e
+		cluster.Recover(id)
+		cluster.Bind(id, e)
+		e.Start()
+	}
+}
+
+// wireChaos installs the scripted schedule and the delivery triggers on the
+// cluster. Trigger events are deferred through Schedule(0, ...) so fault
+// application never re-enters the delivery path that fired them.
+func wireChaos(cluster *sim.Cluster, engines []core.Engine, opts *Options) {
+	for _, ev := range opts.Chaos {
+		ev := ev
+		cluster.Schedule(ev.At, func() {
+			applyChaos(cluster, engines, opts.Rebuild, ev)
+		})
+	}
+	if len(opts.Triggers) == 0 {
+		return
+	}
+	prev := cluster.OnDeliver
+	cluster.OnDeliver = func(from, to message.SiteID, m message.Message, at time.Duration) {
+		if prev != nil {
+			prev(from, to, m, at)
+		}
+		for _, tg := range opts.Triggers {
+			if tg.fired || tg.Fire == nil {
+				continue
+			}
+			ev := tg.Fire(from, to, m, at)
+			if ev == nil {
+				continue
+			}
+			tg.fired = true
+			fire := *ev
+			cluster.Schedule(0, func() {
+				applyChaos(cluster, engines, opts.Rebuild, fire)
+			})
+		}
+	}
+}

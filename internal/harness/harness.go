@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/env"
 	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -85,6 +86,19 @@ type Options struct {
 	// experiments). Requires Engine.Membership for the primary partition
 	// to reconfigure around the isolated sites.
 	NetEvents []NetEvent
+	// Chaos schedules scripted fault-injection events — kills, restarts,
+	// partitions, directed link cuts, heals, clock skew — at virtual times
+	// (see ChaosEvent). Unlike Faults/NetEvents it composes all fault types
+	// in one schedule and supports restarts via Rebuild.
+	Chaos []ChaosEvent
+	// Triggers fire ChaosEvents off specific message deliveries, each at
+	// most once (see Trigger). They drive phase-targeted kills like
+	// "crash the coordinator on the first ShardDecision delivery".
+	Triggers []*Trigger
+	// Rebuild constructs a fresh engine for a site a ChaosEvent restarts,
+	// recovering its durable state (WAL/checkpoint). Nil leaves restarted
+	// sites down.
+	Rebuild func(message.SiteID, env.Runtime) core.Engine
 }
 
 // Fault crashes one site at a virtual time.
@@ -270,6 +284,7 @@ func Run(opts Options) (Result, error) {
 			}
 		})
 	}
+	wireChaos(cluster, engines, &opts)
 
 	type outcomeRec struct {
 		done     bool

@@ -71,6 +71,11 @@ const (
 	KindShardDecision
 	KindShardForward
 	KindShardOutcome
+
+	// Cross-shard coordinator failover (appended so existing kind values
+	// are stable).
+	KindCoordQuery
+	KindCoordStatus
 )
 
 var kindNames = map[Kind]string{
@@ -115,6 +120,8 @@ var kindNames = map[Kind]string{
 	KindShardDecision: "ShardDecision",
 	KindShardForward:  "ShardForward",
 	KindShardOutcome:  "ShardOutcome",
+	KindCoordQuery:    "CoordQuery",
+	KindCoordStatus:   "CoordStatus",
 }
 
 // String implements fmt.Stringer.
@@ -378,10 +385,10 @@ type SnapshotChunk struct {
 	// StateSnapshot for their semantics.
 	Stack   *StackSync
 	Pending map[TxnID][]KV
-	// Prepared rides the final chunk of a per-group transfer under partial
-	// replication: cross-shard transactions certified but undecided at the
-	// donor, sorted by prepare index.
-	Prepared []PreparedShard
+	// Shard rides the final chunk of a per-group transfer under partial
+	// replication: the donor's cross-shard certification state (prepares,
+	// remembered decisions, fences) at Applied.
+	Shard *ShardRecovery
 }
 
 // Kind implements Message.
@@ -751,8 +758,66 @@ type PreparedShard struct {
 	Index  uint64
 	Vote   bool
 	Coord  SiteID
+	Groups []GroupID
 	Keys   []Key
 	Writes []KV
+}
+
+// CoordQuery is the termination protocol's status probe: when a prepare's
+// coordinator is suspected, the successor (lowest live member of the
+// prepare's group) atomically broadcasts one CoordQuery per touched group.
+// Ordering the query inside each group's total order makes the answer
+// deterministic: a group replies with its decision if one was ordered
+// before the query, with its prepare vote if the prepare was, and
+// otherwise installs a fence — any prepare of Txn ordered after the query
+// is refused — and reports "not prepared".
+type CoordQuery struct {
+	Txn   TxnID
+	Group GroupID
+	From  SiteID // successor to reply to
+}
+
+// Kind implements Message.
+func (*CoordQuery) Kind() Kind { return KindCoordQuery }
+
+// CoordStatus is one group's deterministic answer to a CoordQuery, unicast
+// to the successor. Every replica of the group answers identically (the
+// query's order index fixes what it can have seen), so the successor
+// counts the first status per group. Decided carries an already-ordered
+// ShardDecision's outcome; otherwise Prepared/Vote report the ordered
+// prepare, and Prepared=false means the group fenced the transaction.
+type CoordStatus struct {
+	Txn      TxnID
+	Group    GroupID
+	By       SiteID
+	Decided  bool
+	Outcome  bool
+	Prepared bool
+	Vote     bool
+}
+
+// Kind implements Message.
+func (*CoordStatus) Kind() Kind { return KindCoordStatus }
+
+// DecidedShard records one ordered ShardDecision outcome, carried across
+// state transfers and checkpoints so a caught-up member answers
+// termination queries for already-decided transactions correctly instead
+// of reporting them "not prepared".
+type DecidedShard struct {
+	Txn    TxnID
+	Commit bool
+}
+
+// ShardRecovery bundles a group's cross-shard certification state for
+// state transfers and checkpoints: certified-undecided prepares (sorted by
+// prepare index), remembered decision outcomes, and fences installed by
+// termination queries. Carrying all three keeps every member's view of a
+// transaction's fate a deterministic function of the group's ordered
+// stream, restarts and snapshots included.
+type ShardRecovery struct {
+	Prepared []PreparedShard
+	Decided  []DecidedShard
+	Fenced   []TxnID
 }
 
 // RegisterGob registers every concrete message type with encoding/gob so
@@ -799,6 +864,8 @@ func RegisterGob() {
 	gob.Register(&ShardDecision{})
 	gob.Register(&ShardForward{})
 	gob.Register(&ShardOutcome{})
+	gob.Register(&CoordQuery{})
+	gob.Register(&CoordStatus{})
 }
 
 // TxnOf extracts the transaction a message belongs to, which doubles as
@@ -871,6 +938,10 @@ func TxnOf(m Message) (TxnID, bool) {
 		}
 	case *ShardOutcome:
 		return t.Txn, true
+	case *CoordQuery:
+		return t.Txn, true
+	case *CoordStatus:
+		return t.Txn, true
 	}
 	return TxnID{}, false
 }
@@ -919,16 +990,7 @@ func EstimateSize(m Message) int {
 				n += 20 + len(v.Value)
 			}
 		}
-		n += stackSyncSize(t.Stack) + pendingSize(t.Pending)
-		for _, p := range t.Prepared {
-			n += 28
-			for _, k := range p.Keys {
-				n += 4 + len(k)
-			}
-			for _, kv := range p.Writes {
-				n += len(kv.Key) + len(kv.Value)
-			}
-		}
+		n += stackSyncSize(t.Stack) + pendingSize(t.Pending) + shardRecoverySize(t.Shard)
 		return n
 	case *SyncState:
 		return hdr + 4 + stackSyncSize(t.Stack) + pendingSize(t.Pending)
@@ -1020,6 +1082,10 @@ func EstimateSize(m Message) int {
 		return hdr + 4 + EstimateSize(t.Req)
 	case *ShardOutcome:
 		return hdr + 20
+	case *CoordQuery:
+		return hdr + 24
+	case *CoordStatus:
+		return hdr + 28
 	default:
 		return hdr
 	}
@@ -1036,6 +1102,24 @@ func stackSyncSize(s *StackSync) int {
 	}
 	for _, b := range s.Held {
 		n += EstimateSize(b)
+	}
+	return n
+}
+
+// shardRecoverySize approximates the wire size of an embedded ShardRecovery.
+func shardRecoverySize(sr *ShardRecovery) int {
+	if sr == nil {
+		return 0
+	}
+	n := 20*len(sr.Decided) + 12*len(sr.Fenced)
+	for _, p := range sr.Prepared {
+		n += 28 + 4*len(p.Groups)
+		for _, k := range p.Keys {
+			n += 4 + len(k)
+		}
+		for _, kv := range p.Writes {
+			n += len(kv.Key) + len(kv.Value)
+		}
 	}
 	return n
 }

@@ -119,6 +119,51 @@ func (s *SharedMedium) LatencyAt(now time.Duration, from, _ message.SiteID, size
 	return d, false
 }
 
+// WAN models a wide-area topology: every directed site pair has its own
+// base propagation delay (a latency matrix, as between data centres), with
+// a per-byte transmission cost, exponential jitter, and occasional latency
+// spikes (transient congestion or rerouting). Pairs absent from Delays use
+// Default. Spikes make tail latency heavy without dropping messages, which
+// is what stresses timeout-based failure detectors into false suspicion.
+type WAN struct {
+	Delays  map[[2]message.SiteID]time.Duration // directed per-pair base delay
+	Default time.Duration                       // base delay for unlisted pairs
+	PerByte time.Duration                       // inverse bandwidth
+	Jitter  time.Duration                       // mean of the exponential jitter term
+	SpikeP  float64                             // per-message probability of a latency spike
+	Spike   time.Duration                       // mean of the exponential spike term
+}
+
+var _ sim.LinkModel = WAN{}
+
+// DefaultWAN is a three-region-class topology baseline: 20ms default
+// one-way delay, ~0.1µs/byte, 2ms mean jitter, 1% 60ms-mean spikes.
+func DefaultWAN() WAN {
+	return WAN{
+		Default: 20 * time.Millisecond,
+		PerByte: 100 * time.Nanosecond,
+		Jitter:  2 * time.Millisecond,
+		SpikeP:  0.01,
+		Spike:   60 * time.Millisecond,
+	}
+}
+
+// Latency implements sim.LinkModel.
+func (w WAN) Latency(from, to message.SiteID, size int, r *rand.Rand) (time.Duration, bool) {
+	base, ok := w.Delays[[2]message.SiteID{from, to}]
+	if !ok {
+		base = w.Default
+	}
+	d := base + time.Duration(size)*w.PerByte
+	if w.Jitter > 0 {
+		d += time.Duration(r.ExpFloat64() * float64(w.Jitter))
+	}
+	if w.SpikeP > 0 && r.Float64() < w.SpikeP {
+		d += time.Duration(r.ExpFloat64() * float64(w.Spike))
+	}
+	return d, false
+}
+
 // Lossy wraps another model and drops each message independently with
 // probability P. The reliable broadcast layer's relaying and retransmission
 // must mask these losses.

@@ -106,14 +106,15 @@ func cloneMap(m map[message.Kind]int64) map[message.Kind]int64 {
 // Cluster is a simulated network of sites plus the event queue that drives
 // them.
 type Cluster struct {
-	now   time.Duration
-	queue eventHeap
-	seq   uint64
-	link  LinkModel
-	sites []*siteRT
-	peers []message.SiteID
-	group map[message.SiteID]int // partition group; all 0 when healed
-	stats NetStats
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	link    LinkModel
+	sites   []*siteRT
+	peers   []message.SiteID
+	group   map[message.SiteID]int     // partition group; all 0 when healed
+	blocked map[[2]message.SiteID]bool // directed blocked links (asymmetric cuts)
+	stats   NetStats
 
 	// LogWriter receives debug lines from nodes when non-nil.
 	LogWriter io.Writer
@@ -130,6 +131,7 @@ type siteRT struct {
 	id        message.SiteID
 	node      env.Node
 	crashed   bool
+	offset    time.Duration // clock skew relative to cluster time
 	rng       *rand.Rand
 	nextTimer env.TimerID
 	cancelled map[env.TimerID]bool
@@ -144,6 +146,7 @@ func NewCluster(n int, link LinkModel, seed int64) *Cluster {
 	c := &Cluster{
 		link:      link,
 		group:     make(map[message.SiteID]int, n),
+		blocked:   make(map[[2]message.SiteID]bool),
 		stats:     newNetStats(),
 		MaxEvents: 200_000_000,
 	}
@@ -281,10 +284,56 @@ func (c *Cluster) Partition(groups ...[]message.SiteID) {
 	}
 }
 
-// Heal removes any partition.
-func (c *Cluster) Heal() { c.group = make(map[message.SiteID]int, len(c.sites)) }
+// BlockLink severs the directed link from one site to another: messages
+// from→to are dropped while to→from still flows. Asymmetric partitions and
+// partial-connectivity (bridge) topologies compose from directed blocks.
+func (c *Cluster) BlockLink(from, to message.SiteID) {
+	c.blocked[[2]message.SiteID{from, to}] = true
+}
 
-func (c *Cluster) connected(a, b message.SiteID) bool { return c.group[a] == c.group[b] }
+// UnblockLink re-opens the directed link from→to.
+func (c *Cluster) UnblockLink(from, to message.SiteID) {
+	delete(c.blocked, [2]message.SiteID{from, to})
+}
+
+// BlockPair severs both directions between a and b (a symmetric cut of one
+// link, leaving all other connectivity intact — e.g. a bridge topology
+// where a and b still reach each other through a third site at the
+// protocol's mercy).
+func (c *Cluster) BlockPair(a, b message.SiteID) {
+	c.BlockLink(a, b)
+	c.BlockLink(b, a)
+}
+
+// PartitionAsym drops all traffic from every site in from to every site in
+// to, one direction only: to's sites still reach from's. A heartbeating
+// failure detector on the to side suspects the from side while the from
+// side sees a healthy cluster — the classic asymmetric-partition trap.
+func (c *Cluster) PartitionAsym(from, to []message.SiteID) {
+	for _, f := range from {
+		for _, t := range to {
+			c.BlockLink(f, t)
+		}
+	}
+}
+
+// Heal removes any partition and every directed block.
+func (c *Cluster) Heal() {
+	c.group = make(map[message.SiteID]int, len(c.sites))
+	c.blocked = make(map[[2]message.SiteID]bool)
+}
+
+func (c *Cluster) connected(a, b message.SiteID) bool {
+	return c.group[a] == c.group[b] && !c.blocked[[2]message.SiteID{a, b}]
+}
+
+// SetClockOffset skews site id's local clock by off relative to virtual
+// time (its env.Runtime Now returns cluster time plus the offset). Timers
+// still fire on cluster time — the skew perturbs timestamp-derived logic
+// (failure-detector timeouts, trace spans), not the event loop.
+func (c *Cluster) SetClockOffset(id message.SiteID, off time.Duration) {
+	c.sites[id].offset = off
+}
 
 // --- env.Runtime implementation -----------------------------------------
 
@@ -375,8 +424,8 @@ func (s *siteRT) CancelTimer(id env.TimerID) {
 	s.cancelled[id] = true
 }
 
-// Now implements env.Runtime.
-func (s *siteRT) Now() time.Duration { return s.c.now }
+// Now implements env.Runtime: the site's possibly skewed local clock.
+func (s *siteRT) Now() time.Duration { return s.c.now + s.offset }
 
 // Rand implements env.Runtime.
 func (s *siteRT) Rand() *rand.Rand { return s.rng }

@@ -132,39 +132,45 @@ const (
 	// total order. Seq is the group-local decision index, Peer the group
 	// identifier, Extra 1 for commit and 0 for abort.
 	KindShardDecide
+	// KindShardTakeover marks a successor opening a termination round for
+	// a prepare whose coordinator is suspected. Seq is the touched-group
+	// bitmask (as KindShardCoord), Peer the successor site, Extra the
+	// number of touched groups.
+	KindShardTakeover
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	KindBegin:        "begin",
-	KindWriteSend:    "write-send",
-	KindCommitReq:    "commit-req",
-	KindBcastSend:    "bcast-send",
-	KindBcastDeliver: "bcast-deliver",
-	KindFifoHold:     "fifo-hold",
-	KindCausalHold:   "causal-hold",
-	KindSeqOrder:     "seq-order",
-	KindIsisPropose:  "isis-propose",
-	KindIsisFinal:    "isis-final",
-	KindAck:          "ack",
-	KindNack:         "nack",
-	KindAckWait:      "ack-wait",
-	KindVote:         "vote",
-	KindCertWait:     "cert-wait",
-	KindCert:         "cert",
-	KindLockWait:     "lock-wait",
-	KindApply:        "apply",
-	KindOutcome:      "outcome",
-	KindReadReply:    "read-reply",
-	KindLockGrant:    "lock-grant",
-	KindNetSend:      "net-send",
-	KindNetRecv:      "net-recv",
-	KindBatchOrder:   "batch-order",
-	KindCheckpoint:   "checkpoint",
-	KindShardCoord:   "shard-coord",
-	KindShardCert:    "shard-cert",
-	KindShardDecide:  "shard-decide",
+	KindBegin:         "begin",
+	KindWriteSend:     "write-send",
+	KindCommitReq:     "commit-req",
+	KindBcastSend:     "bcast-send",
+	KindBcastDeliver:  "bcast-deliver",
+	KindFifoHold:      "fifo-hold",
+	KindCausalHold:    "causal-hold",
+	KindSeqOrder:      "seq-order",
+	KindIsisPropose:   "isis-propose",
+	KindIsisFinal:     "isis-final",
+	KindAck:           "ack",
+	KindNack:          "nack",
+	KindAckWait:       "ack-wait",
+	KindVote:          "vote",
+	KindCertWait:      "cert-wait",
+	KindCert:          "cert",
+	KindLockWait:      "lock-wait",
+	KindApply:         "apply",
+	KindOutcome:       "outcome",
+	KindReadReply:     "read-reply",
+	KindLockGrant:     "lock-grant",
+	KindNetSend:       "net-send",
+	KindNetRecv:       "net-recv",
+	KindBatchOrder:    "batch-order",
+	KindCheckpoint:    "checkpoint",
+	KindShardCoord:    "shard-coord",
+	KindShardCert:     "shard-cert",
+	KindShardDecide:   "shard-decide",
+	KindShardTakeover: "shard-takeover",
 }
 
 // String implements fmt.Stringer.
